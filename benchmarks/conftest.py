@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints it (run with ``-s`` to see the rendered artifacts; the printed
+rows are also written into ``bench_output`` captures).  Timings measure
+the full regeneration path, so the harness doubles as a performance
+suite over the simulation stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ActiveExperimentCampaign
+from repro.longitudinal import PassiveTraceGenerator
+from repro.roothistory import build_default_universe
+from repro.testbed import Testbed
+
+
+@pytest.fixture(scope="session")
+def universe():
+    return build_default_universe()
+
+
+@pytest.fixture(scope="session")
+def testbed(universe):
+    return Testbed(universe)
+
+
+@pytest.fixture(scope="session")
+def passive_capture(testbed):
+    return PassiveTraceGenerator(testbed, scale=40).generate()
+
+
+@pytest.fixture(scope="session")
+def campaign_results(testbed):
+    return ActiveExperimentCampaign(testbed).run(include_passthrough=True)

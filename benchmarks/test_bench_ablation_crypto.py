@@ -1,0 +1,60 @@
+"""Ablation: signature-oracle cost vs a heavier hash-chain signature mode.
+
+DESIGN.md's first design decision replaces real asymmetric crypto with a
+signature oracle.  This ablation quantifies the choice: it benchmarks
+chain validation with the oracle against a "realistic-cost" variant that
+burns the ~equivalent work of an RSA-2048 verification (modelled as
+iterated hashing), showing why the longitudinal generator stays
+laptop-scale."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.pki import CertificateAuthority, DistinguishedName, RootStore, utc, validate_chain
+
+WHEN = utc(2021, 3)
+HOST = "ablation.example.com"
+
+#: Iterated-SHA256 rounds approximating an RSA-2048 verify's cost.
+_EXPENSIVE_ROUNDS = 400
+
+
+def _setup():
+    ca = CertificateAuthority(DistinguishedName(common_name="Ablation Root"), seed=b"ablation")
+    intermediate = ca.issue_intermediate(
+        DistinguishedName(common_name="Ablation Intermediate"), seed=b"ablation-int"
+    )
+    leaf, _ = intermediate.issue_leaf(HOST, seed=b"ablation-leaf")
+    store = RootStore.from_certificates("ablation", [ca.certificate])
+    return [leaf, intermediate.certificate], store
+
+
+def _oracle_validate(chain, store):
+    for _ in range(100):
+        result = validate_chain(chain, store, when=WHEN, hostname=HOST)
+        assert result.ok
+    return result
+
+
+def _expensive_validate(chain, store):
+    for _ in range(100):
+        # Same validation plus the simulated asymmetric-verify burn per
+        # signature in the chain (leaf + intermediate).
+        for certificate in chain:
+            digest = certificate.tbs_bytes()
+            for _ in range(_EXPENSIVE_ROUNDS):
+                digest = hashlib.sha256(digest).digest()
+        result = validate_chain(chain, store, when=WHEN, hostname=HOST)
+        assert result.ok
+    return result
+
+
+def test_bench_ablation_oracle(benchmark):
+    chain, store = _setup()
+    benchmark(_oracle_validate, chain, store)
+
+
+def test_bench_ablation_expensive_crypto(benchmark):
+    chain, store = _setup()
+    benchmark(_expensive_validate, chain, store)

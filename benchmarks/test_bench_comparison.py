@@ -1,0 +1,18 @@
+"""E-X1: regenerate the §5.1 prior-work comparison aggregates."""
+
+from __future__ import annotations
+
+from repro.analysis import compare_with_prior_work
+
+
+def test_bench_comparison(benchmark, passive_capture):
+    comparison = benchmark(compare_with_prior_work, passive_capture)
+    print("\n§5.1 comparison with prior work")
+    print(comparison.summary())
+    # Shape: IoT far behind the web on TLS 1.3, far ahead on RC4.
+    assert comparison.tls13_fraction < 0.30
+    assert comparison.rc4_fraction > 0.50
+    print(
+        f"paper: ~17% TLS 1.3, ~60% RC4 | measured: "
+        f"{comparison.tls13_fraction:.0%} TLS 1.3, {comparison.rc4_fraction:.0%} RC4"
+    )

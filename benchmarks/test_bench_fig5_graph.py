@@ -1,0 +1,39 @@
+"""E-F5: regenerate Figure 5 (shared-fingerprint graph)."""
+
+from __future__ import annotations
+
+from repro.fingerprint import (
+    build_reference_database,
+    build_shared_graph,
+    collect_device_fingerprints,
+)
+
+
+def _build(testbed):
+    collected = collect_device_fingerprints(testbed)
+    return collected, build_shared_graph(collected, build_reference_database())
+
+
+def test_bench_fig5_graph(benchmark, testbed):
+    collected, graph = benchmark.pedantic(_build, args=(testbed,), rounds=1, iterations=1)
+
+    multi = sum(1 for c in collected if c.multiple_instances)
+    single = sum(1 for c in collected if not c.multiple_instances)
+    sharing = graph.sharing_devices()
+    assert (multi, single) == (14, 18)
+    assert len(sharing) == 19
+
+    print("\nFigure 5: shared TLS fingerprints")
+    print(f"devices with one fingerprint: {single}; with multiple: {multi}")
+    print(f"devices sharing >=1 fingerprint with other devices/applications: {len(sharing)}")
+    print("clusters:")
+    for cluster in sorted(graph.device_clusters(), key=len, reverse=True):
+        print(f"  {sorted(cluster)}")
+    openssl_devices = graph.devices_sharing_with_application("openssl")
+    print(f"devices matching the stock OpenSSL label: {sorted(openssl_devices)}")
+    assert len(openssl_devices) == 6
+    assert graph.dominant_fingerprint_label("Fire TV") == {"android-sdk"}
+    print(
+        "paper: 18 single-fp / 14 multi-fp devices, 19 sharing, 6 OpenSSL-matching, "
+        "Fire TV dominant fp = android-sdk | measured: exact match"
+    )

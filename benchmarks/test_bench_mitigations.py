@@ -1,0 +1,104 @@
+"""Ablation: effect of the §6 mitigations on the Table 7 attack surface.
+
+Re-runs the interception audit over the 11 vulnerable devices in three
+configurations -- stock, leaf-pinned, and hardened with the uniform OS
+TLS service -- and reports how many devices remain interceptable under
+each.  (Root pinning is exercised in the unit tests, where its caveat --
+same-CA certificates still pass -- is asserted directly.)
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timezone
+
+from repro.analysis import render_table
+from repro.core.interception import TABLE2_ATTACKS
+from repro.devices import Device, device_by_name
+from repro.mitigations import PinnedClient, harden_device, pin_leaf
+from repro.mitm import AttackerToolbox, InterceptionProxy
+from repro.tls import perform_handshake
+
+VULNERABLE = (
+    "Zmodo Doorbell",
+    "Amcrest Camera",
+    "Smarter iKettle",
+    "Yi Camera",
+    "Wink Hub 2",
+    "LG TV",
+    "Smartthings Hub",
+    "Amazon Echo Plus",
+    "Amazon Echo Dot",
+    "Amazon Echo Spot",
+    "Fire TV",
+)
+
+WHEN = datetime(2021, 3, 15, tzinfo=timezone.utc)
+
+
+def _device_interceptable(device, testbed, toolbox, *, pin: bool) -> bool:
+    """Can ANY destination be intercepted by ANY Table 2 attack?"""
+    for destination in device.profile.destinations:
+        for mode in TABLE2_ATTACKS:
+            proxy = InterceptionProxy(toolbox=toolbox, mode=mode)
+            if pin:
+                # Pinned configuration: wrap the instance's client with a
+                # leaf pin for the genuine endpoint.  Even a client whose
+                # validation has been failure-disabled stays protected,
+                # so per-attempt state does not matter here.
+                instance = device.instance(destination.instance)
+                client = PinnedClient(
+                    instance.spec.library.client(instance.client_config(38)),
+                    pin_leaf(testbed.server_for(destination).chain[0]),
+                )
+                for _ in range(4):
+                    result = perform_handshake(
+                        client, proxy, hostname=destination.hostname, when=WHEN
+                    )
+                    if result.established:
+                        return True
+            else:
+                # Stock configuration: drive the device's own instance so
+                # stateful behaviours (the Yi Camera's validation-disable
+                # counter) apply across consecutive attempts.
+                device.power_cycle()
+                for _ in range(4):
+                    connection = device.connect_destination(destination, proxy)
+                    if connection.established:
+                        return True
+    return False
+
+
+def _sweep(testbed, universe):
+    toolbox = AttackerToolbox(issuing_ca=testbed.anchor(0))
+    counts = {"stock": 0, "leaf-pinned": 0, "os-tls-service": 0}
+    for name in VULNERABLE:
+        stock = testbed.device(name)
+        stock.power_cycle()
+        if _device_interceptable(stock, testbed, toolbox, pin=False):
+            counts["stock"] += 1
+        stock.power_cycle()
+        if _device_interceptable(stock, testbed, toolbox, pin=True):
+            counts["leaf-pinned"] += 1
+        hardened = Device(harden_device(device_by_name(name)), universe=universe)
+        if _device_interceptable(hardened, testbed, toolbox, pin=False):
+            counts["os-tls-service"] += 1
+    return counts
+
+
+def test_bench_mitigation_ablation(benchmark, testbed, universe):
+    counts = benchmark.pedantic(_sweep, args=(testbed, universe), rounds=1, iterations=1)
+    print("\nMitigation ablation over the 11 Table 7 devices:")
+    print(
+        render_table(
+            ["Configuration", "Devices still interceptable"],
+            [(config, f"{count} / {len(VULNERABLE)}") for config, count in counts.items()],
+        )
+    )
+    assert counts["stock"] == 11
+    assert counts["leaf-pinned"] == 0
+    assert counts["os-tls-service"] == 0
+    print(
+        "paper (§6): 'the interception attacks we presented could have been prevented "
+        "with the proper use of certificate pinning' -- confirmed; uniform OS TLS "
+        "service also eliminates the class"
+    )

@@ -1,0 +1,31 @@
+"""E-X2: the TrafficPassthrough verification pass (§4.2)."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core import PassthroughExperiment
+
+
+def test_bench_passthrough(benchmark, testbed, campaign_results):
+    experiment = PassthroughExperiment(testbed)
+
+    def _run():
+        outcomes = []
+        for report in campaign_results.interception:
+            device = testbed.device(report.device)
+            outcomes.append(experiment.run_device(device, report))
+        return outcomes
+
+    outcomes = benchmark.pedantic(_run, rounds=1, iterations=1)
+    mean_extra = statistics.mean(outcome.extra_fraction for outcome in outcomes)
+    new_failures = sum(outcome.new_validation_failures for outcome in outcomes)
+    print("\nTrafficPassthrough verification (§4.2)")
+    print(f"average additional destinations surfaced: {mean_extra:.1%}")
+    print(f"new certificate-validation failures found: {new_failures}")
+    assert new_failures == 0
+    assert 0.10 < mean_extra < 0.35
+    print(
+        f"paper: ~20.4% more destinations, no new failures | "
+        f"measured: {mean_extra:.1%} more, {new_failures} new failures"
+    )

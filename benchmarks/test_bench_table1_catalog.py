@@ -1,0 +1,21 @@
+"""E-T1: regenerate Table 1 (the 40-device testbed catalog)."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table, table1_rows
+from repro.devices import active_devices, build_catalog
+
+
+def test_bench_table1_catalog(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) == 40
+    passive_only = [device for _, device, marker in rows if marker == "*"]
+    assert len(passive_only) == 8
+    assert len(active_devices()) == 32
+    print("\nTable 1: devices in the study (* = passive-only)")
+    print(render_table(["Category", "Device", "Passive-only"], rows))
+    print(
+        f"paper: 40 devices, 32 active, >=200M units | "
+        f"measured: {len(build_catalog())} devices, {len(active_devices())} active, "
+        f"{sum(d.units_sold_millions for d in build_catalog()):.0f}M units"
+    )

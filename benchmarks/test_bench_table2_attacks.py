@@ -1,0 +1,56 @@
+"""E-T2: exercise the Table 2 attack toolkit against a reference client.
+
+Table 2 is the attack inventory itself; the benchmark validates that
+each forged-credential shape produces its intended validation failure
+(and measures the forging + validation cost)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table
+from repro.mitm import AttackerToolbox
+from repro.pki import RootStore, ValidationErrorCode, utc, validate_chain
+
+HOST = "victim.example.com"
+WHEN = utc(2021, 3)
+
+
+@pytest.fixture(scope="module")
+def toolbox(testbed):
+    return AttackerToolbox(issuing_ca=testbed.anchor(0))
+
+
+@pytest.fixture(scope="module")
+def victim_store(testbed):
+    return RootStore.from_certificates(
+        "victim", [testbed.anchor(index).certificate for index in range(3)]
+    )
+
+
+def _run_all(toolbox, victim_store):
+    outcomes = {}
+    chains = {
+        "NoValidation": toolbox.self_signed_for(HOST),
+        "WrongHostname": toolbox.wrong_hostname_chain(),
+        "InvalidBasicConstraints": toolbox.invalid_basic_constraints_chain(HOST),
+    }
+    for attack, chain in chains.items():
+        outcomes[attack] = validate_chain(
+            list(chain), victim_store, when=WHEN, hostname=HOST
+        ).code
+    return outcomes
+
+
+def test_bench_table2_attacks(benchmark, toolbox, victim_store):
+    outcomes = benchmark(_run_all, toolbox, victim_store)
+    assert outcomes["NoValidation"] is ValidationErrorCode.UNKNOWN_CA
+    assert outcomes["WrongHostname"] is ValidationErrorCode.HOSTNAME_MISMATCH
+    assert outcomes["InvalidBasicConstraints"] is ValidationErrorCode.INVALID_BASIC_CONSTRAINTS
+    print("\nTable 2: interception attack suite (validation failure each induces)")
+    print(
+        render_table(
+            ["Attack", "Strict-client failure"],
+            [(attack, code.value) for attack, code in outcomes.items()],
+        )
+    )

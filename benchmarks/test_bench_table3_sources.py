@@ -1,0 +1,33 @@
+"""E-T3: regenerate Table 3 (platform root-store histories) and the
+derived probe sets (122 common / 87 deprecated)."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table, table3_rows
+from repro.roothistory import derive_common_names, derive_deprecated_names
+from repro.roothistory.universe import PROBE_YEAR
+
+
+def _derive(universe):
+    common = derive_common_names(universe.histories, universe.records, probe_year=PROBE_YEAR)
+    deprecated = derive_deprecated_names(
+        universe.histories, universe.records, probe_year=PROBE_YEAR
+    )
+    return common, deprecated
+
+
+def test_bench_table3_sources(benchmark, universe):
+    common, deprecated = benchmark(_derive, universe)
+    assert len(common) == 122
+    assert len(deprecated) == 87
+    print("\nTable 3: historical root-store sources")
+    print(
+        render_table(
+            ["Platform", "Total versions", "Earliest year", "Latest store size"],
+            table3_rows(universe),
+        )
+    )
+    print(
+        f"paper: 122 common / 87 deprecated probe certificates | "
+        f"measured: {len(common)} common / {len(deprecated)} deprecated"
+    )

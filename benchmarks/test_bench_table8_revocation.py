@@ -1,0 +1,21 @@
+"""E-T8: regenerate Table 8 (revocation-checking support) from passive data."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_revocation, render_table
+
+
+def test_bench_table8_revocation(benchmark, passive_capture):
+    summary = benchmark(analyze_revocation, passive_capture)
+    assert summary.crl_devices == ["Samsung TV"]
+    assert len(summary.ocsp_devices) == 3
+    assert len(summary.stapling_devices) == 12
+    assert len(summary.non_checking_devices) == 28
+    print("\nTable 8: certificate-revocation support among devices")
+    print(render_table(["Method", "Devices (count)"], summary.table8_rows()))
+    print(
+        "paper: CRL 1, OCSP 3, stapling 12, 28 devices never check | measured: "
+        f"CRL {len(summary.crl_devices)}, OCSP {len(summary.ocsp_devices)}, "
+        f"stapling {len(summary.stapling_devices)}, "
+        f"{len(summary.non_checking_devices)} never check"
+    )

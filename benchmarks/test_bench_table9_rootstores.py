@@ -1,0 +1,55 @@
+"""E-T9: regenerate Table 9 (root-store exploration of the 8 amenable
+devices via the TLS-alert side channel)."""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.core import RootStoreProber
+from repro.devices import device_by_name
+
+PAPER_TABLE9 = {
+    # device: (common %, deprecated %) as reported in the paper
+    "Google Home Mini": (100, 6),
+    "Amazon Echo Plus": (98, 18),
+    "Amazon Echo Dot": (98, 19),
+    "Amazon Echo Dot 3": (90, 27),
+    "Wink Hub 2": (92, 38),
+    "Roku TV": (91, 41),
+    "LG TV": (93, 59),
+    "Harman Invoke": (82, 59),
+}
+
+
+def _probe_all(testbed):
+    prober = RootStoreProber(testbed)
+    reports = []
+    for name in PAPER_TABLE9:
+        device = testbed.device(device_by_name(name))
+        reports.append(prober.probe_device(device))
+    return reports
+
+
+def test_bench_table9_rootstores(benchmark, testbed):
+    reports = benchmark.pedantic(_probe_all, args=(testbed,), rounds=1, iterations=1)
+    assert all(report.calibration.amenable for report in reports)
+    print("\nTable 9: root-store exploration (present / conclusively checked)")
+    print(
+        render_table(
+            ["Device", "Common certs (122)", "Deprecated certs (87)"],
+            [report.table9_row() for report in reports],
+        )
+    )
+    print("\npaper vs measured (percent present among conclusive):")
+    for report in reports:
+        cp, cc = report.common_tally
+        dp, dc = report.deprecated_tally
+        paper_common, paper_dep = PAPER_TABLE9[report.device]
+        measured_common = round(100 * cp / cc)
+        measured_dep = round(100 * dp / dc)
+        print(
+            f"  {report.device:20s} common {paper_common:>3}% -> {measured_common:>3}%   "
+            f"deprecated {paper_dep:>2}% -> {measured_dep:>2}%"
+        )
+        # Shape check: within 10 percentage points of the paper.
+        assert abs(measured_common - paper_common) <= 10, report.device
+        assert abs(measured_dep - paper_dep) <= 10, report.device

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Attacker placement on the home network (§6's user-risk discussion).
+
+The paper warns that MITM attacks need not come from a malicious router:
+"other devices on the same user network" can gain the on-path position
+"using ARP spoofing".  This walkthrough puts a malicious smart plug on
+the home LAN, has it ARP-spoof two victims, and shows that its
+interception capability is exactly the gateway attacker's -- TLS
+validation is the only line of defence that distinguishes the victims.
+
+Run:  python examples/lan_attacker.py
+"""
+
+from __future__ import annotations
+
+from repro.mitm import AttackerToolbox, AttackMode, InterceptionProxy
+from repro.testbed import HomeNetwork, LanDeviceAttacker, Testbed
+
+
+def main() -> None:
+    testbed = Testbed()
+    network = HomeNetwork()
+    interceptor = InterceptionProxy(
+        toolbox=AttackerToolbox(issuing_ca=testbed.anchor(0)),
+        mode=AttackMode.NO_VALIDATION,
+    )
+
+    victims = ["Zmodo Doorbell", "D-Link Camera"]
+    for name in victims:
+        network.join(name)
+    print(f"home network: gateway {network.gateway_ip}, victims joined")
+
+    for name in victims:
+        victim = testbed.device(name)
+        destination = victim.first_destination()
+        attacker = LanDeviceAttacker(
+            name="Malicious Smart Plug",
+            interceptor=interceptor,
+            network=network,
+            upstream=testbed.server_for(destination),
+        )
+
+        print(f"\n=== {name} -> {destination.hostname} ===")
+        victim.power_cycle()
+        connection = victim.connect_destination(
+            destination, attacker.responder_for(name)
+        )
+        print(f"  before ARP spoofing: established={connection.established} "
+              f"(genuine path; attacker off-path)")
+
+        attacker.spoof(name)
+        print(f"  ARP cache poisoned: gateway MAC is now {attacker.mac}")
+        victim.power_cycle()
+        connection = victim.connect_destination(
+            destination, attacker.responder_for(name)
+        )
+        if connection.established:
+            plaintext = ", ".join(connection.attempt.final.application_data)
+            print(f"  INTERCEPTED from inside the LAN -- plaintext: {plaintext!r}")
+        else:
+            alert = connection.attempt.final.client_alert
+            print("  interception FAILED: certificate validation held "
+                  f"(alert: {alert.description.name.lower() if alert else 'silent close'})")
+        attacker.stop_spoofing(name)
+
+    print("\nTakeaway: on-path position is cheap inside the home; only the")
+    print("device's own TLS validation separates the two outcomes above.")
+
+
+if __name__ == "__main__":
+    main()

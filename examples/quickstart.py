@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: the IoTLS reproduction in five minutes.
+
+Builds the simulated smart-home testbed, boots one device against its
+genuine cloud servers, mounts an interception attack on a vulnerable
+device, and runs the paper's novel root-store probe against an amenable
+one.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import RootStoreProber
+from repro.mitm import AttackerToolbox, AttackMode, InterceptionProxy
+from repro.testbed import SmartPlug, Testbed
+
+
+def main() -> None:
+    testbed = Testbed()
+
+    # ------------------------------------------------------------------
+    # 1. Benign traffic: boot a device against its real cloud endpoints.
+    # ------------------------------------------------------------------
+    print("=== 1. Booting a Google Home Mini against genuine servers ===")
+    ghm = testbed.device("Google Home Mini")
+    for connection in ghm.boot(lambda dest: testbed.server_for(dest)):
+        result = connection.attempt.final
+        cipher = result.response.server_hello.cipher_suite.name if result.established else "-"
+        print(f"  {connection.destination.hostname:28s} {result.state.value:12s} "
+              f"{result.established_version or '':8} {cipher}")
+
+    # ------------------------------------------------------------------
+    # 2. An on-path attacker with a self-signed certificate.
+    # ------------------------------------------------------------------
+    print("\n=== 2. NoValidation attack: secure vs vulnerable device ===")
+    toolbox = AttackerToolbox(issuing_ca=testbed.anchor(0))
+    attack = InterceptionProxy(toolbox=toolbox, mode=AttackMode.NO_VALIDATION)
+
+    for name in ("D-Link Camera", "Zmodo Doorbell"):
+        device = testbed.device(name)
+        device.power_cycle()
+        connection = device.connect_destination(device.first_destination(), attack)
+        if connection.established:
+            plaintext = ", ".join(connection.attempt.final.application_data)
+            print(f"  {name}: INTERCEPTED -- captured plaintext: {plaintext!r}")
+        else:
+            alert = connection.attempt.final.client_alert
+            print(f"  {name}: rejected the forged certificate "
+                  f"(alert: {alert.description.name.lower() if alert else 'none'})")
+
+    # ------------------------------------------------------------------
+    # 3. The TLS-alert side channel: is a given root CA trusted?
+    # ------------------------------------------------------------------
+    print("\n=== 3. Root-store probing via TLS alert side channel ===")
+    prober = RootStoreProber(testbed)
+    plug = SmartPlug(testbed.device("Wink Hub 2"))
+    calibration = prober.calibrate(plug)
+    print(f"  amenable: {calibration.amenable} "
+          f"(unknown-CA alert: {calibration.unknown_ca_alert}, "
+          f"bad-signature alert: {calibration.known_ca_alert})")
+
+    universe = testbed.universe
+    for ca_name in ("Certification Authority of WoSign", "TURKTRUST Elektronik Sertifika Hizmet Saglayicisi"):
+        record = universe.records[ca_name]
+        result = prober.probe_certificate(
+            plug, calibration, record.certificate, conclusive_rate=1.0
+        )
+        print(f"  {ca_name[:50]:52s} -> {result.outcome.value} "
+              f"(observed alert: {result.observed_alert})")
+
+
+if __name__ == "__main__":
+    main()

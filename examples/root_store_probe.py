@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Root-store exploration of one device, end to end (the §4.2 technique).
+
+Walks through the full probe campaign the paper ran for Table 9:
+
+1. derive the *common* and *deprecated* certificate sets from the
+   versioned platform root-store histories (Table 3),
+2. calibrate the device's two failure alerts,
+3. sweep both probe sets with spoofed-CA interceptions (one reboot per
+   certificate),
+4. report the Table 9 row, the Figure 4 staleness histogram, and any
+   explicitly distrusted CAs still trusted.
+
+Run:  python examples/root_store_probe.py [device-name]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro.core import RootStoreProber
+from repro.testbed import Testbed
+
+DEFAULT_DEVICE = "LG TV"
+
+
+def main() -> None:
+    device_name = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_DEVICE
+    testbed = Testbed()
+    universe = testbed.universe
+
+    print(f"Probe sets derived from {len(universe.histories)} platform histories:")
+    print(f"  common (latest stores, unexpired): {len(universe.common_names)}")
+    print(f"  deprecated (removed before expiry): {len(universe.deprecated_names)}")
+
+    prober = RootStoreProber(testbed)
+    device = testbed.device(device_name)
+    print(f"\nProbing {device_name} "
+          f"({sum(1 for _ in device.profile.destinations)} destinations, "
+          f"boot instance: {device.first_destination().instance})")
+
+    report = prober.probe_device(device)
+    calibration = report.calibration
+    if not calibration.amenable:
+        print(f"Device is NOT amenable to the technique: {calibration.reason}")
+        return
+
+    print(f"calibrated alerts -- unknown CA: {calibration.unknown_ca_alert!r}, "
+          f"known CA with bad signature: {calibration.known_ca_alert!r}")
+
+    name, common, deprecated = report.table9_row()
+    print(f"\nTable 9 row: {name} | common {common} | deprecated {deprecated}")
+
+    present = report.present_deprecated_names()
+    years = Counter()
+    for ca_name in present:
+        record = universe.records[ca_name]
+        if record.removal_year:
+            years[record.removal_year] += 1
+    print("\nStaleness (removal year -> retained roots):")
+    for year in sorted(years):
+        print(f"  {year}: {'#' * years[year]} ({years[year]})")
+
+    distrusted = [
+        universe.records[ca_name]
+        for ca_name in present
+        if universe.records[ca_name].is_distrusted
+    ]
+    if distrusted:
+        print("\nExplicitly distrusted CAs still trusted by this device:")
+        for record in distrusted:
+            event = record.distrust
+            print(f"  {record.name} -- distrusted {event.year} by {event.platform}: {event.reason}")
+    else:
+        print("\nNo explicitly distrusted CA found in the probed set.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Audit an entire smart home: the full active-experiment campaign.
+
+Reproduces §5.2's pipeline against all 32 active devices -- interception
+attacks (Table 7), downgrade probes (Tables 5/6), root-store probing
+(Table 9) and the TrafficPassthrough verification -- then prints a
+security report card per device.
+
+Run:  python examples/smart_home_audit.py
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import render_table
+from repro.core import ActiveExperimentCampaign
+from repro.mitm import AttackMode
+
+
+def grade(vulnerable: bool, downgrades: bool, old_versions: bool) -> str:
+    if vulnerable:
+        return "CRITICAL"
+    if downgrades:
+        return "WEAK"
+    if old_versions:
+        return "LEGACY"
+    return "OK"
+
+
+def main() -> None:
+    print("Running the full active-experiment campaign (32 devices)...")
+    results = ActiveExperimentCampaign().run()
+
+    downgrade_by_device = {report.device: report for report in results.downgrade}
+    old_by_device = {support.device: support for support in results.old_versions}
+
+    rows = []
+    for report in results.interception:
+        downgrade = downgrade_by_device[report.device]
+        old = old_by_device[report.device]
+        issues = []
+        if report.vulnerable_to(AttackMode.NO_VALIDATION):
+            issues.append("accepts any certificate")
+        elif report.vulnerable_to(AttackMode.WRONG_HOSTNAME):
+            issues.append("skips hostname validation")
+        if downgrade.downgrades:
+            issues.append(downgrade.behavior.lower())
+        if old.any_old:
+            versions = [v for v, flag in (("1.0", old.tls10), ("1.1", old.tls11)) if flag]
+            issues.append(f"establishes TLS {'/'.join(versions)}")
+        rows.append(
+            (
+                report.device,
+                grade(report.vulnerable, downgrade.downgrades, old.any_old),
+                f"{report.vulnerable_destinations}/{report.total_destinations}",
+                "; ".join(issues) or "none found",
+            )
+        )
+
+    severity = {"CRITICAL": 0, "WEAK": 1, "LEGACY": 2, "OK": 3}
+    rows.sort(key=lambda row: (severity[row[1]], row[0]))
+    print()
+    print(render_table(["Device", "Grade", "Vulnerable dests", "Findings"], rows))
+
+    print("\n--- campaign summary (paper's §1 findings) ---")
+    print(f"devices vulnerable to interception: {results.vulnerable_device_count} (paper: 11)")
+    print(f"devices leaking sensitive data:     {results.sensitive_leak_count} (paper: 7)")
+    print(f"devices downgrading on failure:     {results.downgrading_device_count} (paper: 7)")
+    print(f"devices establishing old TLS:       {results.old_version_device_count} (paper: 18-19)")
+    print(f"probe-amenable devices:             {len(results.amenable_probe_reports)} (paper: 8)")
+    extra = statistics.mean(outcome.extra_fraction for outcome in results.passthrough)
+    print(f"passthrough extra destinations:     {extra:.1%} (paper: ~20.4%), "
+          f"new validation failures: "
+          f"{sum(outcome.new_validation_failures for outcome in results.passthrough)} (paper: 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""IoTLS reproduction library.
+
+A full, simulation-backed reproduction of *IoTLS: Understanding TLS Usage
+in Consumer IoT Devices* (Paracha et al., ACM IMC 2021): simulated PKI and
+TLS substrates, behavioural models of the paper's 40-device testbed, an
+interception proxy, the TLS-alert root-store probing technique, TLS
+fingerprinting, and a longitudinal analysis pipeline that regenerates
+every table and figure in the paper's evaluation.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy top-level conveniences: ``repro.Testbed``, ``repro.Device``,
+    ``repro.ActiveExperimentCampaign``, ``repro.RootStoreProber``,
+    ``repro.PassiveTraceGenerator`` -- imported on first use so that
+    ``import repro`` stays instant."""
+    lazy = {
+        "Testbed": ("repro.testbed", "Testbed"),
+        "SmartPlug": ("repro.testbed", "SmartPlug"),
+        "Device": ("repro.devices", "Device"),
+        "ActiveExperimentCampaign": ("repro.core", "ActiveExperimentCampaign"),
+        "RootStoreProber": ("repro.core", "RootStoreProber"),
+        "InterceptionAuditor": ("repro.core", "InterceptionAuditor"),
+        "DowngradeAuditor": ("repro.core", "DowngradeAuditor"),
+        "PassiveTraceGenerator": ("repro.longitudinal", "PassiveTraceGenerator"),
+        "build_catalog": ("repro.devices", "build_catalog"),
+        "build_default_universe": ("repro.roothistory", "build_default_universe"),
+    }
+    if name in lazy:
+        import importlib
+
+        module_name, attribute = lazy[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,61 @@
+"""Analyses and renderers that regenerate the paper's tables/figures."""
+
+from .attack_scaling import (
+    FingerprintTargetedAttacker,
+    SharedRiskFinding,
+    TargetingOutcome,
+    shared_risk_analysis,
+)
+from .comparison import PriorWorkComparison, compare_with_prior_work
+from .datasets import DatasetStatistics, dataset_statistics
+from .export import (
+    campaign_to_dict,
+    capture_from_records,
+    capture_to_records,
+    probe_report_to_dict,
+    write_json,
+)
+from .party_bias import (
+    PartyBiasResult,
+    devices_with_multiple_max_versions,
+    test_party_bias,
+)
+from .poodle import PoodleExposure, assess_poodle_exposure
+from .updates import UpdateHygiene, update_vs_store_hygiene
+from .revocation import RevocationSummary, analyze_revocation
+from .staleness import DeviceStaleness, distrusted_trusted_by, staleness_by_device
+from .tables import render_table, table1_rows, table3_rows
+
+# Not a pytest case despite the name (the §5.1 bias test).
+test_party_bias.__test__ = False  # type: ignore[attr-defined]
+
+__all__ = [
+    "DatasetStatistics",
+    "DeviceStaleness",
+    "FingerprintTargetedAttacker",
+    "SharedRiskFinding",
+    "TargetingOutcome",
+    "shared_risk_analysis",
+    "PartyBiasResult",
+    "PoodleExposure",
+    "UpdateHygiene",
+    "capture_from_records",
+    "dataset_statistics",
+    "devices_with_multiple_max_versions",
+    "test_party_bias",
+    "update_vs_store_hygiene",
+    "PriorWorkComparison",
+    "RevocationSummary",
+    "analyze_revocation",
+    "assess_poodle_exposure",
+    "campaign_to_dict",
+    "capture_to_records",
+    "compare_with_prior_work",
+    "distrusted_trusted_by",
+    "probe_report_to_dict",
+    "render_table",
+    "staleness_by_device",
+    "table1_rows",
+    "table3_rows",
+    "write_json",
+]

@@ -1,0 +1,228 @@
+"""Fingerprint-driven attack scaling (§5.3's closing observation).
+
+The paper: "our observations hint at a way for an attacker to scale
+attacks by identifying and exploiting vulnerable TLS implementations
+that are shared among multiple devices."  Two quantifiable pieces:
+
+* **Risk propagation** (:func:`shared_risk_analysis`): treat each
+  vulnerability found on one device as a hypothesis about every other
+  device producing the *same fingerprint* (same TLS instance, same code
+  path).  Score the hypothesis against the audit's ground truth -- with
+  precision near 1, a single disclosed flaw maps the vulnerable fleet.
+* **Targeted interception** (:class:`FingerprintTargetedAttacker`): an
+  on-path adversary who has pre-associated fingerprints with known flaws
+  watches ClientHellos and attacks only matching connections.  Compared
+  to attacking blindly, targeting keeps the same yield while touching a
+  fraction of the traffic -- fewer failed handshakes, less chance of
+  detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.audit import CampaignResults
+from ..fingerprint.collect import DeviceFingerprints
+from ..fingerprint.ja3 import fingerprint
+from ..mitm.proxy import AttackMode
+from ..testbed.capture import GatewayCapture
+
+__all__ = [
+    "SharedRiskFinding",
+    "shared_risk_analysis",
+    "TargetingOutcome",
+    "FingerprintTargetedAttacker",
+]
+
+
+# ---------------------------------------------------------------------------
+# Risk propagation across shared fingerprints
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SharedRiskFinding:
+    """One vulnerability propagated along a shared fingerprint."""
+
+    source_device: str
+    attack: AttackMode
+    fingerprint: str
+    predicted_devices: tuple[str, ...]  # other devices with the same fp
+    confirmed_devices: tuple[str, ...]  # of those, actually vulnerable
+
+    @property
+    def precision(self) -> float:
+        if not self.predicted_devices:
+            return 1.0
+        return len(self.confirmed_devices) / len(self.predicted_devices)
+
+
+def _vulnerable_fingerprints(
+    results: CampaignResults, collected: list[DeviceFingerprints], testbed
+) -> dict[tuple[str, AttackMode], set[str]]:
+    """fingerprints of the instances each (device, attack) fell through."""
+    by_device = {c.device: c for c in collected}
+    mapping: dict[tuple[str, AttackMode], set[str]] = {}
+    for report in results.interception:
+        if not report.vulnerable:
+            continue
+        device = testbed.device(report.device)
+        for destination_result in report.destinations:
+            for attack, attack_result in destination_result.results.items():
+                if not attack_result.intercepted:
+                    continue
+                instance = device.instance(destination_result.instance)
+                client = instance.spec.library.client(instance.client_config(38))
+                hello = client.build_client_hello(destination_result.hostname)
+                digest = fingerprint(hello)
+                if digest in by_device[report.device].distinct:
+                    mapping.setdefault((report.device, attack), set()).add(digest)
+    return mapping
+
+
+def shared_risk_analysis(
+    results: CampaignResults, collected: list[DeviceFingerprints], testbed
+) -> list[SharedRiskFinding]:
+    """Propagate each confirmed vulnerability along shared fingerprints."""
+    producers: dict[str, set[str]] = {}
+    for device in collected:
+        for digest in device.distinct:
+            producers.setdefault(digest, set()).add(device.device)
+
+    from ..core.interception import TABLE2_ATTACKS
+
+    vulnerable_by_attack: dict[AttackMode, set[str]] = {
+        attack: {
+            report.device
+            for report in results.interception
+            if report.vulnerable_to(attack)
+        }
+        for attack in TABLE2_ATTACKS
+    }
+
+    findings = []
+    for (device_name, attack), digests in _vulnerable_fingerprints(
+        results, collected, testbed
+    ).items():
+        for digest in digests:
+            predicted = tuple(sorted(producers.get(digest, set()) - {device_name}))
+            if not predicted:
+                continue
+            confirmed = tuple(
+                name
+                for name in predicted
+                if name in vulnerable_by_attack.get(attack, set())
+            )
+            findings.append(
+                SharedRiskFinding(
+                    source_device=device_name,
+                    attack=attack,
+                    fingerprint=digest,
+                    predicted_devices=predicted,
+                    confirmed_devices=confirmed,
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Targeted interception over passive traffic
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TargetingOutcome:
+    """Blind vs fingerprint-targeted attack economics over a capture."""
+
+    total_connections: int = 0
+    targeted_connections: int = 0
+    targeted_vulnerable: int = 0
+    blind_vulnerable: int = 0
+
+    @property
+    def touch_fraction(self) -> float:
+        """Share of traffic a targeted attacker interferes with."""
+        if not self.total_connections:
+            return 0.0
+        return self.targeted_connections / self.total_connections
+
+    @property
+    def targeted_yield(self) -> float:
+        """Interceptions per attacked connection when targeting."""
+        if not self.targeted_connections:
+            return 0.0
+        return self.targeted_vulnerable / self.targeted_connections
+
+    @property
+    def blind_yield(self) -> float:
+        if not self.total_connections:
+            return 0.0
+        return self.blind_vulnerable / self.total_connections
+
+    @property
+    def recall(self) -> float:
+        """Share of interceptable connections the targeting retains."""
+        if not self.blind_vulnerable:
+            return 1.0
+        return self.targeted_vulnerable / self.blind_vulnerable
+
+
+@dataclass
+class FingerprintTargetedAttacker:
+    """An attacker with a fingerprint->flaw knowledge base.
+
+    ``vulnerable_fingerprints`` maps fingerprints to attacks known to
+    work against the producing instance (built from one compromised
+    specimen of each model, or from public audits like this paper).
+    ``vulnerable_hostnames`` refines by destination -- e.g. the Amazon
+    WrongHostname flaw is on the auth path only.
+    """
+
+    vulnerable_fingerprints: dict[str, set[AttackMode]]
+    vulnerable_hostnames: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_campaign(
+        cls, results: CampaignResults, collected: list[DeviceFingerprints], testbed
+    ) -> "FingerprintTargetedAttacker":
+        """Learn the knowledge base from the audit results."""
+        fingerprints: dict[str, set[AttackMode]] = {}
+        hostnames: dict[str, set[str]] = {}
+        for (device_name, attack), digests in _vulnerable_fingerprints(
+            results, collected, testbed
+        ).items():
+            report = results.interception_report(device_name)
+            vulnerable_hosts = {
+                destination.hostname
+                for destination in report.destinations
+                if destination.intercepted_by(attack)
+            }
+            for digest in digests:
+                fingerprints.setdefault(digest, set()).add(attack)
+                hostnames.setdefault(digest, set()).update(vulnerable_hosts)
+        return cls(vulnerable_fingerprints=fingerprints, vulnerable_hostnames=hostnames)
+
+    def would_target(self, record) -> bool:
+        digest = fingerprint(record.client_hello)
+        if digest not in self.vulnerable_fingerprints:
+            return False
+        known_hosts = self.vulnerable_hostnames.get(digest)
+        if known_hosts:
+            return record.hostname in known_hosts
+        return True
+
+    def evaluate(self, capture: GatewayCapture) -> TargetingOutcome:
+        """Replay a passive capture and compare targeting vs blind attack."""
+        outcome = TargetingOutcome()
+        for record in capture.records:
+            outcome.total_connections += record.count
+            digest = fingerprint(record.client_hello)
+            known_hosts = self.vulnerable_hostnames.get(digest, set())
+            is_vulnerable = digest in self.vulnerable_fingerprints and (
+                not known_hosts or record.hostname in known_hosts
+            )
+            if is_vulnerable:
+                outcome.blind_vulnerable += record.count
+            if self.would_target(record):
+                outcome.targeted_connections += record.count
+                if is_vulnerable:
+                    outcome.targeted_vulnerable += record.count
+        return outcome

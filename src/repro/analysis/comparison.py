@@ -1,0 +1,64 @@
+"""Aggregate comparisons with prior work (§5.1, "Comparison with prior work").
+
+Two headline aggregates over the passive capture:
+
+* the fraction of client connections advertising TLS 1.3 support
+  (the paper: ≈17% for IoT vs ≈60% for North American web clients
+  [Holz et al., 11/2019]), and
+* the fraction of connections advertising RC4 suites (the paper: ≈60%
+  for IoT vs ≈10% in Kotzias et al.'s 4/2018 general-traffic data).
+
+Both fractions are computed over the final study months to mirror the
+comparison dates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..testbed.capture import GatewayCapture
+from ..tls.ciphersuites import BulkCipher
+from ..tls.versions import ProtocolVersion
+
+__all__ = ["PriorWorkComparison", "compare_with_prior_work"]
+
+
+@dataclass(frozen=True)
+class PriorWorkComparison:
+    tls13_fraction: float
+    rc4_fraction: float
+    #: The published reference points.
+    web_tls13_fraction: float = 0.60
+    web_rc4_fraction: float = 0.10
+
+    def summary(self) -> str:
+        return (
+            f"IoT TLS 1.3 advertisement: {self.tls13_fraction:.0%} "
+            f"(web clients 11/2019: ~{self.web_tls13_fraction:.0%}); "
+            f"IoT RC4 advertisement: {self.rc4_fraction:.0%} "
+            f"(general traffic 4/2018: ~{self.web_rc4_fraction:.0%})"
+        )
+
+
+def compare_with_prior_work(
+    capture: GatewayCapture, *, from_month: int = 18
+) -> PriorWorkComparison:
+    """Compute the two aggregates over months >= ``from_month``
+    (default 7/2019 onward, bracketing the cited measurement dates)."""
+    total = 0
+    tls13 = 0
+    rc4 = 0
+    for record in capture.records:
+        if record.month < from_month:
+            continue
+        total += record.count
+        versions = record.client_hello.advertised_versions()
+        if ProtocolVersion.TLS_1_3 in versions:
+            tls13 += record.count
+        if any(
+            suite.cipher is BulkCipher.RC4_128 for suite in record.client_hello.cipher_suites()
+        ):
+            rc4 += record.count
+    if total == 0:
+        return PriorWorkComparison(tls13_fraction=0.0, rc4_fraction=0.0)
+    return PriorWorkComparison(tls13_fraction=tls13 / total, rc4_fraction=rc4 / total)

@@ -1,0 +1,217 @@
+"""JSON export of experiment artifacts.
+
+Mirrors the paper's data release: the authors published their
+longitudinal handshake data and controlled-experiment results; these
+exporters produce the equivalent machine-readable artifacts from a
+simulation run (capture summaries, audit results, probe reports), ready
+for downstream analysis outside this library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..core.audit import CampaignResults
+from ..core.prober import DeviceProbeReport, ProbeOutcome
+from ..mitm.proxy import AttackMode
+from ..testbed.capture import GatewayCapture
+
+__all__ = [
+    "capture_from_records",
+    "capture_to_records",
+    "campaign_to_dict",
+    "probe_report_to_dict",
+    "write_json",
+]
+
+
+def capture_to_records(capture: GatewayCapture) -> list[dict[str, Any]]:
+    """Flatten a capture into per-connection dictionaries (one per flow
+    record; ``count`` carries the batched connection multiplicity).
+
+    ``client_hello_hex`` embeds the RFC-format encoding of the hello
+    (via :mod:`repro.tls.codec`), so :func:`capture_from_records` can
+    rebuild a byte-faithful capture -- the reproduction's equivalent of
+    the paper's published longitudinal handshake data.
+    """
+    from ..tls.codec import encode_client_hello
+
+    records = []
+    for record in capture.records:
+        records.append(
+            {
+                "device": record.device,
+                "hostname": record.hostname,
+                "client_hello_hex": encode_client_hello(
+                    record.client_hello,
+                    seed=f"{record.device}:{record.hostname}:{record.month}",
+                ).hex(),
+                "party": record.party.value,
+                "month": record.month,
+                "timestamp": record.when.isoformat(),
+                "advertised_max_version": record.advertised_max_version.label,
+                "advertised_ciphers": [s.name for s in record.client_hello.cipher_suites()],
+                "requests_ocsp_staple": record.requests_ocsp_staple,
+                "established": record.established,
+                "established_version": (
+                    record.established_version.label if record.established_version else None
+                ),
+                "established_cipher": (
+                    hex(record.established_cipher_code)
+                    if record.established_cipher_code is not None
+                    else None
+                ),
+                "client_alert": record.client_alert,
+                "downgraded": record.downgraded,
+                "count": record.count,
+            }
+        )
+    return records
+
+
+def probe_report_to_dict(report: DeviceProbeReport) -> dict[str, Any]:
+    def results(items):
+        return [
+            {
+                "certificate": result.certificate_name,
+                "outcome": result.outcome.value,
+                "observed_alert": result.observed_alert,
+            }
+            for result in items
+        ]
+
+    calibration = report.calibration
+    payload: dict[str, Any] = {
+        "device": report.device,
+        "amenable": calibration.amenable,
+    }
+    if calibration.amenable:
+        cp, cc = report.common_tally
+        dp, dc = report.deprecated_tally
+        payload.update(
+            {
+                "unknown_ca_alert": calibration.unknown_ca_alert,
+                "bad_signature_alert": calibration.known_ca_alert,
+                "common": {"present": cp, "conclusive": cc, "results": results(report.common_results)},
+                "deprecated": {
+                    "present": dp,
+                    "conclusive": dc,
+                    "results": results(report.deprecated_results),
+                },
+            }
+        )
+    else:
+        payload["reason"] = calibration.reason
+    return payload
+
+
+def campaign_to_dict(results: CampaignResults) -> dict[str, Any]:
+    """The full active-experiment campaign as one JSON document."""
+    return {
+        "summary": {
+            "vulnerable_devices": results.vulnerable_device_count,
+            "sensitive_leaks": results.sensitive_leak_count,
+            "downgrading_devices": results.downgrading_device_count,
+            "old_version_devices": results.old_version_device_count,
+            "probe_eligible": results.probe_eligible,
+            "amenable_devices": [r.device for r in results.amenable_probe_reports],
+        },
+        "interception": [
+            {
+                "device": report.device,
+                "vulnerable": report.vulnerable,
+                "leaks_sensitive_data": report.leaks_sensitive_data,
+                "vulnerable_destinations": report.vulnerable_destinations,
+                "total_destinations": report.total_destinations,
+                "attacks": {
+                    mode.value: report.vulnerable_to(mode)
+                    for mode in (
+                        AttackMode.NO_VALIDATION,
+                        AttackMode.INVALID_BASIC_CONSTRAINTS,
+                        AttackMode.WRONG_HOSTNAME,
+                    )
+                },
+            }
+            for report in results.interception
+        ],
+        "downgrade": [
+            {
+                "device": report.device,
+                "downgrades": report.downgrades,
+                "on_failed_handshake": report.downgrades_on_failed,
+                "on_incomplete_handshake": report.downgrades_on_incomplete,
+                "behavior": report.behavior,
+                "downgraded_destinations": report.downgraded_destinations,
+                "tested_destinations": report.tested_destinations,
+            }
+            for report in results.downgrade
+        ],
+        "old_versions": [
+            {"device": support.device, "tls10": support.tls10, "tls11": support.tls11}
+            for support in results.old_versions
+        ],
+        "probes": [probe_report_to_dict(report) for report in results.probes],
+        "passthrough": [
+            {
+                "device": outcome.device,
+                "extra_fraction": outcome.extra_fraction,
+                "new_hostnames": sorted(outcome.new_hostnames),
+                "new_validation_failures": outcome.new_validation_failures,
+            }
+            for outcome in results.passthrough
+        ],
+    }
+
+
+def capture_from_records(records: list[dict[str, Any]]) -> GatewayCapture:
+    """Rebuild a capture from exported per-connection dictionaries.
+
+    The inverse of :func:`capture_to_records`: hellos are decoded from
+    their embedded wire bytes, so every analysis (heatmaps, adoption
+    events, fingerprints, Table 8 stapling signals) runs identically on
+    a loaded capture.
+    """
+    from datetime import datetime
+
+    from ..devices.profile import Party
+    from ..tls.codec import decode_client_hello
+    from ..tls.versions import ProtocolVersion
+    from ..testbed.capture import TrafficRecord
+
+    by_label = {version.label: version for version in ProtocolVersion}
+    capture = GatewayCapture()
+    for entry in records:
+        established_version = (
+            by_label[entry["established_version"]] if entry["established_version"] else None
+        )
+        capture.add(
+            TrafficRecord(
+                device=entry["device"],
+                hostname=entry["hostname"],
+                party=Party(entry["party"]),
+                month=entry["month"],
+                when=datetime.fromisoformat(entry["timestamp"]),
+                client_hello=decode_client_hello(bytes.fromhex(entry["client_hello_hex"])),
+                established=entry["established"],
+                established_version=established_version,
+                established_cipher_code=(
+                    int(entry["established_cipher"], 16)
+                    if entry["established_cipher"]
+                    else None
+                ),
+                client_alert=entry["client_alert"],
+                downgraded=entry["downgraded"],
+                count=entry["count"],
+            )
+        )
+    return capture
+
+
+def write_json(payload: Any, path: str | Path) -> Path:
+    """Serialise a payload to pretty-printed JSON at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,103 @@
+"""First- vs third-party version-bias analysis (§5.1).
+
+The paper investigates why 15 devices advertise *multiple maximum* TLS
+versions to the same destinations.  One hypothesis: different device
+functionality (e.g. third-party software) uses different configurations,
+in which case connections to first- and third-party destinations would
+consistently use different versions.  The authors labelled each
+connection first/third-party (after Ren et al.) and "found no patterns
+that indicate bias toward one TLS version depending on the destination
+type" -- rejecting that hypothesis and leaving multiple independent TLS
+instances as the consistent explanation.
+
+This module runs that exact test: per device, a contingency table of
+(advertised max version x destination party) and a chi-square
+independence test over it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..devices.profile import Party
+from ..testbed.capture import GatewayCapture
+
+__all__ = ["PartyBiasResult", "devices_with_multiple_max_versions", "test_party_bias"]
+
+#: Significance level for the independence test.
+ALPHA = 0.01
+
+
+#: Minimum Cramér's V for a dependence to count as a *pattern*: with the
+#: study's connection volumes, chi-square flags negligible differences,
+#: so the paper-style "no patterns that indicate bias" conclusion needs
+#: an effect-size threshold, not just significance.
+MIN_EFFECT_SIZE = 0.3
+
+
+@dataclass(frozen=True)
+class PartyBiasResult:
+    """Chi-square independence result for one device."""
+
+    device: str
+    versions: tuple[str, ...]
+    table: tuple[tuple[int, ...], ...]  # rows = versions, cols = (first, third)
+    p_value: float | None  # None when the test is inapplicable
+    cramers_v: float | None = None
+
+    @property
+    def biased(self) -> bool:
+        """Version choice *meaningfully* depends on destination party:
+        statistically significant and a non-trivial effect size."""
+        return (
+            self.p_value is not None
+            and self.p_value < ALPHA
+            and self.cramers_v is not None
+            and self.cramers_v >= MIN_EFFECT_SIZE
+        )
+
+
+def devices_with_multiple_max_versions(capture: GatewayCapture) -> list[str]:
+    """Devices whose ClientHellos advertise more than one maximum version."""
+    versions_by_device: dict[str, set[str]] = {}
+    for record in capture.records:
+        versions_by_device.setdefault(record.device, set()).add(
+            record.advertised_max_version.label
+        )
+    return sorted(device for device, versions in versions_by_device.items() if len(versions) > 1)
+
+
+def test_party_bias(capture: GatewayCapture, device: str) -> PartyBiasResult:
+    """The §5.1 hypothesis test for one device."""
+    counts: Counter = Counter()
+    for record in capture.records:
+        if record.device != device:
+            continue
+        counts[(record.advertised_max_version.label, record.party)] += record.count
+
+    versions = sorted({version for version, _ in counts})
+    table = [
+        [counts.get((version, Party.FIRST), 0), counts.get((version, Party.THIRD), 0)]
+        for version in versions
+    ]
+    matrix = np.array(table)
+    # The test needs at least a 2x2 table with both parties represented.
+    if len(versions) < 2 or (matrix.sum(axis=0) == 0).any():
+        p_value = None
+        cramers_v = None
+    else:
+        chi2, p_value, _dof, _expected = stats.chi2_contingency(matrix)
+        n = matrix.sum()
+        k = min(matrix.shape[0] - 1, matrix.shape[1] - 1)
+        cramers_v = float(np.sqrt(chi2 / (n * k))) if n and k else 0.0
+    return PartyBiasResult(
+        device=device,
+        versions=tuple(versions),
+        table=tuple(tuple(row) for row in table),
+        p_value=p_value,
+        cramers_v=cramers_v,
+    )

@@ -1,0 +1,72 @@
+"""POODLE exposure analysis for the SSL 3.0 fallback devices (§2, §5.1).
+
+The paper flags the SSL 3.0 fallback in four Amazon devices as "the most
+significant downgrade" because SSL 3.0 is vulnerable to POODLE
+(Möller et al., 2014).  It also notes (Limitations) that mounting POODLE
+needs an attacker who can repeatedly trigger requests -- ~256 oracle
+requests per plaintext byte with SSL 3.0's CBC padding.
+
+This module turns that discussion into numbers: given a device's
+downgrade audit and the payloads its destinations carry, it estimates
+the oracle-request budget an on-path attacker would need to decrypt each
+secret over a forced-SSL 3.0 connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.downgrade import DeviceDowngradeReport
+from ..devices.profile import DeviceProfile
+from ..tls.versions import ProtocolVersion
+
+__all__ = ["PoodleExposure", "assess_poodle_exposure"]
+
+#: Expected oracle requests per plaintext byte (256 padding guesses).
+REQUESTS_PER_BYTE = 256
+
+
+@dataclass(frozen=True)
+class PoodleExposure:
+    """One device's POODLE risk under its observed fallback behaviour."""
+
+    device: str
+    falls_back_to_ssl3: bool
+    exposed_secrets: tuple[str, ...]  # sensitive payloads on downgradable paths
+    total_secret_bytes: int
+
+    @property
+    def expected_oracle_requests(self) -> int:
+        """Expected requests to recover every exposed secret byte."""
+        return self.total_secret_bytes * REQUESTS_PER_BYTE
+
+    @property
+    def at_risk(self) -> bool:
+        return self.falls_back_to_ssl3 and bool(self.exposed_secrets)
+
+
+def assess_poodle_exposure(
+    profile: DeviceProfile, downgrade_report: DeviceDowngradeReport
+) -> PoodleExposure:
+    """Combine the downgrade audit with the device's payload inventory."""
+    ssl3 = any(
+        observation.retry_max_version is ProtocolVersion.SSL_3_0
+        for observation in downgrade_report.observations.values()
+        if observation.downgraded
+    )
+    secrets: list[str] = []
+    if ssl3:
+        downgraded_hosts = {
+            hostname
+            for hostname, observation in downgrade_report.observations.items()
+            if observation.downgraded
+        }
+        for destination in profile.destinations:
+            if destination.hostname in downgraded_hosts and destination.sensitive_payload:
+                secrets.append(destination.sensitive_payload)
+    return PoodleExposure(
+        device=profile.name,
+        falls_back_to_ssl3=ssl3,
+        exposed_secrets=tuple(secrets),
+        total_secret_bytes=sum(len(secret.encode()) for secret in secrets),
+    )

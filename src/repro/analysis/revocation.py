@@ -1,0 +1,76 @@
+"""Revocation-checking analysis (Table 8), from passive data only.
+
+The paper detects revocation support by scanning passive traffic for:
+
+* connections to CRL distribution points,
+* queries to OCSP responders,
+* ``status_request`` extensions in ClientHellos (OCSP stapling), and
+* ``Must-Staple`` extensions in received certificates.
+
+This module applies the same signals to a
+:class:`~repro.testbed.capture.GatewayCapture`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pki.revocation import RevocationMethod
+from ..testbed.capture import GatewayCapture
+
+__all__ = ["RevocationSummary", "analyze_revocation"]
+
+
+@dataclass
+class RevocationSummary:
+    """Devices per revocation method (Table 8) and the non-checkers."""
+
+    crl_devices: list[str] = field(default_factory=list)
+    ocsp_devices: list[str] = field(default_factory=list)
+    stapling_devices: list[str] = field(default_factory=list)
+    non_checking_devices: list[str] = field(default_factory=list)
+
+    @property
+    def checking_devices(self) -> set[str]:
+        return set(self.crl_devices) | set(self.ocsp_devices) | set(self.stapling_devices)
+
+    def table8_rows(self) -> list[tuple[str, str]]:
+        return [
+            (
+                "Certificate Revocation Lists (CRLs)",
+                f"{', '.join(self.crl_devices)} ({len(self.crl_devices)})",
+            ),
+            (
+                "Online Certificate Status Protocol (OCSP)",
+                f"{', '.join(self.ocsp_devices)} ({len(self.ocsp_devices)})",
+            ),
+            (
+                "OCSP Stapling",
+                f"{', '.join(self.stapling_devices)} ({len(self.stapling_devices)})",
+            ),
+        ]
+
+
+def analyze_revocation(capture: GatewayCapture) -> RevocationSummary:
+    """Scan a capture for the Table 8 revocation signals."""
+    summary = RevocationSummary()
+
+    crl: set[str] = set()
+    ocsp: set[str] = set()
+    for event in capture.revocation_events:
+        if event.method is RevocationMethod.CRL:
+            crl.add(event.device)
+        elif event.method is RevocationMethod.OCSP:
+            ocsp.add(event.device)
+
+    stapling: set[str] = set()
+    for record in capture.records:
+        if record.requests_ocsp_staple:
+            stapling.add(record.device)
+
+    all_devices = set(capture.devices())
+    summary.crl_devices = sorted(crl)
+    summary.ocsp_devices = sorted(ocsp)
+    summary.stapling_devices = sorted(stapling)
+    summary.non_checking_devices = sorted(all_devices - crl - ocsp - stapling)
+    return summary

@@ -1,0 +1,83 @@
+"""Root-store staleness analysis (Figure 4).
+
+For every deprecated root certificate a probed device still trusts, the
+figure tracks the year the certificate was removed from the reference
+platforms (taking the *latest* removal year when a certificate left
+several stores).  Devices with mass at old years (LG TV back to 2013)
+are not updating their root stores.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..core.prober import DeviceProbeReport
+from ..roothistory.universe import RootStoreUniverse
+
+__all__ = ["DeviceStaleness", "staleness_by_device", "distrusted_trusted_by"]
+
+
+@dataclass
+class DeviceStaleness:
+    """Removal-year histogram of one device's retained stale roots."""
+
+    device: str
+    removal_years: Counter
+
+    @property
+    def total_stale(self) -> int:
+        return sum(self.removal_years.values())
+
+    @property
+    def oldest_removal_year(self) -> int | None:
+        return min(self.removal_years) if self.removal_years else None
+
+    def histogram_rows(self) -> list[tuple[int, int]]:
+        return sorted(self.removal_years.items())
+
+
+def _latest_removal_year(universe: RootStoreUniverse, name: str) -> int | None:
+    """Latest removal year across platform histories (Fig 4's rule)."""
+    years = []
+    for history in universe.histories.values():
+        year = history.removal_year_of(name)
+        if year is not None:
+            years.append(int(year))
+    if years:
+        return max(years)
+    record = universe.records.get(name)
+    return record.removal_year if record else None
+
+
+def staleness_by_device(
+    reports: list[DeviceProbeReport], universe: RootStoreUniverse
+) -> list[DeviceStaleness]:
+    """Figure 4's data: per amenable device, removal-year histogram of
+    the deprecated roots the probe confirmed present."""
+    results = []
+    for report in reports:
+        if not report.calibration.amenable:
+            continue
+        years: Counter = Counter()
+        for name in report.present_deprecated_names():
+            year = _latest_removal_year(universe, name)
+            if year is not None:
+                years[year] += 1
+        results.append(DeviceStaleness(device=report.device, removal_years=years))
+    return results
+
+
+def distrusted_trusted_by(
+    reports: list[DeviceProbeReport], universe: RootStoreUniverse
+) -> dict[str, list[str]]:
+    """Which explicitly-distrusted CAs each probed device still trusts
+    (the paper: every probed device trusted at least one)."""
+    distrusted_names = {record.name for record in universe.distrusted_records()}
+    result = {}
+    for report in reports:
+        if not report.calibration.amenable:
+            continue
+        present = set(report.present_deprecated_names())
+        result[report.device] = sorted(present & distrusted_names)
+    return result

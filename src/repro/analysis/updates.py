@@ -1,0 +1,79 @@
+"""Update-cadence vs root-store-hygiene analysis (§5.2's closing point).
+
+The paper observes that devices in the testbed *were* able to receive
+regular updates during the study -- the LG TV was last updated July
+2019, the Roku TV September 2020, and the Google/Amazon assistants
+update automatically -- yet all probed devices retained deprecated
+roots.  "This suggests that some manufacturers are not updating root
+stores at the same cadence (if at all) as other software updates."
+
+This analysis joins each probed device's update discipline with its
+probe results to make that disconnect explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.prober import DeviceProbeReport
+from ..devices.catalog import device_by_name
+from ..devices.profile import ACTIVE_EXPERIMENT_MONTH, UpdatePolicy
+from ..longitudinal.adoption import month_label
+
+__all__ = ["UpdateHygiene", "update_vs_store_hygiene"]
+
+
+@dataclass(frozen=True)
+class UpdateHygiene:
+    """One probed device's update cadence next to its store staleness."""
+
+    device: str
+    update_policy: UpdatePolicy
+    last_update_month: int | None  # None = still updating at probe time
+    deprecated_present: int
+    deprecated_conclusive: int
+
+    @property
+    def months_since_update(self) -> int | None:
+        """Months between the last update and the active experiments."""
+        if self.last_update_month is None:
+            return 0
+        return max(0, ACTIVE_EXPERIMENT_MONTH - self.last_update_month)
+
+    @property
+    def updates_but_keeps_stale_roots(self) -> bool:
+        """The paper's disconnect: software updates flow, stale roots stay."""
+        recently_updated = (
+            self.update_policy is UpdatePolicy.AUTOMATIC or self.months_since_update == 0
+        )
+        return recently_updated and self.deprecated_present > 0
+
+    def describe(self) -> str:
+        if self.last_update_month is None:
+            cadence = f"{self.update_policy.value} updates through the probe date"
+        else:
+            cadence = f"last updated {month_label(self.last_update_month)}"
+        return (
+            f"{self.device}: {cadence}; still trusts "
+            f"{self.deprecated_present}/{self.deprecated_conclusive} deprecated roots"
+        )
+
+
+def update_vs_store_hygiene(reports: list[DeviceProbeReport]) -> list[UpdateHygiene]:
+    """Join probe results with the catalog's update metadata."""
+    rows = []
+    for report in reports:
+        if not report.calibration.amenable:
+            continue
+        profile = device_by_name(report.device)
+        present, conclusive = report.deprecated_tally
+        rows.append(
+            UpdateHygiene(
+                device=report.device,
+                update_policy=profile.update_policy,
+                last_update_month=profile.last_update_month,
+                deprecated_present=present,
+                deprecated_conclusive=conclusive,
+            )
+        )
+    return rows

@@ -1,0 +1,270 @@
+"""Command-line interface for the IoTLS reproduction.
+
+Subcommands map one-to-one onto the paper's experiments:
+
+* ``audit``        -- the full active campaign (Tables 5/6/7 + probing)
+* ``probe``        -- root-store exploration of one device (Table 9 row)
+* ``amenability``  -- the Table 4 library survey
+* ``trace``        -- generate the longitudinal capture and summarise
+                      Figures 1-3, adoption events, Table 8
+* ``fingerprint``  -- the Figure 5 shared-fingerprint analysis
+* ``devices``      -- list the Table 1 catalog
+
+Every subcommand accepts ``--json PATH`` to export machine-readable
+results alongside the printed report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import Sequence
+
+from .analysis import (
+    analyze_revocation,
+    compare_with_prior_work,
+    render_table,
+    table1_rows,
+)
+from .analysis.export import campaign_to_dict, capture_to_records, probe_report_to_dict, write_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="iotls",
+        description="IoTLS reproduction: TLS measurement experiments for consumer IoT devices",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    audit = subparsers.add_parser("audit", help="run the full active-experiment campaign")
+    audit.add_argument("--no-passthrough", action="store_true", help="skip the passthrough pass")
+    audit.add_argument("--json", metavar="PATH", help="export full results as JSON")
+
+    probe = subparsers.add_parser("probe", help="probe one device's root store")
+    probe.add_argument("device", help='device name, e.g. "LG TV"')
+    probe.add_argument("--json", metavar="PATH", help="export the probe report as JSON")
+
+    subparsers.add_parser("amenability", help="survey library alert behaviour (Table 4)")
+
+    trace = subparsers.add_parser("trace", help="generate the 27-month passive capture")
+    trace.add_argument("--scale", type=int, default=40, help="connections per weight-unit-month")
+    trace.add_argument("--json", metavar="PATH", help="export per-connection records as JSON")
+
+    subparsers.add_parser("fingerprint", help="shared-fingerprint analysis (Figure 5)")
+
+    subparsers.add_parser("devices", help="list the device catalog (Table 1)")
+
+    report = subparsers.add_parser(
+        "report", help="run everything and write a full markdown report"
+    )
+    report.add_argument("--out", default="REPORT.md", help="output path (default REPORT.md)")
+    report.add_argument("--scale", type=int, default=40, help="passive-trace scale")
+
+    pcap = subparsers.add_parser(
+        "pcap", help="export the passive capture's ClientHellos as a pcap file"
+    )
+    pcap.add_argument("--out", default="iotls.pcap", help="output path (default iotls.pcap)")
+    pcap.add_argument("--scale", type=int, default=10, help="passive-trace scale")
+    pcap.add_argument("--limit", type=int, default=None, help="max packets")
+
+    return parser
+
+
+def _cmd_audit(args) -> int:
+    from .core import ActiveExperimentCampaign
+
+    results = ActiveExperimentCampaign().run(include_passthrough=not args.no_passthrough)
+    rows = [
+        report.table7_row()
+        for report in results.interception
+        if report.vulnerable
+    ]
+    print("Vulnerable devices (Table 7):")
+    print(render_table(["Device", "NoValidation", "InvalidBC", "WrongHostname", "Vuln/Total"], rows))
+    print("\nDowngrading devices (Table 5):")
+    print(
+        render_table(
+            ["Device", "Failed", "Incomplete", "Behavior", "Ratio"],
+            [report.table5_row() for report in results.downgrade if report.downgrades],
+        )
+    )
+    print("\nRoot-store probing (Table 9):")
+    print(
+        render_table(
+            ["Device", "Common", "Deprecated"],
+            [report.table9_row() for report in results.amenable_probe_reports],
+        )
+    )
+    print(
+        f"\nsummary: {results.vulnerable_device_count} vulnerable, "
+        f"{results.sensitive_leak_count} leaking sensitive data, "
+        f"{results.downgrading_device_count} downgrading, "
+        f"{results.old_version_device_count} with old-version support, "
+        f"{len(results.amenable_probe_reports)} probe-amenable"
+    )
+    if results.passthrough:
+        extra = statistics.mean(outcome.extra_fraction for outcome in results.passthrough)
+        print(f"passthrough: {extra:.1%} extra destinations, "
+              f"{sum(o.new_validation_failures for o in results.passthrough)} new failures")
+    if args.json:
+        path = write_json(campaign_to_dict(results), args.json)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    from .core import RootStoreProber
+    from .devices import device_by_name
+    from .testbed import Testbed
+
+    try:
+        profile = device_by_name(args.device)
+    except KeyError:
+        print(f"error: unknown device {args.device!r}; try `iotls devices`", file=sys.stderr)
+        return 2
+    testbed = Testbed()
+    if not profile.rebootable:
+        print(f"error: {profile.name} is not suitable for repeated reboots", file=sys.stderr)
+        return 2
+    if not profile.active:
+        print(f"error: {profile.name} was passive-only (no active experiments)", file=sys.stderr)
+        return 2
+    report = RootStoreProber(testbed).probe_device(testbed.device(profile))
+    if not report.calibration.amenable:
+        print(f"{profile.name} is not amenable: {report.calibration.reason}")
+        return 1
+    name, common, deprecated = report.table9_row()
+    print(f"{name}: common {common}, deprecated {deprecated}")
+    distrusted = [
+        record.name
+        for record in testbed.universe.distrusted_records()
+        if record.name in set(report.present_deprecated_names())
+    ]
+    if distrusted:
+        print(f"explicitly distrusted CAs still trusted: {', '.join(distrusted)}")
+    if args.json:
+        path = write_json(probe_report_to_dict(report), args.json)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_amenability(_args) -> int:
+    from .core import survey_all_libraries
+
+    rows = [(*row.row(), "yes" if row.amenable else "no") for row in survey_all_libraries()]
+    print(render_table(["Library", "Known CA, bad signature", "Unknown CA", "Amenable"], rows))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .longitudinal import (
+        PassiveTraceGenerator,
+        build_insecure_advertised_heatmap,
+        build_strong_established_heatmap,
+        build_version_heatmap,
+        detect_adoption_events,
+    )
+
+    capture = PassiveTraceGenerator(scale=args.scale).generate()
+    total = sum(record.count for record in capture.records)
+    print(f"generated {total:,} connections ({len(capture)} flow records, "
+          f"{len(capture.devices())} devices)")
+    versions = build_version_heatmap(capture)
+    insecure = build_insecure_advertised_heatmap(capture)
+    strong = build_strong_established_heatmap(capture)
+    print(f"Figure 1: {len(versions.shown_devices())} devices shown, "
+          f"{len(versions.hidden_devices())} TLS1.2-exclusive")
+    print(f"Figure 2: {len(insecure.shown_devices())} insecure-advertisers, "
+          f"{len(insecure.hidden_devices())} clean")
+    print(f"Figure 3: {len(strong.hidden_devices())} always-forward-secret devices")
+    print("adoption events:")
+    for event in detect_adoption_events(capture):
+        print(f"  {event.describe()}")
+    summary = analyze_revocation(capture)
+    print(f"Table 8: CRL {len(summary.crl_devices)}, OCSP {len(summary.ocsp_devices)}, "
+          f"stapling {len(summary.stapling_devices)}, "
+          f"never {len(summary.non_checking_devices)}")
+    print(compare_with_prior_work(capture).summary())
+    if args.json:
+        path = write_json(capture_to_records(capture), args.json)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_fingerprint(_args) -> int:
+    from .fingerprint import (
+        build_reference_database,
+        build_shared_graph,
+        collect_device_fingerprints,
+    )
+    from .testbed import Testbed
+
+    testbed = Testbed()
+    collected = collect_device_fingerprints(testbed)
+    graph = build_shared_graph(collected, build_reference_database())
+    multi = sum(1 for c in collected if c.multiple_instances)
+    print(f"{len(collected)} devices fingerprinted: "
+          f"{len(collected) - multi} single-instance, {multi} multi-instance")
+    print(f"{len(graph.sharing_devices())} devices share a fingerprint with others")
+    for cluster in sorted(graph.device_clusters(), key=len, reverse=True):
+        print(f"  cluster: {', '.join(sorted(cluster))}")
+    openssl = graph.devices_sharing_with_application("openssl")
+    print(f"stock-OpenSSL matches: {', '.join(sorted(openssl))}")
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    print(render_table(["Category", "Device", "Passive-only"], table1_rows()))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .analysis.report import write_report
+    from .core import ActiveExperimentCampaign
+    from .longitudinal import PassiveTraceGenerator
+    from .testbed import Testbed
+
+    testbed = Testbed()
+    print("running active campaign...")
+    results = ActiveExperimentCampaign(testbed).run()
+    print("generating passive trace...")
+    capture = PassiveTraceGenerator(testbed, scale=args.scale).generate()
+    path = write_report(testbed, results, capture, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_pcap(args) -> int:
+    from .longitudinal import PassiveTraceGenerator
+    from .testbed.pcap import write_pcap
+
+    capture = PassiveTraceGenerator(scale=args.scale).generate()
+    path = write_pcap(capture, args.out, limit=args.limit)
+    packets = args.limit if args.limit is not None else len(capture)
+    print(f"wrote {min(packets, len(capture))} packets to {path} "
+          f"({path.stat().st_size:,} bytes)")
+    return 0
+
+
+_COMMANDS = {
+    "audit": _cmd_audit,
+    "pcap": _cmd_pcap,
+    "report": _cmd_report,
+    "probe": _cmd_probe,
+    "amenability": _cmd_amenability,
+    "trace": _cmd_trace,
+    "fingerprint": _cmd_fingerprint,
+    "devices": _cmd_devices,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

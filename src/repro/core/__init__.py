@@ -1,0 +1,56 @@
+"""The paper's primary contribution: probing + active audit pipeline."""
+
+from .amenability import LibraryAmenability, survey_all_libraries, test_library_amenability
+from .audit import ActiveExperimentCampaign, CampaignResults
+from .downgrade import (
+    DeviceDowngradeReport,
+    DowngradeAuditor,
+    DowngradeKind,
+    DowngradeObservation,
+    OldVersionSupport,
+    classify_downgrade,
+)
+from .interception import (
+    TABLE2_ATTACKS,
+    AttackResult,
+    DestinationAuditResult,
+    DeviceInterceptionReport,
+    InterceptionAuditor,
+)
+from .passthrough import PassthroughExperiment, PassthroughOutcome
+from .prober import (
+    AmenabilityCalibration,
+    CertificateProbeResult,
+    DeviceProbeReport,
+    ProbeOutcome,
+    RootStoreProber,
+)
+from .revocation_audit import RevocationAuditor, RevocationEnforcement
+
+__all__ = [
+    "ActiveExperimentCampaign",
+    "AmenabilityCalibration",
+    "AttackResult",
+    "CampaignResults",
+    "CertificateProbeResult",
+    "DestinationAuditResult",
+    "DeviceDowngradeReport",
+    "DeviceInterceptionReport",
+    "DeviceProbeReport",
+    "DowngradeAuditor",
+    "DowngradeKind",
+    "DowngradeObservation",
+    "InterceptionAuditor",
+    "LibraryAmenability",
+    "OldVersionSupport",
+    "PassthroughExperiment",
+    "PassthroughOutcome",
+    "ProbeOutcome",
+    "RevocationAuditor",
+    "RevocationEnforcement",
+    "RootStoreProber",
+    "TABLE2_ATTACKS",
+    "classify_downgrade",
+    "survey_all_libraries",
+    "test_library_amenability",
+]

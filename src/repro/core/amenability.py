@@ -1,0 +1,122 @@
+"""Library amenability testing (Table 4).
+
+The root-store probing technique works only when a client emits
+*different* TLS alerts for the two failure classes:
+
+* a certificate from a **known CA with an invalid signature** (the
+  spoofed-CA probe), and
+* a certificate from an **unknown CA**.
+
+This harness reproduces the paper's library survey: it drives each
+simulated library through both failure classes against a reference
+configuration and reports the observed alerts plus the amenability
+verdict.  The expected outcome is the paper's: MbedTLS and OpenSSL are
+amenable (2/6); Java and WolfSSL emit one alert for both cases; GNU TLS
+and Secure Transport send no alert at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from ..pki.certificate import CertificateAuthority
+from ..pki.name import DistinguishedName
+from ..pki.store import RootStore
+from ..tls.engine import perform_handshake
+from ..tls.versions import ProtocolVersion
+from ..tlslib.catalog import ALL_LIBRARIES
+from ..tlslib.library import ClientConfig, TLSLibrary
+from ..mitm.forge import AttackerToolbox
+from ..mitm.proxy import AttackMode, InterceptionProxy
+from ..devices.configs import FS_MODERN, RSA_PLAIN
+
+__all__ = ["LibraryAmenability", "test_library_amenability", "survey_all_libraries"]
+
+_PROBE_HOSTNAME = "amenability-probe.example"
+_PROBE_TIME = datetime(2021, 3, 15, tzinfo=timezone.utc)
+
+
+@dataclass(frozen=True)
+class LibraryAmenability:
+    """One Table 4 row."""
+
+    library: str
+    version: str
+    alert_known_ca_bad_signature: str | None
+    alert_unknown_ca: str | None
+    amenable: bool
+
+    def row(self) -> tuple[str, str, str]:
+        """Render as (library, bad-signature response, unknown-CA response)."""
+        def fmt(alert: str | None) -> str:
+            return alert.replace("_", " ").title().replace("Ca", "CA") if alert else "No Alert"
+
+        return (
+            f"{self.library} ({self.version})",
+            fmt(self.alert_known_ca_bad_signature),
+            fmt(self.alert_unknown_ca),
+        )
+
+
+def _reference_setup() -> tuple[RootStore, CertificateAuthority, AttackerToolbox]:
+    """A known root store plus an attacker toolbox for probing."""
+    trusted_ca = CertificateAuthority(
+        DistinguishedName(common_name="Amenability Reference Root", organization="IoTLS"),
+        seed=b"amenability-root",
+    )
+    store = RootStore.from_certificates("amenability-reference", [trusted_ca.certificate])
+    toolbox = AttackerToolbox(issuing_ca=trusted_ca)
+    return store, trusted_ca, toolbox
+
+
+def test_library_amenability(library: TLSLibrary) -> LibraryAmenability:
+    """Run the two §4.2 probes against one library."""
+    store, trusted_ca, toolbox = _reference_setup()
+    config = ClientConfig(
+        versions=(ProtocolVersion.TLS_1_2,),
+        cipher_codes=FS_MODERN + RSA_PLAIN,
+        root_store=store,
+    )
+
+    spoof_proxy = InterceptionProxy(
+        toolbox=toolbox, mode=AttackMode.SPOOFED_CA, target_root=trusted_ca.certificate
+    )
+    spoof_result = perform_handshake(
+        library.client(config), spoof_proxy, hostname=_PROBE_HOSTNAME, when=_PROBE_TIME
+    )
+
+    unknown_proxy = InterceptionProxy(toolbox=toolbox, mode=AttackMode.UNKNOWN_CA)
+    unknown_result = perform_handshake(
+        library.client(config), unknown_proxy, hostname=_PROBE_HOSTNAME, when=_PROBE_TIME
+    )
+
+    if spoof_result.established or unknown_result.established:
+        raise RuntimeError(
+            f"{library.name}: probe chain was accepted -- reference client must validate"
+        )
+
+    spoof_alert = (
+        spoof_result.client_alert.description.name.lower() if spoof_result.client_alert else None
+    )
+    unknown_alert = (
+        unknown_result.client_alert.description.name.lower()
+        if unknown_result.client_alert
+        else None
+    )
+    return LibraryAmenability(
+        library=library.name,
+        version=library.version,
+        alert_known_ca_bad_signature=spoof_alert,
+        alert_unknown_ca=unknown_alert,
+        amenable=(
+            spoof_alert is not None
+            and unknown_alert is not None
+            and spoof_alert != unknown_alert
+        ),
+    )
+
+
+def survey_all_libraries() -> list[LibraryAmenability]:
+    """The full Table 4 survey."""
+    return [test_library_amenability(library) for library in ALL_LIBRARIES]

@@ -1,0 +1,60 @@
+"""Behavioural models of the 40-device IoT testbed."""
+
+from .catalog import active_devices, build_catalog, device_by_name, passive_devices
+from .device import Device, DeviceConnection
+from .instance import ConnectionAttempt, InstanceConfigSpec, TLSInstance, TLSInstanceSpec
+from .policies import (
+    FallbackMode,
+    FallbackPolicy,
+    FallbackTrigger,
+    RevocationBehavior,
+    ValidationMode,
+    ValidationPolicy,
+)
+from .profile import (
+    ACTIVE_EXPERIMENT_MONTH,
+    STUDY_MONTHS,
+    DestinationSpec,
+    DeviceCategory,
+    DeviceProfile,
+    LongitudinalSpec,
+    Party,
+    ServerEpoch,
+    ServerSpec,
+    StoreProfile,
+    month_to_date,
+)
+from .rootstores import ANCHOR_COUNT, anchor_records, build_device_store
+
+__all__ = [
+    "ACTIVE_EXPERIMENT_MONTH",
+    "ANCHOR_COUNT",
+    "ConnectionAttempt",
+    "Device",
+    "DeviceCategory",
+    "DeviceConnection",
+    "DeviceProfile",
+    "DestinationSpec",
+    "FallbackMode",
+    "FallbackPolicy",
+    "FallbackTrigger",
+    "InstanceConfigSpec",
+    "LongitudinalSpec",
+    "Party",
+    "RevocationBehavior",
+    "STUDY_MONTHS",
+    "ServerEpoch",
+    "ServerSpec",
+    "StoreProfile",
+    "TLSInstance",
+    "TLSInstanceSpec",
+    "ValidationMode",
+    "ValidationPolicy",
+    "active_devices",
+    "anchor_records",
+    "build_catalog",
+    "build_device_store",
+    "device_by_name",
+    "month_to_date",
+    "passive_devices",
+]

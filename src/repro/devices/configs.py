@@ -1,0 +1,277 @@
+"""Shared cipher sets, instance configs and server specs for the catalog.
+
+These building blocks encode the *recurring* TLS shapes in the study:
+
+* cipher groups (forward-secret, plain-RSA, insecure-legacy, TLS 1.3),
+* the Amazon-family shared configuration (one fingerprint cluster),
+* stock-library configurations whose fingerprints match labelled entries
+  in the fingerprint database (OpenSSL, android-sdk, ...),
+* server-side profiles: RSA-preferring (the paper's "servers worse than
+  clients" finding), ECDHE-preferring, old-TLS-only (Samsung appliance
+  cloud), RC4-preferring legacy endpoints, and TLS 1.3 adopters.
+"""
+
+from __future__ import annotations
+
+from ..tls.ciphersuites import by_name
+from ..tls.extensions import NamedGroup, SignatureScheme
+from ..tls.versions import ProtocolVersion
+from .instance import InstanceConfigSpec
+from .profile import ServerEpoch, ServerSpec
+
+__all__ = [
+    "codes",
+    "FS_MODERN",
+    "RSA_PLAIN",
+    "WEAK_LEGACY",
+    "TLS13",
+    "ROKU_WIDE",
+    "V_LEGACY_12",
+    "V_12_ONLY",
+    "V_11_12",
+    "V_10_ONLY",
+    "V_12_13",
+    "amazon_config_a",
+    "amazon_config_b",
+    "openssl_stock_config",
+    "android_sdk_config",
+    "wolfssl_stock_config",
+    "srv_rsa_pref",
+    "srv_ecdhe_pref",
+    "srv_old_11",
+    "srv_old_11_fs",
+    "srv_rc4_pref",
+    "srv_tls13",
+    "srv_fs_adoption",
+]
+
+
+def codes(*names: str) -> tuple[int, ...]:
+    """Resolve ciphersuite names to IANA codepoints, preserving order."""
+    return tuple(by_name(name).code for name in names)
+
+
+# ---------------------------------------------------------------------------
+# Cipher groups
+# ---------------------------------------------------------------------------
+
+#: Forward-secret (strong) suites, AEAD first.
+FS_MODERN = codes(
+    "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256",
+    "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384",
+    "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256",
+)
+
+#: Plain RSA key-exchange suites (no forward secrecy, not insecure).
+RSA_PLAIN = codes(
+    "TLS_RSA_WITH_AES_128_GCM_SHA256",
+    "TLS_RSA_WITH_AES_256_GCM_SHA384",
+    "TLS_RSA_WITH_AES_128_CBC_SHA",
+    "TLS_RSA_WITH_AES_256_CBC_SHA",
+    "TLS_RSA_WITH_AES_128_CBC_SHA256",
+)
+
+#: The Figure 2 "insecure" suites (RC4 / 3DES / DES / EXPORT).
+WEAK_LEGACY = codes(
+    "TLS_RSA_WITH_RC4_128_SHA",
+    "TLS_RSA_WITH_RC4_128_MD5",
+    "TLS_RSA_WITH_3DES_EDE_CBC_SHA",
+    "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA",
+)
+
+#: TLS 1.3 suites (RFC 8446).
+TLS13 = codes(
+    "TLS_AES_128_GCM_SHA256",
+    "TLS_AES_256_GCM_SHA384",
+    "TLS_CHACHA20_POLY1305_SHA256",
+)
+
+# Roku's ClientHello offered 73 suites in the paper; our IANA registry
+# subset is smaller, so "wide" = every non-TLS1.3, non-NULL/ANON suite it
+# defines (documented substitution -- the *shape*, a very wide offer that
+# collapses to a single RC4 suite under fallback, is preserved).
+from ..tls.ciphersuites import REGISTRY as _REGISTRY
+
+ROKU_WIDE = tuple(
+    sorted(
+        suite.code
+        for suite in _REGISTRY.values()
+        if not suite.tls13_only and not suite.is_null_or_anon
+    )
+)
+
+# ---------------------------------------------------------------------------
+# Version tuples
+# ---------------------------------------------------------------------------
+
+V_LEGACY_12 = (ProtocolVersion.TLS_1_0, ProtocolVersion.TLS_1_1, ProtocolVersion.TLS_1_2)
+V_12_ONLY = (ProtocolVersion.TLS_1_2,)
+V_11_12 = (ProtocolVersion.TLS_1_1, ProtocolVersion.TLS_1_2)
+V_10_ONLY = (ProtocolVersion.TLS_1_0,)
+V_12_13 = (ProtocolVersion.TLS_1_2, ProtocolVersion.TLS_1_3)
+
+
+# ---------------------------------------------------------------------------
+# Named client configurations
+# ---------------------------------------------------------------------------
+
+def amazon_config_a(*, staple: bool) -> InstanceConfigSpec:
+    """The Amazon-family shared TLS configuration (fingerprint cluster).
+
+    Legacy versions enabled (Table 6) and insecure suites advertised
+    (Figure 2).  ``staple`` reflects Table 8: Fire TV, Echo Spot and
+    Echo Dot request OCSP staples; Echo Plus does not.
+    """
+    return InstanceConfigSpec(
+        versions=V_LEGACY_12,
+        cipher_codes=FS_MODERN + RSA_PLAIN + WEAK_LEGACY,
+        request_ocsp_staple=staple,
+        session_tickets=True,
+    )
+
+
+def amazon_config_b() -> InstanceConfigSpec:
+    """Echo Dot 3's newer configuration (smaller fingerprint overlap)."""
+    return InstanceConfigSpec(
+        versions=V_12_ONLY,
+        cipher_codes=FS_MODERN + RSA_PLAIN + codes("TLS_RSA_WITH_3DES_EDE_CBC_SHA"),
+        session_tickets=True,
+        groups=(NamedGroup.X25519, NamedGroup.SECP256R1, NamedGroup.SECP384R1),
+    )
+
+
+def openssl_stock_config(
+    *, legacy_versions: bool, staple: bool, weak: bool = True
+) -> InstanceConfigSpec:
+    """Stock OpenSSL-shaped configuration (matches the DB's openssl label)."""
+    suites = FS_MODERN + RSA_PLAIN + (WEAK_LEGACY if weak else ())
+    return InstanceConfigSpec(
+        versions=V_LEGACY_12 if legacy_versions else V_12_ONLY,
+        cipher_codes=suites,
+        request_ocsp_staple=staple,
+    )
+
+
+def android_sdk_config() -> InstanceConfigSpec:
+    """The android-sdk configuration Fire TV's dominant fingerprint matches.
+
+    Android dropped RC4 from its default set before the study window, so
+    this shape offers legacy 3DES-CBC but no RC4.
+    """
+    return InstanceConfigSpec(
+        versions=V_LEGACY_12,
+        cipher_codes=FS_MODERN + RSA_PLAIN + codes("TLS_RSA_WITH_3DES_EDE_CBC_SHA"),
+        alpn=("http/1.1",),
+    )
+
+
+def wolfssl_stock_config() -> InstanceConfigSpec:
+    """Minimal embedded configuration (clean: modern FS suites only)."""
+    return InstanceConfigSpec(
+        versions=V_12_ONLY,
+        cipher_codes=FS_MODERN[:6],
+        signature_schemes=(
+            SignatureScheme.RSA_PKCS1_SHA256,
+            SignatureScheme.ECDSA_SECP256R1_SHA256,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Server-side profiles
+# ---------------------------------------------------------------------------
+
+def srv_rsa_pref(*, anchor_index: int = 0, stapling: bool = False) -> ServerSpec:
+    """The common case: server supports modern TLS but *prefers* plain
+    RSA, so clients advertising forward secrecy still establish without
+    it (the Figure 3 gap)."""
+    return ServerSpec.static(
+        ServerEpoch(
+            versions=V_LEGACY_12,
+            cipher_codes=RSA_PLAIN + FS_MODERN + WEAK_LEGACY,
+        ),
+        anchor_index=anchor_index,
+        supports_stapling=stapling,
+    )
+
+
+def srv_ecdhe_pref(*, anchor_index: int = 0, stapling: bool = False) -> ServerSpec:
+    """A well-configured server: prefers ECDHE AEAD suites."""
+    return ServerSpec.static(
+        ServerEpoch(versions=V_LEGACY_12, cipher_codes=FS_MODERN + RSA_PLAIN),
+        anchor_index=anchor_index,
+        supports_stapling=stapling,
+    )
+
+
+def srv_old_11(*, anchor_index: int = 0) -> ServerSpec:
+    """Legacy cloud endpoint stuck at TLS 1.1 (Samsung appliance cloud)."""
+    return ServerSpec.static(
+        ServerEpoch(
+            versions=(ProtocolVersion.TLS_1_0, ProtocolVersion.TLS_1_1),
+            cipher_codes=RSA_PLAIN + WEAK_LEGACY,
+        ),
+        anchor_index=anchor_index,
+    )
+
+
+def srv_old_11_fs(*, anchor_index: int = 0) -> ServerSpec:
+    """A legacy endpoint stuck below TLS 1.2 that nonetheless prefers
+    ECDHE-CBC suites (forward secrecy works fine at TLS 1.0/1.1)."""
+    return ServerSpec.static(
+        ServerEpoch(
+            versions=(ProtocolVersion.TLS_1_0, ProtocolVersion.TLS_1_1),
+            cipher_codes=FS_MODERN[5:8] + RSA_PLAIN,
+        ),
+        anchor_index=anchor_index,
+    )
+
+
+def srv_rc4_pref(*, anchor_index: int = 0) -> ServerSpec:
+    """A badly-maintained endpoint that prefers RC4 (the two devices that
+    *established* insecure suites did so against endpoints like this)."""
+    return ServerSpec.static(
+        ServerEpoch(
+            versions=V_LEGACY_12,
+            cipher_codes=codes("TLS_RSA_WITH_RC4_128_SHA") + RSA_PLAIN,
+        ),
+        anchor_index=anchor_index,
+    )
+
+
+def srv_tls13(*, from_month: int, anchor_index: int = 0, stapling: bool = False) -> ServerSpec:
+    """A server that adds TLS 1.3 support at ``from_month``."""
+    return ServerSpec(
+        timeline=(
+            (0, ServerEpoch(versions=V_LEGACY_12, cipher_codes=FS_MODERN + RSA_PLAIN)),
+            (
+                from_month,
+                ServerEpoch(
+                    versions=V_LEGACY_12 + (ProtocolVersion.TLS_1_3,),
+                    cipher_codes=TLS13 + FS_MODERN + RSA_PLAIN,
+                ),
+            ),
+        ),
+        anchor_index=anchor_index,
+        supports_stapling=stapling,
+    )
+
+
+def srv_fs_adoption(*, from_month: int, anchor_index: int = 0, stapling: bool = False) -> ServerSpec:
+    """A server that switches its preference from plain RSA to ECDHE at
+    ``from_month`` -- how the Figure 3 adoption events (Ring 4/2018,
+    Apple TV 3/2019, Wink & Blink 10/2019, HomePod 1/2020) surface in
+    *established* connections."""
+    return ServerSpec(
+        timeline=(
+            (0, ServerEpoch(versions=V_LEGACY_12, cipher_codes=RSA_PLAIN + FS_MODERN + WEAK_LEGACY)),
+            (from_month, ServerEpoch(versions=V_LEGACY_12, cipher_codes=FS_MODERN + RSA_PLAIN)),
+        ),
+        anchor_index=anchor_index,
+        supports_stapling=stapling,
+    )

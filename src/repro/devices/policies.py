@@ -1,0 +1,189 @@
+"""Device-level TLS behaviour policies.
+
+Three policy families capture the per-device behaviours the paper
+measures:
+
+* :class:`ValidationPolicy` -- whether/how a device validates server
+  certificates (Table 7's vulnerability classes, including the
+  Yi Camera's disable-after-3-failures behaviour),
+* :class:`FallbackPolicy` -- whether a device retries failed handshakes
+  with downgraded security, and what the downgrade looks like (Table 5),
+* :class:`RevocationBehavior` -- which revocation-checking methods the
+  device's instances use (Table 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..pki.revocation import RevocationMethod
+from ..tls.ciphersuites import by_name
+from ..tls.extensions import SignatureScheme
+from ..tls.versions import ProtocolVersion
+
+__all__ = [
+    "ValidationMode",
+    "ValidationPolicy",
+    "FallbackTrigger",
+    "FallbackMode",
+    "FallbackPolicy",
+    "RevocationBehavior",
+]
+
+
+class ValidationMode(Enum):
+    """How a TLS instance validates server certificates."""
+
+    FULL = "full"  # chain + hostname + constraints
+    NO_HOSTNAME = "no_hostname"  # chain only (the Amazon-family flaw)
+    NONE = "none"  # accepts anything (7 devices in Table 7)
+
+
+@dataclass(frozen=True)
+class ValidationPolicy:
+    """Validation mode plus failure-triggered degradation.
+
+    ``disable_after_failures`` reproduces the Yi Camera behaviour the
+    paper highlights: "disables certificate validation completely upon 3
+    consecutive failed connections".
+    """
+
+    mode: ValidationMode = ValidationMode.FULL
+    disable_after_failures: int | None = None
+
+    @property
+    def validates(self) -> bool:
+        return self.mode is not ValidationMode.NONE
+
+    @property
+    def checks_hostname(self) -> bool:
+        return self.mode is ValidationMode.FULL
+
+
+class FallbackTrigger(Enum):
+    """Which connection failures trigger a security downgrade (Table 5)."""
+
+    INCOMPLETE_HANDSHAKE = "incomplete_handshake"  # no ServerHello at all
+    FAILED_HANDSHAKE = "failed_handshake"  # handshake error/alert
+
+
+class FallbackMode(Enum):
+    """The downgrade shapes observed in Table 5."""
+
+    SSL3 = "ssl3"  # Amazon family: retry offering SSL 3.0
+    TLS10 = "tls10"  # Apple HomePod: retry offering TLS 1.0
+    WEAK_CIPHER = "weak_cipher"  # Google Home Mini: 3DES + SHA-1 sigs
+    SINGLE_RC4 = "single_rc4"  # Roku TV: 73 suites -> just RC4-SHA
+
+
+@dataclass(frozen=True)
+class FallbackPolicy:
+    """A device's downgrade-on-failure behaviour.
+
+    ``send_fallback_scsv`` marks retries with TLS_FALLBACK_SCSV
+    (RFC 7507) so conforming servers can refuse the downgrade; none of
+    the study's downgrading devices did this, which is what makes their
+    fallbacks exploitable.
+    """
+
+    mode: FallbackMode
+    triggers: frozenset[FallbackTrigger] = frozenset(
+        {FallbackTrigger.INCOMPLETE_HANDSHAKE}
+    )
+    max_retries: int = 1
+    send_fallback_scsv: bool = False
+
+    def triggered_by(self, trigger: FallbackTrigger) -> bool:
+        return trigger in self.triggers
+
+    def apply(self, config):
+        """Return the downgraded :class:`~repro.tlslib.ClientConfig`."""
+        downgraded = self._apply_mode(config)
+        if self.send_fallback_scsv:
+            from ..tls.ciphersuites import TLS_FALLBACK_SCSV
+
+            downgraded = downgraded.downgraded(
+                cipher_codes=downgraded.cipher_codes + (TLS_FALLBACK_SCSV,)
+            )
+        return downgraded
+
+    def _apply_mode(self, config):
+        if self.mode is FallbackMode.SSL3:
+            return config.downgraded(
+                versions=(ProtocolVersion.SSL_3_0,),
+                cipher_codes=tuple(
+                    code
+                    for code in config.cipher_codes
+                    # SSL 3.0 predates TLS 1.3 suites and most AEAD modes.
+                    if not _is_tls13_code(code)
+                ),
+            )
+        if self.mode is FallbackMode.TLS10:
+            return config.downgraded(
+                versions=(ProtocolVersion.TLS_1_0,),
+                cipher_codes=tuple(
+                    code for code in config.cipher_codes if not _is_tls13_code(code)
+                ),
+            )
+        if self.mode is FallbackMode.WEAK_CIPHER:
+            weak = by_name("TLS_RSA_WITH_3DES_EDE_CBC_SHA")
+            return config.downgraded(
+                cipher_codes=(*config.cipher_codes, weak.code),
+                signature_schemes=(*config.signature_schemes, SignatureScheme.RSA_PKCS1_SHA1),
+            )
+        if self.mode is FallbackMode.SINGLE_RC4:
+            rc4 = by_name("TLS_RSA_WITH_RC4_128_SHA")
+            return config.downgraded(cipher_codes=(rc4.code,))
+        raise AssertionError(f"unhandled fallback mode {self.mode}")  # pragma: no cover
+
+    def describe(self) -> str:
+        """The Table 5 'Behavior' column text."""
+        descriptions = {
+            FallbackMode.SSL3: "Falls back to using SSL 3.0",
+            FallbackMode.TLS10: "Falls back to using TLS 1.0",
+            FallbackMode.WEAK_CIPHER: (
+                "Falls back to supporting a weaker ciphersuite and signature "
+                "algorithm (TLS_RSA_WITH_3DES_EDE_CBC_SHA and RSA_PKCS1_SHA1)"
+            ),
+            FallbackMode.SINGLE_RC4: (
+                "Falls back from offering many ciphersuites to just 1 "
+                "(TLS_RSA_WITH_RC4_128_SHA)"
+            ),
+        }
+        return descriptions[self.mode]
+
+
+def _is_tls13_code(code: int) -> bool:
+    return 0x1301 <= code <= 0x1305
+
+
+@dataclass(frozen=True)
+class RevocationBehavior:
+    """Which revocation-checking methods a device ever uses (Table 8)."""
+
+    methods: frozenset[RevocationMethod] = frozenset()
+
+    @property
+    def checks_any(self) -> bool:
+        return bool(self.methods - {RevocationMethod.NONE})
+
+    @property
+    def uses_crl(self) -> bool:
+        return RevocationMethod.CRL in self.methods
+
+    @property
+    def uses_ocsp(self) -> bool:
+        return RevocationMethod.OCSP in self.methods
+
+    @property
+    def uses_stapling(self) -> bool:
+        return RevocationMethod.OCSP_STAPLING in self.methods
+
+    @classmethod
+    def none(cls) -> "RevocationBehavior":
+        return cls()
+
+    @classmethod
+    def of(cls, *methods: RevocationMethod) -> "RevocationBehavior":
+        return cls(methods=frozenset(methods))

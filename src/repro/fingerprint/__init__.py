@@ -1,0 +1,18 @@
+"""TLS fingerprinting: JA3-style digests, labelled database, Fig 5 graph."""
+
+from .collect import DeviceFingerprints, collect_device_fingerprints
+from .database import DATABASE_SIZE, FingerprintDatabase, build_reference_database
+from .graph import SharedFingerprintGraph, build_shared_graph
+from .ja3 import fingerprint, ja3_string
+
+__all__ = [
+    "DATABASE_SIZE",
+    "DeviceFingerprints",
+    "FingerprintDatabase",
+    "SharedFingerprintGraph",
+    "build_reference_database",
+    "build_shared_graph",
+    "collect_device_fingerprints",
+    "fingerprint",
+    "ja3_string",
+]

@@ -1,0 +1,65 @@
+"""Collecting device fingerprints from active experiments (§5.3).
+
+Fingerprints are generated "in the same way as done during the database
+compilation": each active device is rebooted against the genuine cloud
+servers and every boot-time ClientHello is fingerprinted.  Because
+libraries can be updated over time, only the active-experiment snapshot
+(March 2021) is used -- exactly the paper's scoping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..devices.catalog import active_devices
+from ..devices.profile import ACTIVE_EXPERIMENT_MONTH
+from ..testbed.infrastructure import Testbed
+from .ja3 import fingerprint
+
+__all__ = ["DeviceFingerprints", "collect_device_fingerprints"]
+
+
+@dataclass
+class DeviceFingerprints:
+    """Fingerprint usage counts for one device's active-experiment traffic."""
+
+    device: str
+    usage: Counter = field(default_factory=Counter)
+
+    @property
+    def distinct(self) -> set[str]:
+        return set(self.usage)
+
+    @property
+    def multiple_instances(self) -> bool:
+        """More than one fingerprint => likely multiple TLS instances."""
+        return len(self.usage) > 1
+
+    @property
+    def dominant(self) -> str | None:
+        """The most-used fingerprint (the thick edge in Figure 5)."""
+        if not self.usage:
+            return None
+        return self.usage.most_common(1)[0][0]
+
+
+def collect_device_fingerprints(
+    testbed: Testbed, *, reboots: int = 3
+) -> list[DeviceFingerprints]:
+    """Fingerprint every active device's boot traffic."""
+    results = []
+    for profile in active_devices():
+        device = testbed.device(profile)
+        collected = DeviceFingerprints(device=profile.name)
+        for _ in range(reboots):
+            connections = device.boot(
+                lambda destination: testbed.server_for(destination),
+                month=ACTIVE_EXPERIMENT_MONTH,
+            )
+            for connection in connections:
+                weight = connection.destination.monthly_weight
+                hello = connection.attempt.attempts[0].client_hello
+                collected.usage[fingerprint(hello)] += max(1, round(weight))
+        results.append(collected)
+    return results

@@ -1,0 +1,49 @@
+"""JA3-style TLS client fingerprinting.
+
+A fingerprint is computed from exactly the ClientHello features the JA3
+convention (and the Kotzias et al. database the paper matched against)
+uses:
+
+``SSLVersion , CipherSuites , ExtensionTypes , EllipticCurves , PointFormats``
+
+joined with ``-`` within fields and ``,`` between fields, then hashed.
+GREASE values are skipped, and extension *values* (e.g. the SNI
+hostname) do not participate -- only types and the two curve/format
+lists -- so the same TLS instance produces the same fingerprint for
+every destination.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..tls.ciphersuites import GREASE_CODEPOINTS
+from ..tls.extensions import ExtensionType
+from ..tls.messages import ClientHello
+
+__all__ = ["ja3_string", "fingerprint"]
+
+
+def ja3_string(hello: ClientHello) -> str:
+    """The canonical pre-hash JA3 string for a ClientHello."""
+    version = hello.legacy_version.wire[0] * 256 + hello.legacy_version.wire[1]
+    ciphers = "-".join(
+        str(code) for code in hello.cipher_codes if code not in GREASE_CODEPOINTS
+    )
+    extensions = "-".join(str(ext.extension_type.value) for ext in hello.extensions)
+
+    groups = ""
+    formats = ""
+    for ext in hello.extensions:
+        if ext.extension_type is ExtensionType.SUPPORTED_GROUPS:
+            groups = "-".join(
+                str(value) for value in ext.data if value not in GREASE_CODEPOINTS
+            )
+        elif ext.extension_type is ExtensionType.EC_POINT_FORMATS:
+            formats = "-".join(str(value) for value in ext.data)
+    return f"{version},{ciphers},{extensions},{groups},{formats}"
+
+
+def fingerprint(hello: ClientHello) -> str:
+    """The fingerprint digest (hex MD5, as JA3 specifies)."""
+    return hashlib.md5(ja3_string(hello).encode()).hexdigest()

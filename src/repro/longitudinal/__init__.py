@@ -1,0 +1,27 @@
+"""Longitudinal passive-trace generation and monthly analyses."""
+
+from .adoption import AdoptionEvent, AdoptionKind, detect_adoption_events, month_label
+from .generator import DEFAULT_SCALE, PassiveTraceGenerator
+from .heatmaps import (
+    DeviceMonthSeries,
+    FractionHeatmap,
+    VersionHeatmap,
+    build_insecure_advertised_heatmap,
+    build_strong_established_heatmap,
+    build_version_heatmap,
+)
+
+__all__ = [
+    "AdoptionEvent",
+    "AdoptionKind",
+    "DEFAULT_SCALE",
+    "DeviceMonthSeries",
+    "FractionHeatmap",
+    "PassiveTraceGenerator",
+    "VersionHeatmap",
+    "build_insecure_advertised_heatmap",
+    "build_strong_established_heatmap",
+    "build_version_heatmap",
+    "detect_adoption_events",
+    "month_label",
+]

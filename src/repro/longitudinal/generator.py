@@ -1,0 +1,132 @@
+"""Passive-trace generation: the two-year uncontrolled dataset (§4.1).
+
+The study recorded testbed traffic from January 2018 through March 2020
+(≈17M TLS connections; every device active for at least 6 months).  The
+generator replays that period: for every (device, destination, month)
+triple inside the device's activity window it performs a *real*
+handshake against the genuine cloud server -- with the instance and
+server configurations in effect that month -- and records the outcome
+with a connection count drawn from the destination's weight.
+
+Everything is seeded, so two runs yield identical captures.  ``scale``
+sets connections-per-weight-unit-per-month; the default keeps analyses
+fast, while benchmarks raise it toward the study's full volume.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..devices.catalog import passive_devices
+from ..devices.device import Device
+from ..devices.profile import STUDY_MONTHS, DestinationSpec, DeviceProfile, month_to_date
+from ..pki.revocation import RevocationMethod
+from ..roothistory.universe import RootStoreUniverse
+from ..testbed.capture import GatewayCapture, RevocationEvent, TrafficRecord
+from ..testbed.infrastructure import Testbed
+
+__all__ = ["PassiveTraceGenerator", "DEFAULT_SCALE"]
+
+#: Connections per unit of destination weight per month.
+DEFAULT_SCALE = 40
+
+
+class PassiveTraceGenerator:
+    """Seeded generator of the longitudinal passive capture."""
+
+    def __init__(
+        self,
+        testbed: Testbed | None = None,
+        *,
+        scale: int = DEFAULT_SCALE,
+        seed: str = "iotls-passive",
+    ) -> None:
+        self.testbed = testbed or Testbed()
+        self.scale = scale
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _flow_count(self, device: str, hostname: str, month: int, weight: float) -> int:
+        rng = random.Random(f"{self.seed}:{device}:{hostname}:{month}")
+        jitter = 0.7 + 0.6 * rng.random()
+        return max(1, round(weight * self.scale * jitter))
+
+    def _destination_active(self, destination: DestinationSpec, month: int) -> bool:
+        if destination.active_months is None:
+            return True
+        first, last = destination.active_months
+        return first <= month <= last
+
+    # ------------------------------------------------------------------
+    def generate_device(self, profile: DeviceProfile, capture: GatewayCapture) -> None:
+        device = self.testbed.device(profile)
+        window = profile.longitudinal
+        for month in range(STUDY_MONTHS):
+            if not window.active_in(month):
+                continue
+            when = month_to_date(month)
+            for destination in profile.destinations:
+                if not self._destination_active(destination, month):
+                    continue
+                server = self.testbed.server_for(destination)
+                connection = device.connect_destination(
+                    destination, server, month=month, when=when
+                )
+                count = self._flow_count(
+                    profile.name, destination.hostname, month, destination.monthly_weight
+                )
+                for index, result in enumerate(connection.attempt.attempts):
+                    alert = result.client_alert
+                    capture.add(
+                        TrafficRecord(
+                            device=profile.name,
+                            hostname=destination.hostname,
+                            party=destination.party,
+                            month=month,
+                            when=when,
+                            client_hello=result.client_hello,
+                            established=result.established,
+                            established_version=result.established_version,
+                            established_cipher_code=result.established_cipher_code,
+                            client_alert=alert.description.name.lower() if alert else None,
+                            downgraded=index > 0,
+                            count=count,
+                        )
+                    )
+            self._emit_revocation_events(profile, month, capture)
+
+    def _emit_revocation_events(
+        self, profile: DeviceProfile, month: int, capture: GatewayCapture
+    ) -> None:
+        """CRL fetches / OCSP queries the device's checking produces."""
+        behavior = profile.revocation
+        if behavior.uses_crl:
+            registry = self.testbed.registry(0)
+            registry.current_crl(when=month_to_date(month))
+            capture.add_revocation_event(
+                RevocationEvent(
+                    device=profile.name,
+                    method=RevocationMethod.CRL,
+                    url=registry.crl_url,
+                    month=month,
+                )
+            )
+        if behavior.uses_ocsp:
+            registry = self.testbed.registry(0)
+            registry.ocsp.respond(serial=1, when=month_to_date(month))
+            capture.add_revocation_event(
+                RevocationEvent(
+                    device=profile.name,
+                    method=RevocationMethod.OCSP,
+                    url=registry.ocsp_url,
+                    month=month,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def generate(self) -> GatewayCapture:
+        """The full 27-month capture for all 40 devices."""
+        capture = GatewayCapture()
+        for profile in passive_devices():
+            self.generate_device(profile, capture)
+        return capture

@@ -1,0 +1,244 @@
+"""Monthly heatmap matrices for Figures 1, 2 and 3.
+
+Each figure is a (device x month) grid of connection fractions:
+
+* Figure 1 -- for each device, *three* rows (TLS 1.3 / TLS 1.2 / older),
+  separately for versions **advertised** in ClientHellos and versions
+  **established** in ServerHellos,
+* Figure 2 -- fraction of connections whose ClientHello advertises an
+  insecure ciphersuite (DES / 3DES / RC4 / EXPORT); lower is better,
+* Figure 3 -- fraction of established connections using a forward-secret
+  (DHE / ECDHE / TLS 1.3) suite; higher is better.
+
+Cells for months where a device produced no traffic are ``None`` (the
+paper's gray cells).  The "not shown" filters reproduce the figures'
+device-selection rules (e.g. the 28 devices that used TLS 1.2 for the
+vast majority of advertised *and* established connections are omitted
+from Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..devices.profile import STUDY_MONTHS
+from ..testbed.capture import GatewayCapture, TrafficRecord
+from ..tls.ciphersuites import REGISTRY
+from ..tls.versions import VersionBand
+
+__all__ = [
+    "DeviceMonthSeries",
+    "VersionHeatmap",
+    "FractionHeatmap",
+    "build_version_heatmap",
+    "build_insecure_advertised_heatmap",
+    "build_strong_established_heatmap",
+]
+
+#: Threshold for "vast majority" when filtering devices out of a figure.
+_VAST_MAJORITY = 0.95
+
+
+@dataclass
+class DeviceMonthSeries:
+    """One device's monthly fraction series (None = no traffic)."""
+
+    device: str
+    values: list[float | None] = field(default_factory=lambda: [None] * STUDY_MONTHS)
+
+    def active_values(self) -> list[float]:
+        return [v for v in self.values if v is not None]
+
+    def max_fraction(self) -> float:
+        active = self.active_values()
+        return max(active) if active else 0.0
+
+    def first_month_reaching(self, threshold: float) -> int | None:
+        """First month where the fraction reaches ``threshold`` (event
+        detection for the adoption analyses)."""
+        for month, value in enumerate(self.values):
+            if value is not None and value >= threshold:
+                return month
+        return None
+
+    def last_month_reaching(self, threshold: float) -> int | None:
+        last = None
+        for month, value in enumerate(self.values):
+            if value is not None and value >= threshold:
+                last = month
+        return last
+
+
+def _group_by_device_month(
+    capture: GatewayCapture,
+) -> dict[str, dict[int, list[TrafficRecord]]]:
+    grouped: dict[str, dict[int, list[TrafficRecord]]] = {}
+    for record in capture.records:
+        grouped.setdefault(record.device, {}).setdefault(record.month, []).append(record)
+    return grouped
+
+
+def _fraction_series(
+    capture: GatewayCapture,
+    predicate,
+    *,
+    denominator_predicate=None,
+) -> dict[str, DeviceMonthSeries]:
+    """Per-device monthly fraction of records satisfying ``predicate``."""
+    series: dict[str, DeviceMonthSeries] = {}
+    for device, months in _group_by_device_month(capture).items():
+        device_series = DeviceMonthSeries(device=device)
+        for month, records in months.items():
+            if denominator_predicate is not None:
+                records = [r for r in records if denominator_predicate(r)]
+            total = sum(r.count for r in records)
+            if total == 0:
+                continue
+            hits = sum(r.count for r in records if predicate(r))
+            device_series.values[month] = hits / total
+        series[device] = device_series
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Figure 1
+# ---------------------------------------------------------------------------
+
+@dataclass
+class VersionHeatmap:
+    """Figure 1's data: per-band advertised and established series."""
+
+    advertised: dict[VersionBand, dict[str, DeviceMonthSeries]]
+    established: dict[VersionBand, dict[str, DeviceMonthSeries]]
+    devices: list[str]
+
+    def shown_devices(self) -> list[str]:
+        """Devices that did NOT use TLS 1.2 (near-)exclusively."""
+        shown = []
+        for device in self.devices:
+            non12 = 0.0
+            for band in (VersionBand.TLS_1_3, VersionBand.OLDER):
+                for table in (self.advertised, self.established):
+                    series = table[band].get(device)
+                    if series is not None:
+                        non12 = max(non12, series.max_fraction())
+            if non12 > 1 - _VAST_MAJORITY:
+                shown.append(device)
+        return shown
+
+    def hidden_devices(self) -> list[str]:
+        """The paper's "28 devices ... not shown in this figure"."""
+        shown = set(self.shown_devices())
+        return [device for device in self.devices if device not in shown]
+
+    def matrix(self, band: VersionBand, *, established: bool) -> np.ndarray:
+        """(device x month) array with NaN for no-traffic cells."""
+        table = self.established if established else self.advertised
+        rows = []
+        for device in self.devices:
+            series = table[band].get(device, DeviceMonthSeries(device))
+            rows.append([np.nan if v is None else v for v in series.values])
+        return np.array(rows, dtype=float)
+
+
+def build_version_heatmap(capture: GatewayCapture) -> VersionHeatmap:
+    advertised = {}
+    established = {}
+    for band in VersionBand:
+        advertised[band] = _fraction_series(
+            capture, lambda r, b=band: r.advertised_max_version.band is b
+        )
+        established[band] = _fraction_series(
+            capture,
+            lambda r, b=band: r.established_version is not None
+            and r.established_version.band is b,
+            denominator_predicate=lambda r: r.established,
+        )
+    return VersionHeatmap(
+        advertised=advertised, established=established, devices=capture.devices()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 2 and 3
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FractionHeatmap:
+    """A single (device x month) fraction grid with a shown/hidden rule."""
+
+    series: dict[str, DeviceMonthSeries]
+    devices: list[str]
+    #: Devices are hidden when their max monthly fraction stays on the
+    #: "good" side of this threshold...
+    threshold: float
+    #: ...where "good" means below the threshold (Fig 2) or above it (Fig 3).
+    hide_when_low: bool
+
+    def shown_devices(self) -> list[str]:
+        shown = []
+        for device in self.devices:
+            series = self.series.get(device)
+            if series is None:
+                continue
+            active = series.active_values()
+            if not active:
+                continue
+            if self.hide_when_low:
+                if max(active) >= self.threshold:
+                    shown.append(device)
+            else:
+                if min(active) <= self.threshold:
+                    shown.append(device)
+        return shown
+
+    def hidden_devices(self) -> list[str]:
+        shown = set(self.shown_devices())
+        return [device for device in self.devices if device not in shown]
+
+    def matrix(self) -> np.ndarray:
+        rows = []
+        for device in self.devices:
+            series = self.series.get(device, DeviceMonthSeries(device))
+            rows.append([np.nan if v is None else v for v in series.values])
+        return np.array(rows, dtype=float)
+
+
+def _advertises_insecure(record: TrafficRecord) -> bool:
+    return record.client_hello.advertises_insecure_cipher
+
+
+def _established_strong(record: TrafficRecord) -> bool:
+    code = record.established_cipher_code
+    return code is not None and REGISTRY[code].forward_secret
+
+
+def build_insecure_advertised_heatmap(capture: GatewayCapture) -> FractionHeatmap:
+    """Figure 2: devices *advertising* insecure suites (lower is better).
+
+    Devices that rarely advertise such suites (max monthly fraction
+    under 5%) are not shown, matching the figure's "6 devices ... not
+    shown" rule.
+    """
+    return FractionHeatmap(
+        series=_fraction_series(capture, _advertises_insecure),
+        devices=capture.devices(),
+        threshold=0.05,
+        hide_when_low=True,
+    )
+
+
+def build_strong_established_heatmap(capture: GatewayCapture) -> FractionHeatmap:
+    """Figure 3: devices *establishing* forward-secret suites (higher is
+    better).  Devices whose connections are virtually always strong are
+    not shown ("18 devices ... not shown")."""
+    return FractionHeatmap(
+        series=_fraction_series(
+            capture, _established_strong, denominator_predicate=lambda r: r.established
+        ),
+        devices=capture.devices(),
+        threshold=_VAST_MAJORITY,
+        hide_when_low=False,
+    )

@@ -1,0 +1,45 @@
+"""Mitigations from the paper's §6 recommendations, as runnable systems.
+
+* :mod:`repro.mitigations.pinning` -- certificate pinning (leaf vs root,
+  with the paper's caveats testable),
+* :mod:`repro.mitigations.audit_service` -- the vendor-facing TLS audit
+  endpoint devices call at each boot,
+* :mod:`repro.mitigations.guardian` -- the user-side in-home component
+  that pauses insecure connections,
+* :mod:`repro.mitigations.secure_service` -- TLS as an OS service: one
+  uniform, validated instance per device.
+"""
+
+from .audit_service import (
+    DEFAULT_ADVISORIES,
+    Advisory,
+    AuditFinding,
+    Severity,
+    TLSAuditService,
+)
+from .guardian import GuardianPolicy, InHomeGuardian, PausedConnection
+from .pinning import PinSet, PinTarget, PinnedClient, pin_leaf, pin_root
+from .secure_service import (
+    SECURE_SERVICE_INSTANCE,
+    harden_device,
+    secure_service_instance,
+)
+
+__all__ = [
+    "Advisory",
+    "AuditFinding",
+    "DEFAULT_ADVISORIES",
+    "GuardianPolicy",
+    "InHomeGuardian",
+    "PausedConnection",
+    "PinSet",
+    "PinTarget",
+    "PinnedClient",
+    "SECURE_SERVICE_INSTANCE",
+    "Severity",
+    "TLSAuditService",
+    "harden_device",
+    "pin_leaf",
+    "pin_root",
+    "secure_service_instance",
+]

@@ -1,0 +1,201 @@
+"""A vendor-facing TLS auditing service (§6, "Recommendations").
+
+The paper proposes "an internal or third-party auditing service" that
+devices contact at regular intervals (e.g. once every reboot); the
+service inspects the security of those connections -- the ciphersuites
+and versions offered during the handshake -- and alerts manufacturers as
+new attacks appear.
+
+:class:`TLSAuditService` implements that endpoint.  It accepts every
+connection (it is a cooperating server, not an attacker), grades each
+observed ClientHello against an evolving advisory set, and keeps a
+per-device finding history a manufacturer could subscribe to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+
+from ..pki.certificate import Certificate, CertificateAuthority
+from ..pki.simcrypto import KeyPair
+from ..tls.ciphersuites import REGISTRY
+from ..tls.engine import negotiate
+from ..tls.messages import ClientHello, ServerResponse
+from ..tls.versions import ProtocolVersion
+
+__all__ = ["Severity", "AuditFinding", "Advisory", "DEFAULT_ADVISORIES", "TLSAuditService"]
+
+
+class Severity(Enum):
+    INFO = "info"
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One graded observation about a device's hello."""
+
+    device: str
+    advisory: str
+    severity: Severity
+    detail: str
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """A named check over a ClientHello; the advisory set grows as new
+    attacks are published, which is the service's whole point."""
+
+    name: str
+    severity: Severity
+    check: callable  # ClientHello -> str | None (detail when triggered)
+
+
+def _offers_version_below(hello: ClientHello, floor: ProtocolVersion) -> bool:
+    return hello.max_version < floor
+
+
+def _advisory_legacy_version(hello: ClientHello) -> str | None:
+    if _offers_version_below(hello, ProtocolVersion.TLS_1_2):
+        return f"maximum offered version is {hello.max_version.label}"
+    return None
+
+
+def _advisory_no_tls13(hello: ClientHello) -> str | None:
+    if ProtocolVersion.TLS_1_3 not in hello.advertised_versions():
+        return "TLS 1.3 not offered"
+    return None
+
+
+def _advisory_insecure_suites(hello: ClientHello) -> str | None:
+    insecure = [suite.name for suite in hello.cipher_suites() if suite.is_insecure]
+    if insecure:
+        return f"offers insecure suites: {', '.join(sorted(insecure)[:4])}"
+    return None
+
+
+def _advisory_no_forward_secrecy(hello: ClientHello) -> str | None:
+    # "Strong" = forward-secret AND not itself insecure; an ECDHE-3DES
+    # offer does not count as forward-secrecy hygiene.
+    if not any(suite.is_strong for suite in hello.cipher_suites()):
+        return "no strong forward-secret suite offered"
+    return None
+
+
+def _advisory_null_anon(hello: ClientHello) -> str | None:
+    bad = [suite.name for suite in hello.cipher_suites() if suite.is_null_or_anon]
+    if bad:
+        return f"offers NULL/anonymous suites: {', '.join(bad)}"
+    return None
+
+
+DEFAULT_ADVISORIES: tuple[Advisory, ...] = (
+    Advisory("null-or-anonymous-suites", Severity.CRITICAL, _advisory_null_anon),
+    Advisory("insecure-ciphersuites", Severity.CRITICAL, _advisory_insecure_suites),
+    Advisory("deprecated-max-version", Severity.CRITICAL, _advisory_legacy_version),
+    Advisory("no-forward-secrecy", Severity.WARNING, _advisory_no_forward_secrecy),
+    Advisory("tls13-not-adopted", Severity.INFO, _advisory_no_tls13),
+)
+
+
+class TLSAuditService:
+    """The audit endpoint: a well-configured server that grades clients."""
+
+    HOSTNAME = "audit.iotls-service.example"
+
+    def __init__(
+        self,
+        issuing_ca: CertificateAuthority,
+        *,
+        advisories: tuple[Advisory, ...] = DEFAULT_ADVISORIES,
+    ) -> None:
+        self.advisories = list(advisories)
+        leaf, keypair = issuing_ca.issue_leaf(self.HOSTNAME, seed=b"audit-service-leaf")
+        self._chain: tuple[Certificate, ...] = (leaf, issuing_ca.certificate)
+        self._keypair: KeyPair = keypair
+        self.findings: list[AuditFinding] = []
+        self._current_device: str = "unknown-device"
+
+    # ------------------------------------------------------------------
+    # Advisory lifecycle
+    # ------------------------------------------------------------------
+    def publish_advisory(self, advisory: Advisory) -> None:
+        """Add a new check (a newly-published attack)."""
+        self.advisories.append(advisory)
+
+    # ------------------------------------------------------------------
+    # Device-facing endpoint
+    # ------------------------------------------------------------------
+    def expect_device(self, device: str) -> None:
+        """Attribute the next connection(s) to ``device`` (the service
+        identifies callers by their enrolment credentials)."""
+        self._current_device = device
+
+    def check_in(self, device):
+        """One audit check-in: the device connects to the service's own
+        hostname through its boot-time TLS instance (the paper suggests
+        "once every reboot") and gets graded.
+
+        Returns the resulting
+        :class:`~repro.devices.device.DeviceConnection`.
+        """
+        from ..devices.profile import DestinationSpec, ServerEpoch, ServerSpec
+
+        first = device.first_destination()
+        checkin_destination = DestinationSpec(
+            hostname=self.HOSTNAME,
+            instance=first.instance,
+            server=ServerSpec.static(
+                ServerEpoch(versions=tuple(ProtocolVersion), cipher_codes=tuple(sorted(REGISTRY)))
+            ),
+        )
+        self.expect_device(device.name)
+        device.power_cycle()
+        return device.connect_destination(checkin_destination, self)
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
+        self._grade(self._current_device, client_hello)
+        server_hello = negotiate(
+            client_hello,
+            frozenset(ProtocolVersion),
+            tuple(sorted(REGISTRY)),
+        )
+        if server_hello is None:
+            return ServerResponse(incomplete=True)
+        return ServerResponse(server_hello=server_hello, certificate_chain=self._chain)
+
+    def _grade(self, device: str, hello: ClientHello) -> None:
+        for advisory in self.advisories:
+            detail = advisory.check(hello)
+            if detail is not None:
+                self.findings.append(
+                    AuditFinding(
+                        device=device,
+                        advisory=advisory.name,
+                        severity=advisory.severity,
+                        detail=detail,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Manufacturer-facing reports
+    # ------------------------------------------------------------------
+    def findings_for(self, device: str) -> list[AuditFinding]:
+        return [finding for finding in self.findings if finding.device == device]
+
+    def worst_severity(self, device: str) -> Severity | None:
+        order = [Severity.CRITICAL, Severity.WARNING, Severity.INFO]
+        findings = self.findings_for(device)
+        for severity in order:
+            if any(finding.severity is severity for finding in findings):
+                return severity
+        return None
+
+    def vendor_report(self) -> dict[str, list[AuditFinding]]:
+        report: dict[str, list[AuditFinding]] = {}
+        for finding in self.findings:
+            report.setdefault(finding.device, []).append(finding)
+        return report

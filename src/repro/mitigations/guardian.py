@@ -1,0 +1,95 @@
+"""An in-home trusted network component (§6, after Hesselman et al.).
+
+The paper's user-side mitigation: "interpose a trusted network component
+between IoT devices and the Internet ... to verify that TLS connections
+are being securely established.  If such verification fails, the
+component pauses the connection and reports the issue to the user, which
+is left with the choice whether to allow the insecure TLS connection or
+not, as it happens for web browsers."
+
+:class:`InHomeGuardian` is that middlebox: a
+:class:`~repro.tls.engine.Responder` that fronts the genuine upstream,
+previews what the handshake *would* negotiate, and pauses connections
+violating its policy until the user allows the (device, hostname) pair.
+It never terminates TLS itself -- it only forwards or withholds, so it
+adds no interception surface of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from ..tls.ciphersuites import REGISTRY
+from ..tls.engine import Responder
+from ..tls.messages import ClientHello, ServerResponse
+from ..tls.versions import ProtocolVersion
+
+__all__ = ["GuardianPolicy", "PausedConnection", "InHomeGuardian"]
+
+
+@dataclass(frozen=True)
+class GuardianPolicy:
+    """What the guardian considers an acceptable negotiated connection."""
+
+    minimum_version: ProtocolVersion = ProtocolVersion.TLS_1_2
+    forbid_insecure_suites: bool = True
+    require_forward_secrecy: bool = False
+
+    def violation(self, response: ServerResponse) -> str | None:
+        """Why a negotiated response is unacceptable, or None."""
+        server_hello = response.server_hello
+        if server_hello is None:
+            return None  # nothing negotiated; nothing to protect
+        if server_hello.version < self.minimum_version:
+            return f"negotiated {server_hello.version.label} (< {self.minimum_version.label})"
+        suite = REGISTRY.get(server_hello.cipher_code)
+        if suite is None:
+            return f"unknown ciphersuite {server_hello.cipher_code:#06x}"
+        if self.forbid_insecure_suites and suite.is_insecure:
+            return f"negotiated insecure suite {suite.name}"
+        if self.require_forward_secrecy and not suite.forward_secret:
+            return f"negotiated non-forward-secret suite {suite.name}"
+        return None
+
+
+@dataclass(frozen=True)
+class PausedConnection:
+    """A user-facing report of a withheld connection."""
+
+    device: str
+    hostname: str
+    reason: str
+
+
+@dataclass
+class InHomeGuardian:
+    """The interposing component for one device's traffic."""
+
+    device: str
+    upstream: Responder
+    policy: GuardianPolicy = field(default_factory=GuardianPolicy)
+    paused: list[PausedConnection] = field(default_factory=list)
+    _allowed: set[tuple[str, str]] = field(default_factory=set)
+    forwarded: int = 0
+
+    def allow(self, hostname: str) -> None:
+        """The user's browser-style 'proceed anyway' decision."""
+        self._allowed.add((self.device, hostname))
+
+    def is_allowed(self, hostname: str) -> bool:
+        return (self.device, hostname) in self._allowed
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
+        upstream_response = self.upstream.respond(client_hello, when=when)
+        hostname = client_hello.server_name or ""
+        reason = self.policy.violation(upstream_response)
+        if reason is None or self.is_allowed(hostname):
+            self.forwarded += 1
+            return upstream_response
+        self.paused.append(
+            PausedConnection(device=self.device, hostname=hostname, reason=reason)
+        )
+        # Withholding the ServerHello looks like network silence to the
+        # device -- the guardian pauses rather than forges.
+        return ServerResponse(incomplete=True)

@@ -1,0 +1,105 @@
+"""Certificate pinning (§6, "Recommendations").
+
+The paper notes that the Table 7 interception attacks "could have been
+prevented with the proper use of certificate pinning", with two caveats
+it spells out and this module makes testable:
+
+* pinning helps against a *compromised root store* only when the
+  **leaf** certificate is pinned rather than the root, and
+* "certificate validation checks are necessary even if pinning is
+  implemented" -- a root-pinned client that skips hostname validation
+  still falls to an attacker holding any certificate from the pinned
+  root.
+
+:class:`PinnedClient` wraps any :class:`~repro.tls.engine.ClientBehavior`
+and enforces a :class:`PinSet` *in addition to* whatever validation the
+wrapped client performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from enum import Enum
+
+from ..pki.certificate import Certificate
+from ..pki.simcrypto import PublicKey
+from ..tls.alerts import Alert, AlertDescription
+from ..tls.engine import ClientBehavior, ClientVerdict
+from ..tls.messages import ClientHello, ServerResponse
+
+__all__ = ["PinTarget", "PinSet", "PinnedClient", "pin_leaf", "pin_root"]
+
+
+class PinTarget(Enum):
+    """Which chain element the pin constrains."""
+
+    LEAF = "leaf"
+    ROOT = "root"  # last certificate of the presented chain
+
+
+@dataclass(frozen=True)
+class PinSet:
+    """A set of acceptable public keys for one chain position.
+
+    Pinning by SubjectPublicKeyInfo (here: the simulated public key id)
+    matches deployed practice (HPKP, OkHttp CertificatePinner): the pin
+    survives certificate renewal under the same key.
+    """
+
+    target: PinTarget
+    key_ids: frozenset[str]
+
+    def matches(self, chain: tuple[Certificate, ...]) -> bool:
+        if not chain:
+            return False
+        certificate = chain[0] if self.target is PinTarget.LEAF else chain[-1]
+        return certificate.public_key.key_id in self.key_ids
+
+
+def pin_leaf(*certificates: Certificate) -> PinSet:
+    """Pin the exact server (leaf) keys -- the paper's recommended form."""
+    return PinSet(
+        target=PinTarget.LEAF,
+        key_ids=frozenset(cert.public_key.key_id for cert in certificates),
+    )
+
+
+def pin_root(*certificates_or_keys: Certificate | PublicKey) -> PinSet:
+    """Pin the issuing root's key (weaker: any cert from that CA passes)."""
+    key_ids = set()
+    for item in certificates_or_keys:
+        key = item.public_key if isinstance(item, Certificate) else item
+        key_ids.add(key.key_id)
+    return PinSet(target=PinTarget.ROOT, key_ids=frozenset(key_ids))
+
+
+class PinnedClient(ClientBehavior):
+    """A client behaviour with an additional pin check.
+
+    The pin is evaluated after the wrapped client's own verdict: both
+    must accept.  Wrapping a *non-validating* client with a root pin
+    reproduces the paper's cautionary case -- apparent security that a
+    same-CA certificate still defeats.
+    """
+
+    def __init__(self, inner: ClientBehavior, pins: PinSet) -> None:
+        self.inner = inner
+        self.pins = pins
+
+    def build_client_hello(self, hostname: str | None) -> ClientHello:
+        return self.inner.build_client_hello(hostname)
+
+    def evaluate_response(
+        self, response: ServerResponse, *, hostname: str | None, when: datetime
+    ) -> ClientVerdict:
+        verdict = self.inner.evaluate_response(response, hostname=hostname, when=when)
+        if not verdict.accept:
+            return verdict
+        if self.pins.matches(response.certificate_chain):
+            return verdict
+        return ClientVerdict(
+            accept=False,
+            validation=verdict.validation,
+            alert=Alert.fatal(AlertDescription.BAD_CERTIFICATE),
+        )

@@ -1,0 +1,64 @@
+"""TLS as an operating-system service (§6, after O'Neill et al.).
+
+The paper's key recommendation to manufacturers: maintain devices' TLS
+"in a consistent and uniform way", e.g. by providing TLS as an OS
+service that every component -- first- and third-party alike -- uses,
+instead of each bundling its own (possibly broken) instance.
+
+:func:`harden_device` applies that recommendation to a catalog profile:
+it replaces *all* of a device's TLS instances with one uniform,
+well-configured, fully-validating instance (modern versions, strong
+suites, no fallback-to-weak behaviour) and rewires every destination to
+it.  The hardened profile runs through the unchanged audit pipelines, so
+the mitigation's effect is measurable: Table 7 vulnerabilities vanish,
+Table 5 downgrades vanish, and the device collapses to one fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..devices.configs import FS_MODERN, TLS13
+from ..devices.instance import InstanceConfigSpec, TLSInstanceSpec
+from ..devices.policies import ValidationPolicy
+from ..devices.profile import DeviceProfile
+from ..tls.versions import ProtocolVersion
+from ..tlslib import OPENSSL
+
+__all__ = ["SECURE_SERVICE_INSTANCE", "secure_service_instance", "harden_device"]
+
+#: Name of the uniform instance the OS service exposes.
+SECURE_SERVICE_INSTANCE = "os-tls-service"
+
+
+def secure_service_instance() -> TLSInstanceSpec:
+    """The single TLS instance the OS service provides to all components.
+
+    Modern versions only, forward-secret suites only, OCSP stapling
+    requested, full certificate + hostname validation, no fallback.
+    """
+    return TLSInstanceSpec.static(
+        SECURE_SERVICE_INSTANCE,
+        OPENSSL,
+        InstanceConfigSpec(
+            versions=(ProtocolVersion.TLS_1_2, ProtocolVersion.TLS_1_3),
+            cipher_codes=TLS13 + FS_MODERN,
+            request_ocsp_staple=True,
+        ),
+        validation=ValidationPolicy(),
+        fallback=None,
+    )
+
+
+def harden_device(profile: DeviceProfile) -> DeviceProfile:
+    """Rewrite a device profile to use the uniform OS TLS service.
+
+    Only the TLS plumbing changes: the device keeps its destinations,
+    payloads, traffic volumes and root-store profile (root-store hygiene
+    is a separate mitigation -- see the probing analyses)."""
+    service = secure_service_instance()
+    destinations = tuple(
+        replace(destination, instance=SECURE_SERVICE_INSTANCE)
+        for destination in profile.destinations
+    )
+    return replace(profile, instances=(service,), destinations=destinations)

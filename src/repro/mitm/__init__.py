@@ -1,0 +1,14 @@
+"""On-path interception: forged credentials, attack proxy, passthrough."""
+
+from .forge import ATTACKER_DOMAIN, AttackerToolbox
+from .passthrough import PassthroughResponder
+from .proxy import AttackMode, InterceptionProxy, VersionProbeResponder
+
+__all__ = [
+    "ATTACKER_DOMAIN",
+    "AttackMode",
+    "AttackerToolbox",
+    "InterceptionProxy",
+    "PassthroughResponder",
+    "VersionProbeResponder",
+]

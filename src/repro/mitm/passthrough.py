@@ -1,0 +1,44 @@
+"""TrafficPassthrough: selective non-interception re-runs (§4.2).
+
+The paper's concern: attacking a connection can break device
+functionality and suppress *later* connections, hiding vulnerabilities.
+The mitigation (borrowed from mitmproxy's ``tls_passthrough`` example)
+re-runs every experiment while passing through -- not intercepting --
+any connection that previously failed under attack.
+
+:class:`PassthroughResponder` implements the selector: hostnames on the
+pass-list are answered by their genuine cloud server, everything else by
+the attack proxy.  The paper found passthrough surfaced ≈20.4% more
+destinations (likely post-login follow-up traffic) but no new
+certificate-validation failures; the follow-up mechanism is modelled in
+:mod:`repro.core.passthrough`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from ..tls.engine import Responder
+from ..tls.messages import ClientHello, ServerResponse
+
+__all__ = ["PassthroughResponder"]
+
+
+@dataclass
+class PassthroughResponder:
+    """Route hellos to the genuine server or the attack proxy by SNI."""
+
+    attack_proxy: Responder
+    genuine: Responder
+    passthrough_hostnames: frozenset[str]
+    passed_through: list[str] = field(default_factory=list)
+    intercepted: list[str] = field(default_factory=list)
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
+        hostname = client_hello.server_name or ""
+        if hostname in self.passthrough_hostnames:
+            self.passed_through.append(hostname)
+            return self.genuine.respond(client_hello, when=when)
+        self.intercepted.append(hostname)
+        return self.attack_proxy.respond(client_hello, when=when)

@@ -1,0 +1,114 @@
+"""The interception proxy (the study's mitmproxy role).
+
+:class:`InterceptionProxy` sits on-path and answers ClientHellos with
+forged credentials according to an :class:`AttackMode`.  It implements
+the :class:`~repro.tls.engine.Responder` protocol, so devices cannot
+distinguish it from a genuine cloud server -- the paper's in-network
+adversary model.
+
+Supported modes cover Table 2 (NoValidation, WrongHostname,
+InvalidBasicConstraints), the two §5.1 downgrade triggers
+(IncompleteHandshake, FailedHandshake), the §4.2 root-store probes
+(SpoofedCA, UnknownCA) and an old-version negotiation probe (Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+
+from ..pki.certificate import Certificate
+from ..tls.ciphersuites import REGISTRY
+from ..tls.engine import negotiate
+from ..tls.messages import ClientHello, ServerResponse
+from ..tls.versions import ProtocolVersion
+from .forge import AttackerToolbox
+
+__all__ = ["AttackMode", "InterceptionProxy", "VersionProbeResponder"]
+
+#: Everything an attacker's TLS stack can negotiate (all legacy + 1.3).
+_ATTACKER_VERSIONS = frozenset(
+    {
+        ProtocolVersion.SSL_3_0,
+        ProtocolVersion.TLS_1_0,
+        ProtocolVersion.TLS_1_1,
+        ProtocolVersion.TLS_1_2,
+        ProtocolVersion.TLS_1_3,
+    }
+)
+_ATTACKER_CIPHERS = tuple(sorted(REGISTRY))
+
+
+class AttackMode(Enum):
+    """What the proxy presents in place of the genuine server."""
+
+    NO_VALIDATION = "NoValidation"
+    WRONG_HOSTNAME = "WrongHostname"
+    INVALID_BASIC_CONSTRAINTS = "InvalidBasicConstraints"
+    INCOMPLETE_HANDSHAKE = "IncompleteHandshake"
+    FAILED_HANDSHAKE = "FailedHandshake"
+    SPOOFED_CA = "SpoofedCA"
+    UNKNOWN_CA = "UnknownCA"
+
+
+@dataclass
+class InterceptionProxy:
+    """An on-path TLS interceptor."""
+
+    toolbox: AttackerToolbox
+    mode: AttackMode
+    #: Target root for SPOOFED_CA mode.
+    target_root: Certificate | None = None
+    #: ClientHellos seen (interception tooling logs these).
+    observed_hellos: list[ClientHello] = field(default_factory=list)
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
+        self.observed_hellos.append(client_hello)
+
+        if self.mode is AttackMode.INCOMPLETE_HANDSHAKE:
+            return ServerResponse(incomplete=True)
+
+        hostname = client_hello.server_name or "unknown.host"
+        chain = self._chain_for(hostname)
+        server_hello = negotiate(client_hello, _ATTACKER_VERSIONS, _ATTACKER_CIPHERS)
+        if server_hello is None:
+            # The attacker supports everything; reaching here means the
+            # hello offered no suites we recognise.
+            return ServerResponse(incomplete=True)
+        return ServerResponse(server_hello=server_hello, certificate_chain=chain)
+
+    def _chain_for(self, hostname: str) -> tuple[Certificate, ...]:
+        if self.mode in (AttackMode.NO_VALIDATION, AttackMode.FAILED_HANDSHAKE):
+            return self.toolbox.self_signed_for(hostname)
+        if self.mode is AttackMode.WRONG_HOSTNAME:
+            return self.toolbox.wrong_hostname_chain()
+        if self.mode is AttackMode.INVALID_BASIC_CONSTRAINTS:
+            return self.toolbox.invalid_basic_constraints_chain(hostname)
+        if self.mode is AttackMode.SPOOFED_CA:
+            if self.target_root is None:
+                raise ValueError("SPOOFED_CA mode requires target_root")
+            return self.toolbox.spoofed_ca_chain(self.target_root, hostname)
+        if self.mode is AttackMode.UNKNOWN_CA:
+            return self.toolbox.unknown_ca_chain(hostname)
+        raise AssertionError(f"unhandled mode {self.mode}")  # pragma: no cover
+
+
+@dataclass
+class VersionProbeResponder:
+    """A responder that negotiates at most ``version`` with valid credentials.
+
+    Used for the Table 6 experiment: will the device *establish* a
+    connection over an old protocol version when a (legitimate) server
+    picks it?  The genuine server's chain is reused so certificate
+    validation passes and only version acceptance is being tested.
+    """
+
+    version: ProtocolVersion
+    chain: tuple[Certificate, ...]
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
+        server_hello = negotiate(client_hello, frozenset({self.version}), _ATTACKER_CIPHERS)
+        if server_hello is None:
+            return ServerResponse(incomplete=True)
+        return ServerResponse(server_hello=server_hello, certificate_chain=self.chain)

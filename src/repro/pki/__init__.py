@@ -1,0 +1,62 @@
+"""Simulated PKI substrate: keys, certificates, stores, validation, revocation.
+
+Public API re-exports the names the rest of the library (and downstream
+users) need; see the module docstrings for the fidelity argument of each
+simulation choice.
+"""
+
+from .certificate import (
+    BasicConstraints,
+    Certificate,
+    CertificateAuthority,
+    CertificateBuilder,
+    KeyUsage,
+    utc,
+)
+from .hostname import hostname_matches_pattern, match_hostname
+from .name import DistinguishedName
+from .revocation import (
+    CertificateRevocationList,
+    OCSPResponder,
+    OCSPResponse,
+    RevocationMethod,
+    RevocationRegistry,
+    RevocationStatus,
+)
+from .simcrypto import KeyPair, PrivateKey, PublicKey, Signature, generate_keypair, verify
+from .store import RootStore
+from .validation import (
+    MAX_CHAIN_LENGTH,
+    ValidationErrorCode,
+    ValidationResult,
+    validate_chain,
+)
+
+__all__ = [
+    "BasicConstraints",
+    "Certificate",
+    "CertificateAuthority",
+    "CertificateBuilder",
+    "CertificateRevocationList",
+    "DistinguishedName",
+    "KeyPair",
+    "KeyUsage",
+    "MAX_CHAIN_LENGTH",
+    "OCSPResponder",
+    "OCSPResponse",
+    "PrivateKey",
+    "PublicKey",
+    "RevocationMethod",
+    "RevocationRegistry",
+    "RevocationStatus",
+    "RootStore",
+    "Signature",
+    "ValidationErrorCode",
+    "ValidationResult",
+    "generate_keypair",
+    "hostname_matches_pattern",
+    "match_hostname",
+    "utc",
+    "validate_chain",
+    "verify",
+]

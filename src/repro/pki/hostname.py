@@ -1,0 +1,70 @@
+"""Hostname verification per RFC 2818 / RFC 6125 (simplified).
+
+The WrongHostname attack in the paper presents a *valid* chain for a
+domain the attacker controls; devices that skip this check accept it.
+This module is the reference implementation the secure validation policy
+uses; vulnerable device policies simply do not call it.
+
+Rules implemented:
+
+* dNSName entries from SubjectAltName are matched first; if any SAN of
+  dNSName type is present, the Common Name is ignored (RFC 6125 §6.4.4).
+* Matching is case-insensitive on ASCII labels.
+* A single wildcard is allowed only as the complete left-most label
+  (``*.example.com``), must not match more than one label, and must not
+  match a bare registrable domain (``*.com`` style wildcards are refused
+  via a minimum-label heuristic).
+* IP addresses never match wildcards and must compare exactly.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+from .certificate import Certificate
+
+__all__ = ["match_hostname", "hostname_matches_pattern"]
+
+
+def _is_ip_address(value: str) -> bool:
+    try:
+        ipaddress.ip_address(value)
+    except ValueError:
+        return False
+    return True
+
+
+def hostname_matches_pattern(hostname: str, pattern: str) -> bool:
+    """Check one presented identifier ``pattern`` against ``hostname``."""
+    hostname = hostname.rstrip(".").lower()
+    pattern = pattern.rstrip(".").lower()
+    if not hostname or not pattern:
+        return False
+
+    if _is_ip_address(hostname) or _is_ip_address(pattern):
+        return hostname == pattern
+
+    if "*" not in pattern:
+        return hostname == pattern
+
+    pattern_labels = pattern.split(".")
+    host_labels = hostname.split(".")
+
+    # Wildcard must be the entire left-most label only.
+    if pattern_labels[0] != "*" or any("*" in label for label in pattern_labels[1:]):
+        return False
+    # Refuse overly-broad wildcards such as "*.com".
+    if len(pattern_labels) < 3:
+        return False
+    # The wildcard covers exactly one label.
+    if len(host_labels) != len(pattern_labels):
+        return False
+    return host_labels[1:] == pattern_labels[1:]
+
+
+def match_hostname(certificate: Certificate, hostname: str) -> bool:
+    """RFC 6125 check of ``hostname`` against a certificate's identifiers."""
+    sans = [name for name in certificate.subject_alt_names if name]
+    if sans:
+        return any(hostname_matches_pattern(hostname, san) for san in sans)
+    return hostname_matches_pattern(hostname, certificate.subject.common_name)

@@ -1,0 +1,165 @@
+"""Certificate revocation infrastructure: CRLs, OCSP, OCSP stapling.
+
+Table 8 of the paper classifies devices by which revocation-checking
+method they ever use (most use none).  The passive analysis detects the
+methods from traffic signals:
+
+* fetches of CRL distribution points,
+* queries to OCSP responders,
+* the ``status_request`` ClientHello extension (OCSP stapling) and
+  presence of Must-Staple leaf extensions.
+
+This module provides the server-side machinery those signals come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+from enum import Enum
+
+from .certificate import Certificate
+from .simcrypto import PrivateKey, Signature, verify
+
+__all__ = [
+    "RevocationStatus",
+    "RevocationMethod",
+    "CertificateRevocationList",
+    "OCSPResponse",
+    "OCSPResponder",
+    "RevocationRegistry",
+]
+
+
+class RevocationStatus(Enum):
+    GOOD = "good"
+    REVOKED = "revoked"
+    UNKNOWN = "unknown"
+
+
+class RevocationMethod(Enum):
+    """How a client checks revocation (Table 8 categories)."""
+
+    NONE = "none"
+    CRL = "crl"
+    OCSP = "ocsp"
+    OCSP_STAPLING = "ocsp_stapling"
+
+
+@dataclass
+class CertificateRevocationList:
+    """A signed list of revoked serial numbers for one issuing CA."""
+
+    issuer_name: str
+    url: str
+    this_update: datetime
+    next_update: datetime
+    revoked_serials: frozenset[int]
+    signature: Signature
+
+    def is_revoked(self, serial: int) -> bool:
+        return serial in self.revoked_serials
+
+    def is_fresh_at(self, when: datetime) -> bool:
+        return self.this_update <= when <= self.next_update
+
+
+@dataclass(frozen=True)
+class OCSPResponse:
+    """A (possibly stapled) OCSP response for a single certificate."""
+
+    serial: int
+    status: RevocationStatus
+    produced_at: datetime
+    next_update: datetime
+    responder_url: str
+    signature: Signature
+
+    def is_fresh_at(self, when: datetime) -> bool:
+        return self.produced_at <= when <= self.next_update
+
+
+@dataclass
+class OCSPResponder:
+    """An online OCSP responder bound to one CA's revocation registry."""
+
+    url: str
+    signing_key: PrivateKey
+    _revoked: set[int] = field(default_factory=set)
+    #: Count of queries served; the passive revocation analysis reads this
+    #: indirectly through traffic records, tests read it directly.
+    queries_served: int = 0
+
+    def revoke(self, serial: int) -> None:
+        self._revoked.add(serial)
+
+    def respond(self, serial: int, *, when: datetime, validity: timedelta = timedelta(days=7)) -> OCSPResponse:
+        """Produce a signed response for ``serial`` as of ``when``."""
+        self.queries_served += 1
+        status = RevocationStatus.REVOKED if serial in self._revoked else RevocationStatus.GOOD
+        body = f"ocsp:{self.url}:{serial}:{status.value}:{when.isoformat()}".encode()
+        return OCSPResponse(
+            serial=serial,
+            status=status,
+            produced_at=when,
+            next_update=when + validity,
+            responder_url=self.url,
+            signature=self.signing_key.sign(body),
+        )
+
+    @staticmethod
+    def verify_response(response: OCSPResponse, responder_public_key) -> bool:
+        """Check the responder's signature on a response/staple."""
+        body = (
+            f"ocsp:{response.responder_url}:{response.serial}:"
+            f"{response.status.value}:{response.produced_at.isoformat()}".encode()
+        )
+        return verify(responder_public_key, body, response.signature)
+
+
+@dataclass
+class RevocationRegistry:
+    """Per-CA revocation bookkeeping: issues CRLs and hosts an OCSP responder.
+
+    One registry is attached to each simulated CA that the testbed's cloud
+    servers chain to.
+    """
+
+    issuer_name: str
+    crl_url: str
+    ocsp_url: str
+    signing_key: PrivateKey
+    _revoked: set[int] = field(default_factory=set)
+    crl_fetches: int = 0
+
+    def __post_init__(self) -> None:
+        self.ocsp = OCSPResponder(url=self.ocsp_url, signing_key=self.signing_key)
+
+    def revoke(self, certificate: Certificate) -> None:
+        """Revoke an issued certificate (serial-based, like real CRLs)."""
+        self._revoked.add(certificate.serial)
+        self.ocsp.revoke(certificate.serial)
+
+    def revoke_serial(self, serial: int) -> None:
+        self._revoked.add(serial)
+        self.ocsp.revoke(serial)
+
+    def is_revoked(self, serial: int) -> bool:
+        return serial in self._revoked
+
+    def current_crl(self, *, when: datetime, validity: timedelta = timedelta(days=30)) -> CertificateRevocationList:
+        """Serve the current CRL (models a fetch of the distribution point)."""
+        self.crl_fetches += 1
+        body = f"crl:{self.crl_url}:{sorted(self._revoked)}:{when.isoformat()}".encode()
+        return CertificateRevocationList(
+            issuer_name=self.issuer_name,
+            url=self.crl_url,
+            this_update=when,
+            next_update=when + validity,
+            revoked_serials=frozenset(self._revoked),
+            signature=self.signing_key.sign(body),
+        )
+
+    def staple_for(self, certificate: Certificate, *, when: datetime) -> OCSPResponse:
+        """Produce a staple a server can attach in its handshake."""
+        return self.ocsp.respond(certificate.serial, when=when)

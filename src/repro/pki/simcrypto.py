@@ -1,0 +1,142 @@
+"""Simulated public-key cryptography for the IoTLS reproduction.
+
+The paper's attacks and probing technique are *structural*: they depend on
+whether a signature over a certificate's TBS ("to-be-signed") bytes is
+valid, never on breaking cryptography.  Real asymmetric crypto would only
+slow the simulation down, so this module provides a faithful stand-in:
+
+* :func:`generate_keypair` creates a key pair whose private half holds a
+  random secret.  The secret is also registered with a module-level
+  *signature oracle* keyed by the public key id.
+* :meth:`PrivateKey.sign` computes ``SHA-256(secret || message)``.  Only
+  code holding the :class:`PrivateKey` object can produce valid signatures.
+* :func:`verify` recomputes the tag by looking the secret up in the oracle
+  via the *public* key id.  Attacker code inside the simulation never holds
+  victim private keys, so unforgeability holds exactly as it would with
+  real signatures.
+
+This preserves the one distinction every experiment in the paper relies
+on -- *valid signature from key K* versus *anything else* -- while keeping
+handshakes fast enough to generate multi-million-connection longitudinal
+traces on a laptop.  See DESIGN.md ("Signature oracle vs real crypto").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+
+__all__ = [
+    "KeyId",
+    "PublicKey",
+    "PrivateKey",
+    "KeyPair",
+    "Signature",
+    "generate_keypair",
+    "verify",
+    "sha256_hex",
+    "oracle_size",
+]
+
+KeyId = str
+
+#: Module-level signature oracle: public key id -> signing secret.
+#: Private by convention; simulation code must go through ``verify``.
+_ORACLE: dict[KeyId, bytes] = {}
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hex SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def oracle_size() -> int:
+    """Number of keys registered with the signature oracle (for tests)."""
+    return len(_ORACLE)
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """Public half of a simulated key pair.
+
+    ``key_id`` is a digest of the signing secret, so two independently
+    generated keys collide with negligible probability -- mirroring how
+    distinct real-world keys have distinct SubjectPublicKeyInfo.
+    """
+
+    key_id: KeyId
+    algorithm: str = "sim-rsa-2048"
+
+    def fingerprint(self) -> str:
+        """Short printable identifier used in logs and cert summaries."""
+        return self.key_id[:16]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature value: the signing key id plus the oracle tag."""
+
+    key_id: KeyId
+    tag: str
+    algorithm: str = "sim-rsa-sha256"
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """Private half of a simulated key pair.
+
+    Holding this object is the simulation's equivalent of knowing the
+    private exponent: ``sign`` works only from here.
+    """
+
+    key_id: KeyId
+    _secret: bytes = field(repr=False)
+
+    def sign(self, message: bytes) -> Signature:
+        """Sign ``message``; verifiable via :func:`verify` with the public key."""
+        tag = hmac.new(self._secret, message, hashlib.sha256).hexdigest()
+        return Signature(key_id=self.key_id, tag=tag)
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(key_id=self.key_id)
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """Convenience bundle of the two key halves."""
+
+    private: PrivateKey
+    public: PublicKey
+
+
+def generate_keypair(seed: bytes | None = None) -> KeyPair:
+    """Generate a fresh simulated key pair.
+
+    ``seed`` makes generation deterministic (used so that the device
+    catalog and CA hierarchy are bit-for-bit reproducible across runs);
+    omit it for a random key.
+    """
+    secret = hashlib.sha256(b"keygen:" + seed).digest() if seed is not None else os.urandom(32)
+    key_id = hashlib.sha256(b"keyid:" + secret).hexdigest()
+    _ORACLE[key_id] = secret
+    private = PrivateKey(key_id=key_id, _secret=secret)
+    return KeyPair(private=private, public=private.public_key())
+
+
+def verify(public_key: PublicKey, message: bytes, signature: Signature) -> bool:
+    """Check that ``signature`` is a valid signature over ``message``
+    by the key identified by ``public_key``.
+
+    Returns ``False`` when the signature was produced by a different key
+    (e.g. an attacker's spoofed CA whose Subject/Issuer/Serial matches a
+    legitimate root but whose key does not) or when the message differs.
+    """
+    if signature.key_id != public_key.key_id:
+        return False
+    secret = _ORACLE.get(public_key.key_id)
+    if secret is None:
+        return False
+    expected = hmac.new(secret, message, hashlib.sha256).hexdigest()
+    return hmac.compare_digest(expected, signature.tag)

@@ -1,0 +1,209 @@
+"""Certificate-chain (path) validation, RFC 5280 subset.
+
+This is the *reference* validator.  Simulated TLS libraries call it with
+different strictness knobs (see :mod:`repro.tlslib`), and vulnerable
+device policies skip parts of it -- reproducing the paper's Table 7
+failure modes (no validation at all, or no hostname validation).
+
+Crucially, validation failures are *typed* (:class:`ValidationErrorCode`)
+so that library alert policies can translate them into the distinct TLS
+alerts that open the root-store probing side channel:
+
+* ``UNKNOWN_CA``  -> issuer name absent from the root store,
+* ``BAD_SIGNATURE`` -> issuer name *present* but signature invalid
+  (the spoofed-CA case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from enum import Enum
+
+from .certificate import Certificate
+from .hostname import match_hostname
+from .store import RootStore
+
+__all__ = [
+    "ValidationErrorCode",
+    "ValidationResult",
+    "validate_chain",
+    "MAX_CHAIN_LENGTH",
+]
+
+#: Defensive bound on presented-chain length (loops, resource abuse).
+MAX_CHAIN_LENGTH = 10
+
+
+class ValidationErrorCode(Enum):
+    """Why a certificate chain was rejected."""
+
+    OK = "ok"
+    EMPTY_CHAIN = "empty_chain"
+    CHAIN_TOO_LONG = "chain_too_long"
+    EXPIRED = "expired"
+    NOT_YET_VALID = "not_yet_valid"
+    BROKEN_CHAIN = "broken_chain"  # adjacent issuer/subject names do not link
+    BAD_SIGNATURE = "bad_signature"  # known issuer name, invalid signature
+    UNKNOWN_CA = "unknown_ca"  # no trusted root with the issuer's name
+    INVALID_BASIC_CONSTRAINTS = "invalid_basic_constraints"  # non-CA used as issuer
+    PATHLEN_EXCEEDED = "pathlen_exceeded"
+    KEY_USAGE = "key_usage"  # issuer lacks keyCertSign
+    HOSTNAME_MISMATCH = "hostname_mismatch"
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of a chain validation."""
+
+    code: ValidationErrorCode
+    detail: str = ""
+    depth: int | None = None  # index in the presented chain where failure occurred
+
+    @property
+    def ok(self) -> bool:
+        return self.code is ValidationErrorCode.OK
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def _fail(code: ValidationErrorCode, detail: str, depth: int | None = None) -> ValidationResult:
+    return ValidationResult(code=code, detail=detail, depth=depth)
+
+
+def _check_window(certificate: Certificate, when: datetime, depth: int) -> ValidationResult | None:
+    if when < certificate.not_before:
+        return _fail(
+            ValidationErrorCode.NOT_YET_VALID,
+            f"certificate at depth {depth} not valid before {certificate.not_before.isoformat()}",
+            depth,
+        )
+    if when > certificate.not_after:
+        return _fail(
+            ValidationErrorCode.EXPIRED,
+            f"certificate at depth {depth} expired {certificate.not_after.isoformat()}",
+            depth,
+        )
+    return None
+
+
+def validate_chain(
+    chain: list[Certificate],
+    root_store: RootStore,
+    *,
+    when: datetime,
+    hostname: str | None = None,
+    check_hostname: bool = True,
+    check_basic_constraints: bool = True,
+    check_validity: bool = True,
+) -> ValidationResult:
+    """Validate a presented certificate chain (leaf first) against a store.
+
+    The knobs (``check_hostname`` etc.) exist because real TLS stacks --
+    and, per the paper, IoT devices -- differ in which checks they apply;
+    device validation policies map onto them.
+
+    Returns :class:`ValidationResult`; ``result.ok`` is True on success.
+    """
+    if not chain:
+        return _fail(ValidationErrorCode.EMPTY_CHAIN, "no certificates presented")
+    if len(chain) > MAX_CHAIN_LENGTH:
+        return _fail(
+            ValidationErrorCode.CHAIN_TOO_LONG,
+            f"presented chain has {len(chain)} certificates (max {MAX_CHAIN_LENGTH})",
+        )
+
+    leaf = chain[0]
+
+    if check_validity:
+        for depth, certificate in enumerate(chain):
+            failure = _check_window(certificate, when, depth)
+            if failure is not None:
+                return failure
+
+    # Walk the chain from the leaf upward.  Each certificate must be
+    # signed by the next one; the last must be signed by a trusted root
+    # (or itself *be* a trusted root).
+    for depth, certificate in enumerate(chain):
+        issuer_name = certificate.issuer
+
+        # Case 1: the issuer is the next certificate in the presented chain.
+        if depth + 1 < len(chain):
+            issuer_cert = chain[depth + 1]
+            if not issuer_cert.subject.matches(issuer_name):
+                return _fail(
+                    ValidationErrorCode.BROKEN_CHAIN,
+                    f"issuer {issuer_name.rfc4514()!r} at depth {depth} does not match "
+                    f"next subject {issuer_cert.subject.rfc4514()!r}",
+                    depth,
+                )
+            if check_basic_constraints:
+                if not issuer_cert.basic_constraints.ca:
+                    return _fail(
+                        ValidationErrorCode.INVALID_BASIC_CONSTRAINTS,
+                        f"issuer at depth {depth + 1} is not a CA certificate",
+                        depth + 1,
+                    )
+                path_len = issuer_cert.basic_constraints.path_len
+                if path_len is not None and depth > path_len:
+                    return _fail(
+                        ValidationErrorCode.PATHLEN_EXCEEDED,
+                        f"pathLenConstraint={path_len} exceeded at depth {depth}",
+                        depth,
+                    )
+                if not issuer_cert.key_usage.key_cert_sign:
+                    return _fail(
+                        ValidationErrorCode.KEY_USAGE,
+                        f"issuer at depth {depth + 1} lacks keyCertSign",
+                        depth + 1,
+                    )
+            if not certificate.verify_signature(issuer_cert.public_key):
+                return _fail(
+                    ValidationErrorCode.BAD_SIGNATURE,
+                    f"signature at depth {depth} not made by presented issuer",
+                    depth,
+                )
+            continue
+
+        # Case 2: top of the presented chain; anchor in the root store.
+        # A self-signed top certificate that is *exactly* in the store is
+        # trusted directly.
+        if certificate.is_self_signed and root_store.contains(certificate):
+            break
+
+        candidates = root_store.find_by_subject(issuer_name)
+        if not candidates:
+            # This is also the self-signed-leaf (NoValidation attack) path:
+            # the leaf's issuer (itself) is not a trusted root.
+            return _fail(
+                ValidationErrorCode.UNKNOWN_CA,
+                f"no trusted root with subject {issuer_name.rfc4514()!r}",
+                depth,
+            )
+        anchored = False
+        for root in candidates:
+            if check_basic_constraints and not root.basic_constraints.ca:
+                continue
+            if certificate.verify_signature(root.public_key):
+                anchored = True
+                break
+        if not anchored:
+            # Name is known but no trusted key verifies the signature:
+            # this is the spoofed-CA probe outcome.
+            return _fail(
+                ValidationErrorCode.BAD_SIGNATURE,
+                f"trusted root {issuer_name.rfc4514()!r} found but signature invalid",
+                depth,
+            )
+
+    if check_hostname and hostname is not None:
+        if not match_hostname(leaf, hostname):
+            presented = leaf.subject_alt_names or (leaf.subject.common_name,)
+            return _fail(
+                ValidationErrorCode.HOSTNAME_MISMATCH,
+                f"hostname {hostname!r} not among presented identifiers {presented!r}",
+                0,
+            )
+
+    return ValidationResult(code=ValidationErrorCode.OK)

@@ -1,0 +1,21 @@
+"""Historical platform root-store substrate (Table 3, §4.2 derivations)."""
+
+from .derive import derive_common_names, derive_deprecated_names
+from .platforms import PLATFORM_SPECS, PlatformHistory, PlatformSnapshot, build_history
+from .records import DistrustEvent, RemovalReason, RootCARecord
+from .universe import PROBE_YEAR, RootStoreUniverse, build_default_universe
+
+__all__ = [
+    "DistrustEvent",
+    "PLATFORM_SPECS",
+    "PROBE_YEAR",
+    "PlatformHistory",
+    "PlatformSnapshot",
+    "RemovalReason",
+    "RootCARecord",
+    "RootStoreUniverse",
+    "build_default_universe",
+    "build_history",
+    "derive_common_names",
+    "derive_deprecated_names",
+]

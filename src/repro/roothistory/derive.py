@@ -1,0 +1,59 @@
+"""Derivation of the probe certificate sets (§4.2 of the paper).
+
+Two sets are extracted from the platform histories:
+
+* :func:`derive_common_names` -- intersection of the **latest** store
+  version of every platform, restricted to certificates unexpired at the
+  probe date.  These are "likely trustworthy".
+* :func:`derive_deprecated_names` -- for each platform, certificates in
+  the **earliest** store version that a successor version removed, still
+  unexpired at the probe date, excluding any certificate re-added by the
+  latest version.  These are "questionable".
+
+Both functions work purely on snapshot membership plus certificate
+expiry, exactly as the paper's pipeline does; they do not peek at the
+life-cycle records' removal annotations (those exist for ground truth in
+tests and for the Figure 4 staleness analysis).
+"""
+
+from __future__ import annotations
+
+from .platforms import PlatformHistory
+from .records import RootCARecord
+
+__all__ = ["derive_common_names", "derive_deprecated_names"]
+
+
+def derive_common_names(
+    histories: dict[str, PlatformHistory],
+    records: dict[str, RootCARecord],
+    *,
+    probe_year: float,
+) -> set[str]:
+    """Certificates common to the latest version of every platform store."""
+    if not histories:
+        return set()
+    latest_sets = [set(history.latest.members) for history in histories.values()]
+    common = set.intersection(*latest_sets)
+    return {name for name in common if records[name].unexpired_at(probe_year)}
+
+
+def derive_deprecated_names(
+    histories: dict[str, PlatformHistory],
+    records: dict[str, RootCARecord],
+    *,
+    probe_year: float,
+) -> set[str]:
+    """Certificates retired before expiry, per the paper's algorithm."""
+    deprecated: set[str] = set()
+    for history in histories.values():
+        removed = history.removed_names()
+        for name in removed:
+            # "Exclude any certificate if it was once removed but is
+            # still present in the latest version of the root store."
+            if name in history.latest.members:
+                continue
+            if not records[name].unexpired_at(probe_year):
+                continue
+            deprecated.add(name)
+    return deprecated

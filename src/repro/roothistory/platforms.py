@@ -1,0 +1,117 @@
+"""Versioned platform root-store histories (Table 3).
+
+| Platform  | Versions | Earliest year | Source modelled                     |
+|-----------|----------|---------------|-------------------------------------|
+| Ubuntu    | 9        | 2012          | ca-certificates package snapshots   |
+| Android   | 10       | 2010          | AOSP ca-certificates commits        |
+| Mozilla   | 47       | 2013          | NSS certdata.txt history            |
+| Microsoft | 15       | 2017          | published trusted-root program data |
+
+A snapshot is the set of root-CA names a platform shipped at a dated
+version; membership is computed from each CA's life cycle record, so the
+common / deprecated set derivations (:mod:`repro.roothistory.derive`)
+operate on exactly the structures the paper scraped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .records import RootCARecord
+
+__all__ = ["PlatformSnapshot", "PlatformHistory", "PLATFORM_SPECS", "build_history"]
+
+#: (platform name, number of versions, earliest year, latest year)
+PLATFORM_SPECS: tuple[tuple[str, int, float, float], ...] = (
+    ("Ubuntu", 9, 2012.0, 2020.5),
+    ("Android", 10, 2010.0, 2019.5),
+    ("Mozilla", 47, 2013.0, 2021.1),
+    ("Microsoft", 15, 2017.0, 2021.0),
+)
+
+
+@dataclass(frozen=True)
+class PlatformSnapshot:
+    """One dated version of a platform's root store."""
+
+    platform: str
+    version_tag: str
+    year: float  # fractional year, e.g. 2018.5 ~ mid-2018
+    members: frozenset[str]  # root-CA record names
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class PlatformHistory:
+    """All versioned snapshots of one platform, oldest first."""
+
+    platform: str
+    snapshots: list[PlatformSnapshot] = field(default_factory=list)
+
+    @property
+    def earliest(self) -> PlatformSnapshot:
+        return self.snapshots[0]
+
+    @property
+    def latest(self) -> PlatformSnapshot:
+        return self.snapshots[-1]
+
+    @property
+    def version_count(self) -> int:
+        return len(self.snapshots)
+
+    def removed_names(self) -> set[str]:
+        """Names present in the earliest version but absent from a
+        successor at some point (the raw material of the deprecated set)."""
+        removed: set[str] = set()
+        baseline = self.earliest.members
+        for snapshot in self.snapshots[1:]:
+            removed |= baseline - snapshot.members
+        return removed
+
+    def removal_year_of(self, name: str) -> float | None:
+        """Year of the first snapshot that no longer carries ``name``."""
+        present = False
+        for snapshot in self.snapshots:
+            if name in snapshot.members:
+                present = True
+            elif present:
+                return snapshot.year
+        return None
+
+
+def _version_years(count: int, first: float, last: float) -> list[float]:
+    if count == 1:
+        return [first]
+    step = (last - first) / (count - 1)
+    return [round(first + i * step, 3) for i in range(count)]
+
+
+def build_history(
+    platform: str,
+    records: list[RootCARecord],
+    *,
+    version_count: int,
+    earliest_year: float,
+    latest_year: float,
+) -> PlatformHistory:
+    """Materialise a platform's snapshot history from CA life cycles."""
+    history = PlatformHistory(platform=platform)
+    for index, year in enumerate(_version_years(version_count, earliest_year, latest_year)):
+        members = frozenset(
+            record.name for record in records if record.in_store_at(platform, year)
+        )
+        history.snapshots.append(
+            PlatformSnapshot(
+                platform=platform,
+                version_tag=f"{platform.lower()}-v{index + 1}",
+                year=year,
+                members=members,
+            )
+        )
+    return history

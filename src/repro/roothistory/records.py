@@ -1,0 +1,116 @@
+"""Root-CA records: the identity and life cycle of one root certificate.
+
+The paper probes devices for two derived certificate sets (§4.2):
+
+* *Common CA certificates* -- unexpired roots present in the **latest**
+  root-store version of all four reference platforms (122 certificates),
+* *Deprecated CA certificates* -- unexpired roots present in a platform's
+  **earliest** store version that were removed by a successor version and
+  never re-added (87 certificates).
+
+A :class:`RootCARecord` carries everything needed to place one CA in that
+history: when it was added, when (if ever) it was removed, which platforms
+carried it, whether the removal was an explicit *distrust* (TurkTrust,
+CNNIC, WoSign, Certinomis) or administrative (key rotation), and a lazily
+constructed :class:`~repro.pki.certificate.CertificateAuthority` whose
+self-signed certificate is the actual store member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from functools import cached_property
+
+from ..pki.certificate import CertificateAuthority, Certificate, utc
+from ..pki.name import DistinguishedName
+
+__all__ = ["RemovalReason", "DistrustEvent", "RootCARecord"]
+
+
+class RemovalReason(Enum):
+    """Why a root left a platform store."""
+
+    DISTRUSTED = "distrusted"  # CA misbehaviour (unauthorized certs, ...)
+    ADMINISTRATIVE = "administrative"  # key rotation, CA request, expiry prep
+    NOT_REMOVED = "not_removed"
+
+
+@dataclass(frozen=True)
+class DistrustEvent:
+    """An explicit distrust action by a browser/OS vendor."""
+
+    year: int
+    platform: str  # who acted first (e.g. "Mozilla", "Google blocklist")
+    reason: str
+
+
+@dataclass(frozen=True)
+class RootCARecord:
+    """One root CA's identity and store life cycle."""
+
+    name: str  # Common Name of the root certificate
+    organization: str
+    country: str
+    added_year: int  # first appears in carrying platforms' stores
+    expiry_year: int  # certificate notAfter year
+    carriers: frozenset[str]  # platform names that ever shipped it
+    removal_year: int | None = None  # None => still present everywhere
+    removal_reason: RemovalReason = RemovalReason.NOT_REMOVED
+    distrust: DistrustEvent | None = None
+    readded_year: int | None = None  # removed but later restored
+
+    def __post_init__(self) -> None:
+        if self.removal_year is not None and self.removal_year < self.added_year:
+            raise ValueError(f"{self.name}: removal_year precedes added_year")
+        if self.readded_year is not None and self.removal_year is None:
+            raise ValueError(f"{self.name}: readded_year without removal_year")
+
+    @property
+    def distinguished_name(self) -> DistinguishedName:
+        return DistinguishedName(
+            common_name=self.name,
+            organization=self.organization,
+            country=self.country,
+        )
+
+    @cached_property
+    def authority(self) -> CertificateAuthority:
+        """The CA key pair + self-signed root, built deterministically.
+
+        The seed is derived from the CA's identity so every run of the
+        simulation produces bit-identical stores and probe targets.
+        """
+        return CertificateAuthority(
+            self.distinguished_name,
+            not_before=utc(self.added_year),
+            not_after=utc(self.expiry_year),
+            seed=f"rootca:{self.name}:{self.organization}".encode(),
+        )
+
+    @property
+    def certificate(self) -> Certificate:
+        return self.authority.certificate
+
+    def in_store_at(self, platform: str, year: float) -> bool:
+        """Whether a snapshot of ``platform`` taken at ``year`` carries it.
+
+        A removal in year Y means snapshots dated >= Y no longer include
+        the certificate; a re-addition restores it from ``readded_year``.
+        """
+        if platform not in self.carriers:
+            return False
+        if year < self.added_year:
+            return False
+        if self.removal_year is None or year < self.removal_year:
+            return True
+        if self.readded_year is not None and year >= self.readded_year:
+            return True
+        return False
+
+    def unexpired_at(self, year: float) -> bool:
+        return year < self.expiry_year
+
+    @property
+    def is_distrusted(self) -> bool:
+        return self.distrust is not None

@@ -1,0 +1,25 @@
+"""Simulated smart-home testbed: servers, gateway capture, smart plugs."""
+
+from .capture import GatewayCapture, RevocationEvent, TrafficRecord
+from .cloud import CloudServer, month_of
+from .dns import DnsQuery, DnsResolver, identify_destinations
+from .infrastructure import Testbed
+from .network import GatewayAttacker, HomeNetwork, LanDeviceAttacker
+from .smartplug import NotRebootableError, SmartPlug
+
+__all__ = [
+    "CloudServer",
+    "DnsQuery",
+    "DnsResolver",
+    "GatewayAttacker",
+    "GatewayCapture",
+    "HomeNetwork",
+    "LanDeviceAttacker",
+    "NotRebootableError",
+    "RevocationEvent",
+    "SmartPlug",
+    "Testbed",
+    "TrafficRecord",
+    "identify_destinations",
+    "month_of",
+]

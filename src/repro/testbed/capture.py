@@ -1,0 +1,92 @@
+"""Gateway traffic capture: the passive measurement vantage point.
+
+The study captures traffic "at a gateway that provides network access
+only to our IoT testbed".  :class:`TrafficRecord` is the per-connection
+unit every analysis consumes -- it carries exactly the fields a passive
+observer can extract from a TLS handshake on the wire (ClientHello
+contents, ServerHello outcome, SNI, alerts) plus capture metadata
+(device attribution by MAC, timestamp).  :class:`RevocationEvent`
+records the side-channel HTTP(S) traffic revocation checking produces
+(CRL fetches, OCSP queries), which Table 8's analysis scans for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from ..devices.profile import Party
+from ..pki.revocation import RevocationMethod
+from ..tls.messages import ClientHello
+from ..tls.versions import ProtocolVersion
+
+__all__ = ["TrafficRecord", "RevocationEvent", "GatewayCapture"]
+
+
+@dataclass(frozen=True)
+class TrafficRecord:
+    """One observed TLS connection attempt."""
+
+    device: str
+    hostname: str
+    party: Party
+    month: int
+    when: datetime
+    client_hello: ClientHello
+    established: bool
+    established_version: ProtocolVersion | None
+    established_cipher_code: int | None
+    client_alert: str | None  # e.g. "unknown_ca"; None when silent/absent
+    downgraded: bool = False  # a fallback retry produced this connection
+    #: How many identical wire connections this record stands for.  The
+    #: longitudinal generator batches a (device, destination, month)
+    #: flow's repeats into one record; analyses weight by this.
+    count: int = 1
+
+    @property
+    def advertised_max_version(self) -> ProtocolVersion:
+        return self.client_hello.max_version
+
+    @property
+    def requests_ocsp_staple(self) -> bool:
+        return self.client_hello.requests_ocsp_staple
+
+
+@dataclass(frozen=True)
+class RevocationEvent:
+    """An observed revocation-infrastructure interaction."""
+
+    device: str
+    method: RevocationMethod
+    url: str
+    month: int
+
+
+@dataclass
+class GatewayCapture:
+    """An append-only capture of testbed traffic."""
+
+    records: list[TrafficRecord] = field(default_factory=list)
+    revocation_events: list[RevocationEvent] = field(default_factory=list)
+
+    def add(self, record: TrafficRecord) -> None:
+        self.records.append(record)
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        self.revocation_events.append(event)
+
+    def by_device(self, device: str) -> list[TrafficRecord]:
+        return [record for record in self.records if record.device == device]
+
+    def devices(self) -> list[str]:
+        return sorted({record.device for record in self.records})
+
+    def months(self) -> list[int]:
+        return sorted({record.month for record in self.records})
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def extend(self, other: "GatewayCapture") -> None:
+        self.records.extend(other.records)
+        self.revocation_events.extend(other.revocation_events)

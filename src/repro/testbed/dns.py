@@ -1,0 +1,77 @@
+"""DNS for the testbed: resolution, query logging, destination identity.
+
+Two roles, both taken from the paper's methodology:
+
+* devices resolve destination hostnames before connecting, so the
+  gateway sees DNS queries even for connections whose ClientHello lacks
+  SNI -- the paper identifies destinations "via SNI or DNS";
+* the resolver's zone file maps each destination onto the simulated
+  network's address plan (used by attacker-placement modelling in
+  :mod:`repro.testbed.network`).
+
+Addressing is deterministic: a hostname's IP is derived from its hash,
+within the testbed's cloud prefix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["DnsQuery", "DnsResolver", "identify_destinations"]
+
+#: The simulated cloud prefix destination servers live in.
+CLOUD_PREFIX = "203.0.113"  # TEST-NET-3
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """One observed DNS lookup (device attribution by source MAC)."""
+
+    device: str
+    hostname: str
+    answer: str
+    month: int
+
+
+@dataclass
+class DnsResolver:
+    """The gateway's resolver with a query log."""
+
+    queries: list[DnsQuery] = field(default_factory=list)
+    _overrides: dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def address_of(hostname: str) -> str:
+        """Deterministic address assignment within the cloud prefix."""
+        digest = hashlib.sha256(hostname.encode()).digest()
+        return f"{CLOUD_PREFIX}.{digest[0] % 254 + 1}"
+
+    def add_record(self, hostname: str, address: str) -> None:
+        """Pin a hostname to a fixed address (zone override)."""
+        self._overrides[hostname] = address
+
+    def resolve(self, device: str, hostname: str, *, month: int = 0) -> str:
+        """Resolve for a device, logging the query at the gateway."""
+        answer = self._overrides.get(hostname) or self.address_of(hostname)
+        self.queries.append(
+            DnsQuery(device=device, hostname=hostname, answer=answer, month=month)
+        )
+        return answer
+
+    def hostnames_queried_by(self, device: str) -> set[str]:
+        return {query.hostname for query in self.queries if query.device == device}
+
+
+def identify_destinations(
+    resolver: DnsResolver, capture, device: str
+) -> set[str]:
+    """The paper's destination identity: unique domains seen for a device
+    via SNI *or* DNS.  Connections without SNI still count through their
+    preceding lookup."""
+    via_sni = {
+        record.client_hello.server_name
+        for record in capture.records
+        if record.device == device and record.client_hello.server_name
+    }
+    return via_sni | resolver.hostnames_queried_by(device)

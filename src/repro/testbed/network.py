@@ -1,0 +1,127 @@
+"""Attacker placement on the home network (§6, user-risk discussion).
+
+The paper notes that MITM attacks "may be carried out not only by any
+on-path attackers (e.g., a malicious router), but by other devices on
+the same user network as well, such as a malicious IoT device using ARP
+spoofing".
+
+This module models the LAN: devices hold addresses in the home subnet,
+traffic to the Internet transits the gateway, and two attacker positions
+exist:
+
+* :class:`GatewayAttacker` -- the classic on-path position (what the
+  study's mitmproxy instance had); sees and can intercept everything,
+* :class:`LanDeviceAttacker` -- a malicious device that must first win
+  the on-path position per victim via ARP spoofing (answering the
+  victim's ARP request for the gateway with its own MAC); once poisoned,
+  its interception capability is identical.
+
+Both positions expose the same :class:`~repro.tls.engine.Responder`
+surface, demonstrating the paper's point: TLS-level defences are the
+backstop, because on-path capability is cheap to obtain inside the home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from ..tls.engine import Responder
+from ..tls.messages import ClientHello, ServerResponse
+
+__all__ = ["HomeNetwork", "GatewayAttacker", "LanDeviceAttacker"]
+
+_LAN_PREFIX = "192.168.7"
+
+
+@dataclass
+class HomeNetwork:
+    """The home subnet: device addressing and an ARP table per device."""
+
+    gateway_ip: str = f"{_LAN_PREFIX}.1"
+    gateway_mac: str = "02:00:00:00:00:01"
+    _addresses: dict[str, str] = field(default_factory=dict)
+    _macs: dict[str, str] = field(default_factory=dict)
+    #: victim device -> ARP mapping for the gateway IP (the poisonable entry).
+    _arp_gateway_entry: dict[str, str] = field(default_factory=dict)
+
+    def join(self, device: str) -> tuple[str, str]:
+        """Attach a device; returns (ip, mac)."""
+        if device not in self._addresses:
+            index = len(self._addresses) + 10
+            self._addresses[device] = f"{_LAN_PREFIX}.{index}"
+            self._macs[device] = f"02:00:00:00:01:{index:02x}"
+            self._arp_gateway_entry[device] = self.gateway_mac
+        return self._addresses[device], self._macs[device]
+
+    def ip_of(self, device: str) -> str:
+        return self._addresses[device]
+
+    def mac_of(self, device: str) -> str:
+        return self._macs[device]
+
+    def gateway_mac_for(self, device: str) -> str:
+        """What the device's ARP cache says the gateway's MAC is."""
+        return self._arp_gateway_entry[device]
+
+    def poison_arp(self, victim: str, attacker_mac: str) -> None:
+        """ARP-spoof: the victim now sends gateway-bound frames to the
+        attacker's MAC."""
+        if victim not in self._arp_gateway_entry:
+            raise KeyError(f"{victim} is not on the network")
+        self._arp_gateway_entry[victim] = attacker_mac
+
+    def restore_arp(self, victim: str) -> None:
+        self._arp_gateway_entry[victim] = self.gateway_mac
+
+    def is_poisoned(self, victim: str) -> bool:
+        return self._arp_gateway_entry[victim] != self.gateway_mac
+
+
+@dataclass
+class GatewayAttacker:
+    """On-path at the gateway: intercepts every device unconditionally."""
+
+    interceptor: Responder
+    network: HomeNetwork
+
+    def on_path_for(self, victim: str) -> bool:
+        return True
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
+        return self.interceptor.respond(client_hello, when=when)
+
+
+@dataclass
+class LanDeviceAttacker:
+    """A malicious device that must ARP-spoof each victim first."""
+
+    name: str
+    interceptor: Responder
+    network: HomeNetwork
+    upstream: Responder  # where non-victim traffic actually goes
+
+    def __post_init__(self) -> None:
+        self.network.join(self.name)
+
+    @property
+    def mac(self) -> str:
+        return self.network.mac_of(self.name)
+
+    def spoof(self, victim: str) -> None:
+        """Poison the victim's ARP cache for the gateway address."""
+        self.network.poison_arp(victim, self.mac)
+
+    def stop_spoofing(self, victim: str) -> None:
+        self.network.restore_arp(victim)
+
+    def on_path_for(self, victim: str) -> bool:
+        return self.network.gateway_mac_for(victim) == self.mac
+
+    def responder_for(self, victim: str) -> Responder:
+        """The responder the victim's traffic actually reaches: the
+        interceptor when poisoned, the genuine path otherwise."""
+        return self if self.on_path_for(victim) else self.upstream
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
+        return self.interceptor.respond(client_hello, when=when)

@@ -1,0 +1,73 @@
+"""TLS Alert protocol (RFC 5246 §7.2 / RFC 8446 §6).
+
+Alert messages are the heart of the paper's novel root-store probing
+technique: clients *may* send ``unknown_ca`` when no trusted root matches
+the presented issuer, and ``decrypt_error`` / ``bad_certificate`` when a
+known issuer's signature fails to verify.  Libraries differ (Table 4);
+those differences are modelled by per-library alert policies in
+:mod:`repro.tlslib`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["AlertLevel", "AlertDescription", "Alert"]
+
+
+class AlertLevel(Enum):
+    WARNING = 1
+    FATAL = 2
+
+
+class AlertDescription(Enum):
+    """Alert descriptions with their RFC-assigned codes."""
+
+    CLOSE_NOTIFY = 0
+    UNEXPECTED_MESSAGE = 10
+    BAD_RECORD_MAC = 20
+    RECORD_OVERFLOW = 22
+    HANDSHAKE_FAILURE = 40
+    BAD_CERTIFICATE = 42
+    UNSUPPORTED_CERTIFICATE = 43
+    CERTIFICATE_REVOKED = 44
+    CERTIFICATE_EXPIRED = 45
+    CERTIFICATE_UNKNOWN = 46
+    ILLEGAL_PARAMETER = 47
+    UNKNOWN_CA = 48
+    ACCESS_DENIED = 49
+    DECODE_ERROR = 50
+    DECRYPT_ERROR = 51
+    PROTOCOL_VERSION = 70
+    INSUFFICIENT_SECURITY = 71
+    INTERNAL_ERROR = 80
+    INAPPROPRIATE_FALLBACK = 86
+    USER_CANCELED = 90
+    NO_RENEGOTIATION = 100
+    MISSING_EXTENSION = 109
+    UNSUPPORTED_EXTENSION = 110
+    UNRECOGNIZED_NAME = 112
+    BAD_CERTIFICATE_STATUS_RESPONSE = 113
+    CERTIFICATE_REQUIRED = 116
+    NO_APPLICATION_PROTOCOL = 120
+
+    @property
+    def human_name(self) -> str:
+        """Printable name in the style the paper uses ("Unknown CA")."""
+        return self.name.replace("_", " ").title().replace("Ca", "CA")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """An alert record as observed on the wire."""
+
+    level: AlertLevel
+    description: AlertDescription
+
+    @classmethod
+    def fatal(cls, description: AlertDescription) -> "Alert":
+        return cls(level=AlertLevel.FATAL, description=description)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"{self.level.name.lower()}:{self.description.name.lower()}"

@@ -1,0 +1,232 @@
+"""Ciphersuite registry with IANA codepoints and security classification.
+
+The classification mirrors §2 of the paper:
+
+* **insecure** -- any suite using DES, 3DES, RC4 or EXPORT-grade keys
+  ("immediate remediation" per NSA/OWASP guidance; Figure 2 plots the
+  fraction of ClientHellos advertising these),
+* **unauthenticated/unencrypted** -- NULL or anonymous (ANON) suites,
+  which the paper reports *no* device ever used,
+* **strong** -- (EC)DHE suites providing perfect forward secrecy, plus
+  all TLS 1.3 suites (always forward-secret); Figure 3 plots these.
+
+Codepoints are the real IANA assignments so that fingerprints computed
+over them (JA3-style) are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "KeyExchange",
+    "BulkCipher",
+    "MacAlgorithm",
+    "CipherSuite",
+    "REGISTRY",
+    "by_code",
+    "by_name",
+    "TLS13_SUITES",
+    "MODERN_TLS12_SUITES",
+    "LEGACY_RSA_SUITES",
+    "INSECURE_SUITES",
+    "GREASE_CODEPOINTS",
+    "TLS_FALLBACK_SCSV",
+]
+
+
+class KeyExchange(Enum):
+    RSA = "RSA"
+    DHE = "DHE"
+    ECDHE = "ECDHE"
+    DH_ANON = "DH_anon"
+    ECDH_ANON = "ECDH_anon"
+    TLS13 = "TLS13"  # key exchange negotiated separately; always (EC)DHE
+    NULL = "NULL"
+
+
+class BulkCipher(Enum):
+    NULL = "NULL"
+    RC4_128 = "RC4_128"
+    DES40_CBC = "DES40_CBC"  # EXPORT grade
+    DES_CBC = "DES_CBC"
+    TRIPLE_DES_EDE_CBC = "3DES_EDE_CBC"
+    AES_128_CBC = "AES_128_CBC"
+    AES_256_CBC = "AES_256_CBC"
+    AES_128_GCM = "AES_128_GCM"
+    AES_256_GCM = "AES_256_GCM"
+    CHACHA20_POLY1305 = "CHACHA20_POLY1305"
+
+
+class MacAlgorithm(Enum):
+    NULL = "NULL"
+    MD5 = "MD5"
+    SHA = "SHA"
+    SHA256 = "SHA256"
+    SHA384 = "SHA384"
+    AEAD = "AEAD"
+
+
+_EXPORT_CIPHERS = {BulkCipher.DES40_CBC}
+_BROKEN_CIPHERS = {
+    BulkCipher.RC4_128,
+    BulkCipher.DES_CBC,
+    BulkCipher.DES40_CBC,
+    BulkCipher.TRIPLE_DES_EDE_CBC,
+}
+_ANON_KX = {KeyExchange.DH_ANON, KeyExchange.ECDH_ANON}
+_FS_KX = {KeyExchange.DHE, KeyExchange.ECDHE, KeyExchange.TLS13}
+
+
+@dataclass(frozen=True)
+class CipherSuite:
+    """A single IANA-registered ciphersuite."""
+
+    code: int
+    name: str
+    key_exchange: KeyExchange
+    cipher: BulkCipher
+    mac: MacAlgorithm
+    tls13_only: bool = False
+
+    @property
+    def is_export(self) -> bool:
+        return self.cipher in _EXPORT_CIPHERS or "EXPORT" in self.name
+
+    @property
+    def is_insecure(self) -> bool:
+        """DES / 3DES / RC4 / EXPORT -- the Figure 2 'insecure' set."""
+        return self.cipher in _BROKEN_CIPHERS or self.is_export
+
+    @property
+    def is_null_or_anon(self) -> bool:
+        """No encryption or no authentication (never seen in the study)."""
+        return (
+            self.cipher is BulkCipher.NULL
+            or self.key_exchange in _ANON_KX
+            or self.key_exchange is KeyExchange.NULL
+        )
+
+    @property
+    def forward_secret(self) -> bool:
+        """(EC)DHE / TLS 1.3 -- the Figure 3 'strong' set."""
+        return self.key_exchange in _FS_KX and not self.is_null_or_anon
+
+    @property
+    def is_strong(self) -> bool:
+        return self.forward_secret and not self.is_insecure
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.name
+
+
+def _suite(code: int, name: str, kx: KeyExchange, cipher: BulkCipher, mac: MacAlgorithm, *, tls13: bool = False) -> CipherSuite:
+    return CipherSuite(code=code, name=name, key_exchange=kx, cipher=cipher, mac=mac, tls13_only=tls13)
+
+
+#: The full registry, keyed by IANA codepoint.
+REGISTRY: dict[int, CipherSuite] = {
+    suite.code: suite
+    for suite in [
+        # --- TLS 1.3 (RFC 8446) ---
+        _suite(0x1301, "TLS_AES_128_GCM_SHA256", KeyExchange.TLS13, BulkCipher.AES_128_GCM, MacAlgorithm.AEAD, tls13=True),
+        _suite(0x1302, "TLS_AES_256_GCM_SHA384", KeyExchange.TLS13, BulkCipher.AES_256_GCM, MacAlgorithm.AEAD, tls13=True),
+        _suite(0x1303, "TLS_CHACHA20_POLY1305_SHA256", KeyExchange.TLS13, BulkCipher.CHACHA20_POLY1305, MacAlgorithm.AEAD, tls13=True),
+        # --- ECDHE, AEAD (modern TLS 1.2) ---
+        _suite(0xC02B, "TLS_ECDHE_ECDSA_WITH_AES_128_GCM_SHA256", KeyExchange.ECDHE, BulkCipher.AES_128_GCM, MacAlgorithm.AEAD),
+        _suite(0xC02C, "TLS_ECDHE_ECDSA_WITH_AES_256_GCM_SHA384", KeyExchange.ECDHE, BulkCipher.AES_256_GCM, MacAlgorithm.AEAD),
+        _suite(0xC02F, "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256", KeyExchange.ECDHE, BulkCipher.AES_128_GCM, MacAlgorithm.AEAD),
+        _suite(0xC030, "TLS_ECDHE_RSA_WITH_AES_256_GCM_SHA384", KeyExchange.ECDHE, BulkCipher.AES_256_GCM, MacAlgorithm.AEAD),
+        _suite(0xCCA8, "TLS_ECDHE_RSA_WITH_CHACHA20_POLY1305_SHA256", KeyExchange.ECDHE, BulkCipher.CHACHA20_POLY1305, MacAlgorithm.AEAD),
+        _suite(0xCCA9, "TLS_ECDHE_ECDSA_WITH_CHACHA20_POLY1305_SHA256", KeyExchange.ECDHE, BulkCipher.CHACHA20_POLY1305, MacAlgorithm.AEAD),
+        # --- ECDHE, CBC ---
+        _suite(0xC009, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA", KeyExchange.ECDHE, BulkCipher.AES_128_CBC, MacAlgorithm.SHA),
+        _suite(0xC00A, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA", KeyExchange.ECDHE, BulkCipher.AES_256_CBC, MacAlgorithm.SHA),
+        _suite(0xC013, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA", KeyExchange.ECDHE, BulkCipher.AES_128_CBC, MacAlgorithm.SHA),
+        _suite(0xC014, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA", KeyExchange.ECDHE, BulkCipher.AES_256_CBC, MacAlgorithm.SHA),
+        _suite(0xC023, "TLS_ECDHE_ECDSA_WITH_AES_128_CBC_SHA256", KeyExchange.ECDHE, BulkCipher.AES_128_CBC, MacAlgorithm.SHA256),
+        _suite(0xC024, "TLS_ECDHE_ECDSA_WITH_AES_256_CBC_SHA384", KeyExchange.ECDHE, BulkCipher.AES_256_CBC, MacAlgorithm.SHA384),
+        _suite(0xC027, "TLS_ECDHE_RSA_WITH_AES_128_CBC_SHA256", KeyExchange.ECDHE, BulkCipher.AES_128_CBC, MacAlgorithm.SHA256),
+        _suite(0xC028, "TLS_ECDHE_RSA_WITH_AES_256_CBC_SHA384", KeyExchange.ECDHE, BulkCipher.AES_256_CBC, MacAlgorithm.SHA384),
+        # --- ECDHE, legacy ciphers ---
+        _suite(0xC007, "TLS_ECDHE_ECDSA_WITH_RC4_128_SHA", KeyExchange.ECDHE, BulkCipher.RC4_128, MacAlgorithm.SHA),
+        _suite(0xC011, "TLS_ECDHE_RSA_WITH_RC4_128_SHA", KeyExchange.ECDHE, BulkCipher.RC4_128, MacAlgorithm.SHA),
+        _suite(0xC008, "TLS_ECDHE_ECDSA_WITH_3DES_EDE_CBC_SHA", KeyExchange.ECDHE, BulkCipher.TRIPLE_DES_EDE_CBC, MacAlgorithm.SHA),
+        _suite(0xC012, "TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA", KeyExchange.ECDHE, BulkCipher.TRIPLE_DES_EDE_CBC, MacAlgorithm.SHA),
+        # --- DHE ---
+        _suite(0x0033, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA", KeyExchange.DHE, BulkCipher.AES_128_CBC, MacAlgorithm.SHA),
+        _suite(0x0039, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA", KeyExchange.DHE, BulkCipher.AES_256_CBC, MacAlgorithm.SHA),
+        _suite(0x0067, "TLS_DHE_RSA_WITH_AES_128_CBC_SHA256", KeyExchange.DHE, BulkCipher.AES_128_CBC, MacAlgorithm.SHA256),
+        _suite(0x006B, "TLS_DHE_RSA_WITH_AES_256_CBC_SHA256", KeyExchange.DHE, BulkCipher.AES_256_CBC, MacAlgorithm.SHA256),
+        _suite(0x009E, "TLS_DHE_RSA_WITH_AES_128_GCM_SHA256", KeyExchange.DHE, BulkCipher.AES_128_GCM, MacAlgorithm.AEAD),
+        _suite(0x009F, "TLS_DHE_RSA_WITH_AES_256_GCM_SHA384", KeyExchange.DHE, BulkCipher.AES_256_GCM, MacAlgorithm.AEAD),
+        _suite(0x0016, "TLS_DHE_RSA_WITH_3DES_EDE_CBC_SHA", KeyExchange.DHE, BulkCipher.TRIPLE_DES_EDE_CBC, MacAlgorithm.SHA),
+        _suite(0x0015, "TLS_DHE_RSA_WITH_DES_CBC_SHA", KeyExchange.DHE, BulkCipher.DES_CBC, MacAlgorithm.SHA),
+        _suite(0x0014, "TLS_DHE_RSA_EXPORT_WITH_DES40_CBC_SHA", KeyExchange.DHE, BulkCipher.DES40_CBC, MacAlgorithm.SHA),
+        # --- static RSA ---
+        _suite(0x002F, "TLS_RSA_WITH_AES_128_CBC_SHA", KeyExchange.RSA, BulkCipher.AES_128_CBC, MacAlgorithm.SHA),
+        _suite(0x0035, "TLS_RSA_WITH_AES_256_CBC_SHA", KeyExchange.RSA, BulkCipher.AES_256_CBC, MacAlgorithm.SHA),
+        _suite(0x003C, "TLS_RSA_WITH_AES_128_CBC_SHA256", KeyExchange.RSA, BulkCipher.AES_128_CBC, MacAlgorithm.SHA256),
+        _suite(0x003D, "TLS_RSA_WITH_AES_256_CBC_SHA256", KeyExchange.RSA, BulkCipher.AES_256_CBC, MacAlgorithm.SHA256),
+        _suite(0x009C, "TLS_RSA_WITH_AES_128_GCM_SHA256", KeyExchange.RSA, BulkCipher.AES_128_GCM, MacAlgorithm.AEAD),
+        _suite(0x009D, "TLS_RSA_WITH_AES_256_GCM_SHA384", KeyExchange.RSA, BulkCipher.AES_256_GCM, MacAlgorithm.AEAD),
+        _suite(0x0005, "TLS_RSA_WITH_RC4_128_SHA", KeyExchange.RSA, BulkCipher.RC4_128, MacAlgorithm.SHA),
+        _suite(0x0004, "TLS_RSA_WITH_RC4_128_MD5", KeyExchange.RSA, BulkCipher.RC4_128, MacAlgorithm.MD5),
+        _suite(0x000A, "TLS_RSA_WITH_3DES_EDE_CBC_SHA", KeyExchange.RSA, BulkCipher.TRIPLE_DES_EDE_CBC, MacAlgorithm.SHA),
+        _suite(0x0009, "TLS_RSA_WITH_DES_CBC_SHA", KeyExchange.RSA, BulkCipher.DES_CBC, MacAlgorithm.SHA),
+        _suite(0x0008, "TLS_RSA_EXPORT_WITH_DES40_CBC_SHA", KeyExchange.RSA, BulkCipher.DES40_CBC, MacAlgorithm.SHA),
+        _suite(0x0003, "TLS_RSA_EXPORT_WITH_RC4_40_MD5", KeyExchange.RSA, BulkCipher.RC4_128, MacAlgorithm.MD5),
+        # --- NULL / anonymous (never used by devices; needed for tests) ---
+        _suite(0x0001, "TLS_RSA_WITH_NULL_MD5", KeyExchange.RSA, BulkCipher.NULL, MacAlgorithm.MD5),
+        _suite(0x0002, "TLS_RSA_WITH_NULL_SHA", KeyExchange.RSA, BulkCipher.NULL, MacAlgorithm.SHA),
+        _suite(0x003B, "TLS_RSA_WITH_NULL_SHA256", KeyExchange.RSA, BulkCipher.NULL, MacAlgorithm.SHA256),
+        _suite(0x0018, "TLS_DH_anon_WITH_RC4_128_MD5", KeyExchange.DH_ANON, BulkCipher.RC4_128, MacAlgorithm.MD5),
+        _suite(0x0034, "TLS_DH_anon_WITH_AES_128_CBC_SHA", KeyExchange.DH_ANON, BulkCipher.AES_128_CBC, MacAlgorithm.SHA),
+        _suite(0xC018, "TLS_ECDH_anon_WITH_AES_128_CBC_SHA", KeyExchange.ECDH_ANON, BulkCipher.AES_128_CBC, MacAlgorithm.SHA),
+    ]
+}
+
+_BY_NAME = {suite.name: suite for suite in REGISTRY.values()}
+
+#: GREASE values (RFC 8701) some modern clients inject into hello lists;
+#: fingerprinting must ignore them, as the Kotzias et al. database does.
+GREASE_CODEPOINTS = frozenset(
+    0x0A0A + 0x1010 * i for i in range(16)
+)
+
+#: TLS_FALLBACK_SCSV (RFC 7507): a signalling value a client appends to
+#: its cipher list when a connection is a *fallback retry* at reduced
+#: security.  A conforming server that supports a higher version answers
+#: with an ``inappropriate_fallback`` alert instead of letting the
+#: downgrade through -- the deployed countermeasure to exactly the
+#: voluntary-fallback behaviour Table 5 documents (none of the study's
+#: downgrading devices sent it).
+TLS_FALLBACK_SCSV = 0x5600
+
+
+def by_code(code: int) -> CipherSuite:
+    """Look a suite up by IANA codepoint; raises ``KeyError`` if unknown."""
+    return REGISTRY[code]
+
+
+def by_name(name: str) -> CipherSuite:
+    """Look a suite up by its IANA name; raises ``KeyError`` if unknown."""
+    return _BY_NAME[name]
+
+
+TLS13_SUITES: tuple[CipherSuite, ...] = tuple(s for s in REGISTRY.values() if s.tls13_only)
+
+MODERN_TLS12_SUITES: tuple[CipherSuite, ...] = tuple(
+    s for s in REGISTRY.values() if s.is_strong and not s.tls13_only
+)
+
+LEGACY_RSA_SUITES: tuple[CipherSuite, ...] = tuple(
+    s
+    for s in REGISTRY.values()
+    if s.key_exchange is KeyExchange.RSA and not s.is_insecure and not s.is_null_or_anon
+)
+
+INSECURE_SUITES: tuple[CipherSuite, ...] = tuple(
+    s for s in REGISTRY.values() if s.is_insecure and not s.is_null_or_anon
+)

@@ -1,0 +1,301 @@
+"""Binary wire codec for the handshake messages the simulation models.
+
+Encodes/decodes the on-the-wire formats of RFC 5246 / RFC 8446 for the
+message subset the paper's tooling observes:
+
+* TLS record layer (`content type | version | length | fragment`),
+* ClientHello and ServerHello handshake messages, with real extension
+  encodings for server_name (RFC 6066), supported_versions (RFC 8446),
+  supported_groups, ec_point_formats, signature_algorithms and ALPN;
+  other extension types carry empty opaque bodies,
+* Alert records.
+
+Uses:
+
+* exporting captures as genuine packet bytes (:mod:`repro.testbed.pcap`),
+* cross-validating the fingerprinting pipeline: a JA3 computed from the
+  *decoded* bytes must equal one computed from the in-memory hello,
+* exercising a parser against adversarial inputs in tests.
+
+Randoms and session ids are deterministic functions of a caller-supplied
+seed so encoded traffic is reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+from .alerts import Alert, AlertDescription, AlertLevel
+from .extensions import Extension, ExtensionType
+from .messages import ClientHello, ServerHello
+from .versions import ProtocolVersion
+
+__all__ = [
+    "CodecError",
+    "encode_client_hello",
+    "decode_client_hello",
+    "encode_server_hello",
+    "decode_server_hello",
+    "encode_alert",
+    "decode_alert",
+]
+
+_CONTENT_HANDSHAKE = 22
+_CONTENT_ALERT = 21
+_HANDSHAKE_CLIENT_HELLO = 1
+_HANDSHAKE_SERVER_HELLO = 2
+
+
+class CodecError(ValueError):
+    """Raised on malformed wire input."""
+
+
+# ---------------------------------------------------------------------------
+# Primitive helpers
+# ---------------------------------------------------------------------------
+
+def _u8(value: int) -> bytes:
+    return struct.pack("!B", value)
+
+
+def _u16(value: int) -> bytes:
+    return struct.pack("!H", value)
+
+
+def _u24(value: int) -> bytes:
+    return struct.pack("!I", value)[1:]
+
+
+def _vec(data: bytes, length_bytes: int) -> bytes:
+    if length_bytes == 1:
+        return _u8(len(data)) + data
+    if length_bytes == 2:
+        return _u16(len(data)) + data
+    if length_bytes == 3:
+        return _u24(len(data)) + data
+    raise AssertionError(length_bytes)
+
+
+class _Reader:
+    """Bounds-checked cursor over wire bytes."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        if self.offset + count > len(self.data):
+            raise CodecError(
+                f"truncated input: wanted {count} bytes at offset {self.offset}, "
+                f"have {len(self.data) - self.offset}"
+            )
+        chunk = self.data[self.offset : self.offset + count]
+        self.offset += count
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("!H", self.take(2))[0]
+
+    def u24(self) -> int:
+        high, low = struct.unpack("!BH", self.take(3))
+        return (high << 16) | low
+
+    def vector(self, length_bytes: int) -> bytes:
+        length = {1: self.u8, 2: self.u16, 3: self.u24}[length_bytes]()
+        return self.take(length)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset >= len(self.data)
+
+
+def _deterministic_random(seed: str) -> bytes:
+    return hashlib.sha256(f"tls-random:{seed}".encode()).digest()
+
+
+# ---------------------------------------------------------------------------
+# Extension bodies
+# ---------------------------------------------------------------------------
+
+def _encode_extension(extension: Extension) -> bytes:
+    ext_type = extension.extension_type
+    if ext_type is ExtensionType.SERVER_NAME and extension.data:
+        hostname = str(extension.data[0]).encode("idna" if False else "ascii")
+        entry = _u8(0) + _vec(hostname, 2)  # name_type=host_name
+        body = _vec(entry, 2)
+    elif ext_type is ExtensionType.SUPPORTED_VERSIONS:
+        versions = b"".join(
+            _u8(major) + _u8(minor) for major, minor in extension.data
+        )
+        body = _vec(versions, 1)
+    elif ext_type is ExtensionType.SUPPORTED_GROUPS:
+        body = _vec(b"".join(_u16(int(v)) for v in extension.data), 2)
+    elif ext_type is ExtensionType.SIGNATURE_ALGORITHMS:
+        body = _vec(b"".join(_u16(int(v)) for v in extension.data), 2)
+    elif ext_type is ExtensionType.EC_POINT_FORMATS:
+        body = _vec(b"".join(_u8(int(v)) for v in extension.data), 1)
+    elif ext_type is ExtensionType.ALPN:
+        protocols = b"".join(_vec(str(p).encode(), 1) for p in extension.data)
+        body = _vec(protocols, 2)
+    elif ext_type is ExtensionType.STATUS_REQUEST:
+        # status_type=ocsp, empty responder list, empty request extensions
+        body = _u8(1) + _u16(0) + _u16(0)
+    else:
+        body = b""
+    return _u16(ext_type.value) + _vec(body, 2)
+
+
+def _decode_extension(ext_type_code: int, body: bytes) -> Extension:
+    reader = _Reader(body)
+    try:
+        ext_type = ExtensionType(ext_type_code)
+    except ValueError as error:
+        raise CodecError(f"unknown extension type {ext_type_code}") from error
+
+    if ext_type is ExtensionType.SERVER_NAME and body:
+        entries = _Reader(reader.vector(2))
+        entries.u8()  # name_type
+        hostname = entries.vector(2).decode("ascii")
+        return Extension(ext_type, (hostname,))
+    if ext_type is ExtensionType.SUPPORTED_VERSIONS and body:
+        versions_bytes = reader.vector(1)
+        pairs = tuple(
+            (versions_bytes[index], versions_bytes[index + 1])
+            for index in range(0, len(versions_bytes), 2)
+        )
+        return Extension(ext_type, pairs)
+    if ext_type in (ExtensionType.SUPPORTED_GROUPS, ExtensionType.SIGNATURE_ALGORITHMS) and body:
+        values = _Reader(reader.vector(2))
+        items = []
+        while not values.exhausted:
+            items.append(values.u16())
+        return Extension(ext_type, tuple(items))
+    if ext_type is ExtensionType.EC_POINT_FORMATS and body:
+        return Extension(ext_type, tuple(reader.vector(1)))
+    if ext_type is ExtensionType.ALPN and body:
+        protocols_reader = _Reader(reader.vector(2))
+        protocols = []
+        while not protocols_reader.exhausted:
+            protocols.append(protocols_reader.vector(1).decode("ascii"))
+        return Extension(ext_type, tuple(protocols))
+    if ext_type is ExtensionType.STATUS_REQUEST:
+        return Extension(ext_type, ("ocsp",))
+    return Extension(ext_type)
+
+
+# ---------------------------------------------------------------------------
+# ClientHello
+# ---------------------------------------------------------------------------
+
+def encode_client_hello(hello: ClientHello, *, seed: str = "client") -> bytes:
+    """Serialise a ClientHello into a full TLS record."""
+    major, minor = hello.legacy_version.wire
+    body = bytes((major, minor))
+    body += _deterministic_random(seed)
+    body += _vec(b"", 1)  # empty session id
+    body += _vec(b"".join(_u16(code) for code in hello.cipher_codes), 2)
+    body += _vec(bytes(hello.compression_methods), 1)
+    extensions = b"".join(_encode_extension(ext) for ext in hello.extensions)
+    body += _vec(extensions, 2)
+
+    handshake = _u8(_HANDSHAKE_CLIENT_HELLO) + _vec(body, 3)
+    return _u8(_CONTENT_HANDSHAKE) + bytes((major, minor)) + _vec(handshake, 2)
+
+
+def decode_client_hello(wire: bytes) -> ClientHello:
+    """Parse a TLS record containing a ClientHello."""
+    record = _Reader(wire)
+    content_type = record.u8()
+    if content_type != _CONTENT_HANDSHAKE:
+        raise CodecError(f"not a handshake record (content type {content_type})")
+    record.take(2)  # record-layer version (may lag the hello's)
+    fragment = _Reader(record.vector(2))
+
+    if fragment.u8() != _HANDSHAKE_CLIENT_HELLO:
+        raise CodecError("not a ClientHello")
+    body = _Reader(fragment.vector(3))
+
+    version = ProtocolVersion.from_wire((body.u8(), body.u8()))
+    body.take(32)  # random
+    body.vector(1)  # session id
+    ciphers_bytes = body.vector(2)
+    if len(ciphers_bytes) % 2:
+        raise CodecError("odd cipher-suite vector length")
+    cipher_codes = tuple(
+        struct.unpack("!H", ciphers_bytes[index : index + 2])[0]
+        for index in range(0, len(ciphers_bytes), 2)
+    )
+    compression = tuple(body.vector(1))
+
+    extensions = []
+    ext_reader = _Reader(body.vector(2))
+    while not ext_reader.exhausted:
+        ext_type_code = ext_reader.u16()
+        ext_body = ext_reader.vector(2)
+        extensions.append(_decode_extension(ext_type_code, ext_body))
+
+    return ClientHello(
+        legacy_version=version,
+        cipher_codes=cipher_codes,
+        extensions=tuple(extensions),
+        compression_methods=compression or (0,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ServerHello
+# ---------------------------------------------------------------------------
+
+def encode_server_hello(hello: ServerHello, *, seed: str = "server") -> bytes:
+    major, minor = hello.version.wire
+    body = bytes((major, minor))
+    body += _deterministic_random(seed)
+    body += _vec(b"", 1)  # session id
+    body += _u16(hello.cipher_code)
+    body += _u8(0)  # null compression
+    handshake = _u8(_HANDSHAKE_SERVER_HELLO) + _vec(body, 3)
+    return _u8(_CONTENT_HANDSHAKE) + bytes((major, minor)) + _vec(handshake, 2)
+
+
+def decode_server_hello(wire: bytes) -> ServerHello:
+    record = _Reader(wire)
+    if record.u8() != _CONTENT_HANDSHAKE:
+        raise CodecError("not a handshake record")
+    record.take(2)
+    fragment = _Reader(record.vector(2))
+    if fragment.u8() != _HANDSHAKE_SERVER_HELLO:
+        raise CodecError("not a ServerHello")
+    body = _Reader(fragment.vector(3))
+    version = ProtocolVersion.from_wire((body.u8(), body.u8()))
+    body.take(32)
+    body.vector(1)
+    cipher_code = body.u16()
+    return ServerHello(version=version, cipher_code=cipher_code)
+
+
+# ---------------------------------------------------------------------------
+# Alerts
+# ---------------------------------------------------------------------------
+
+def encode_alert(alert: Alert, *, version: ProtocolVersion = ProtocolVersion.TLS_1_2) -> bytes:
+    major, minor = version.wire
+    payload = _u8(alert.level.value) + _u8(alert.description.value)
+    return _u8(_CONTENT_ALERT) + bytes((major, minor)) + _vec(payload, 2)
+
+
+def decode_alert(wire: bytes) -> Alert:
+    record = _Reader(wire)
+    if record.u8() != _CONTENT_ALERT:
+        raise CodecError("not an alert record")
+    record.take(2)
+    payload = _Reader(record.vector(2))
+    level = payload.u8()
+    description = payload.u8()
+    try:
+        return Alert(level=AlertLevel(level), description=AlertDescription(description))
+    except ValueError as error:
+        raise CodecError(f"unknown alert ({level}, {description})") from error

@@ -1,0 +1,229 @@
+"""The TLS handshake engine: negotiation between a client and a responder.
+
+The engine is deliberately symmetric about who the "server" is: a
+*responder* is anything that turns a ClientHello into a
+:class:`~repro.tls.messages.ServerResponse`.  Genuine cloud servers
+(:mod:`repro.testbed.servers`) and the interception proxy
+(:mod:`repro.mitm`) both implement the interface, so device code cannot
+tell them apart -- exactly the on-path attacker model of the paper.
+
+Client behaviour (hello shaping, certificate evaluation, alert choice,
+fallback-on-failure) is supplied by :class:`ClientBehavior`
+implementations; the simulated libraries in :mod:`repro.tlslib` are the
+concrete ones.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from datetime import datetime
+from enum import Enum
+from typing import Protocol, runtime_checkable
+
+from ..pki.validation import ValidationResult
+from .alerts import Alert, AlertDescription
+from .ciphersuites import REGISTRY
+from .messages import ClientHello, ServerHello, ServerResponse
+from .versions import ProtocolVersion
+
+__all__ = [
+    "HandshakeState",
+    "ClientVerdict",
+    "HandshakeResult",
+    "Responder",
+    "ClientBehavior",
+    "negotiate",
+    "perform_handshake",
+]
+
+
+class HandshakeState(Enum):
+    """Terminal state of a handshake attempt."""
+
+    ESTABLISHED = "established"
+    CLIENT_REJECTED = "client_rejected"  # client refused the server's credentials
+    SERVER_REJECTED = "server_rejected"  # server sent an alert (e.g. no overlap)
+    NO_RESPONSE = "no_response"  # IncompleteHandshake: silence after ClientHello
+
+
+@dataclass(frozen=True)
+class ClientVerdict:
+    """A client's decision about a server response."""
+
+    accept: bool
+    validation: ValidationResult | None = None
+    alert: Alert | None = None
+
+
+@runtime_checkable
+class Responder(Protocol):
+    """Anything that answers ClientHellos (a server or an interceptor)."""
+
+    def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse: ...
+
+
+class ClientBehavior(abc.ABC):
+    """Pluggable client-side behaviour (one per simulated TLS library)."""
+
+    @abc.abstractmethod
+    def build_client_hello(self, hostname: str | None) -> ClientHello:
+        """Shape the ClientHello for a connection to ``hostname``."""
+
+    @abc.abstractmethod
+    def evaluate_response(
+        self, response: ServerResponse, *, hostname: str | None, when: datetime
+    ) -> ClientVerdict:
+        """Validate the server's credentials and pick an alert on failure."""
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """Complete record of one handshake attempt (the unit of analysis).
+
+    Every table and figure in the paper is computed from collections of
+    these records (plus timestamps and device attribution added by the
+    capture layer).
+    """
+
+    client_hello: ClientHello
+    response: ServerResponse | None
+    state: HandshakeState
+    hostname: str | None
+    when: datetime
+    verdict: ClientVerdict | None = None
+    application_data: tuple[str, ...] = ()
+
+    @property
+    def established(self) -> bool:
+        return self.state is HandshakeState.ESTABLISHED
+
+    @property
+    def established_version(self) -> ProtocolVersion | None:
+        if self.established and self.response and self.response.server_hello:
+            return self.response.server_hello.version
+        return None
+
+    @property
+    def established_cipher_code(self) -> int | None:
+        if self.established and self.response and self.response.server_hello:
+            return self.response.server_hello.cipher_code
+        return None
+
+    @property
+    def client_alert(self) -> Alert | None:
+        return self.verdict.alert if self.verdict else None
+
+
+def negotiate(
+    client_hello: ClientHello,
+    server_versions: frozenset[ProtocolVersion],
+    server_cipher_codes: tuple[int, ...],
+    *,
+    honor_fallback_scsv: bool = False,
+) -> ServerHello | None:
+    """Standard server-side negotiation.
+
+    Chooses the highest protocol version supported by both sides, then
+    the first server-preferred ciphersuite the client offered that is
+    usable at that version.  Returns ``None`` when no common parameters
+    exist (the server should then send ``handshake_failure``).
+
+    With ``honor_fallback_scsv`` (RFC 7507), a hello carrying
+    TLS_FALLBACK_SCSV whose maximum version is below the server's best
+    is refused (``None``; the server should send
+    ``inappropriate_fallback``) -- blocking downgrade-by-retry.
+    """
+    if honor_fallback_scsv and _carries_fallback_scsv(client_hello):
+        if max(server_versions) > client_hello.max_version:
+            return None
+    client_versions = set(client_hello.advertised_versions())
+    # Pre-1.3 clients implicitly accept versions below their maximum.
+    if ProtocolVersion.TLS_1_3 not in client_versions:
+        maximum = client_hello.max_version
+        client_versions = {v for v in ProtocolVersion if v <= maximum}
+    common = client_versions & server_versions
+    if not common:
+        return None
+    version = max(common)
+
+    offered = set(client_hello.cipher_codes)
+    for code in server_cipher_codes:
+        if code not in offered or code not in REGISTRY:
+            continue
+        suite = REGISTRY[code]
+        if version is ProtocolVersion.TLS_1_3 and not suite.tls13_only:
+            continue
+        if version is not ProtocolVersion.TLS_1_3 and suite.tls13_only:
+            continue
+        return ServerHello(version=version, cipher_code=code)
+    return None
+
+
+def perform_handshake(
+    client: ClientBehavior,
+    responder: Responder,
+    *,
+    hostname: str | None,
+    when: datetime,
+    application_data: tuple[str, ...] = (),
+) -> HandshakeResult:
+    """Run one handshake attempt between a client behaviour and a responder.
+
+    ``application_data`` is what the client would transmit after a
+    successful handshake; it surfaces in the result only when the
+    handshake establishes, which is how the interception experiments
+    recover plaintext from vulnerable devices.
+    """
+    client_hello = client.build_client_hello(hostname)
+    response = responder.respond(client_hello, when=when)
+
+    if response.incomplete:
+        return HandshakeResult(
+            client_hello=client_hello,
+            response=response,
+            state=HandshakeState.NO_RESPONSE,
+            hostname=hostname,
+            when=when,
+        )
+
+    if response.alert is not None or response.server_hello is None:
+        return HandshakeResult(
+            client_hello=client_hello,
+            response=response,
+            state=HandshakeState.SERVER_REJECTED,
+            hostname=hostname,
+            when=when,
+        )
+
+    verdict = client.evaluate_response(response, hostname=hostname, when=when)
+    if not verdict.accept:
+        return HandshakeResult(
+            client_hello=client_hello,
+            response=response,
+            state=HandshakeState.CLIENT_REJECTED,
+            hostname=hostname,
+            when=when,
+            verdict=verdict,
+        )
+
+    return HandshakeResult(
+        client_hello=client_hello,
+        response=response,
+        state=HandshakeState.ESTABLISHED,
+        hostname=hostname,
+        when=when,
+        verdict=verdict,
+        application_data=application_data,
+    )
+
+
+def handshake_failure_response() -> ServerResponse:
+    """Convenience: the response a server sends when negotiation fails."""
+    return ServerResponse(alert=Alert.fatal(AlertDescription.HANDSHAKE_FAILURE))
+
+
+def _carries_fallback_scsv(client_hello: ClientHello) -> bool:
+    from .ciphersuites import TLS_FALLBACK_SCSV
+
+    return TLS_FALLBACK_SCSV in client_hello.cipher_codes

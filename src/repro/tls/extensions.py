@@ -1,0 +1,125 @@
+"""TLS extensions (hello extensions) used by the simulation.
+
+Extensions matter in three places:
+
+* **fingerprinting** -- the ordered extension-type list is part of the
+  JA3-style fingerprint (:mod:`repro.fingerprint`),
+* **revocation analysis** -- ``status_request`` signals OCSP-stapling
+  support (Table 8),
+* **negotiation** -- ``supported_versions`` carries TLS 1.3 offers, and
+  ``server_name`` (SNI) identifies destinations in passive data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = [
+    "ExtensionType",
+    "NamedGroup",
+    "SignatureScheme",
+    "ECPointFormat",
+    "Extension",
+    "sni",
+    "status_request",
+    "supported_versions_ext",
+    "supported_groups_ext",
+    "signature_algorithms_ext",
+    "ec_point_formats_ext",
+    "alpn_ext",
+]
+
+
+class ExtensionType(Enum):
+    """Extension type codepoints (IANA TLS ExtensionType registry)."""
+
+    SERVER_NAME = 0
+    STATUS_REQUEST = 5
+    SUPPORTED_GROUPS = 10
+    EC_POINT_FORMATS = 11
+    SIGNATURE_ALGORITHMS = 13
+    ALPN = 16
+    SIGNED_CERTIFICATE_TIMESTAMP = 18
+    PADDING = 21
+    ENCRYPT_THEN_MAC = 22
+    EXTENDED_MASTER_SECRET = 23
+    SESSION_TICKET = 35
+    SUPPORTED_VERSIONS = 43
+    PSK_KEY_EXCHANGE_MODES = 45
+    KEY_SHARE = 51
+    RENEGOTIATION_INFO = 65281
+
+
+class NamedGroup(Enum):
+    """Elliptic-curve groups (IANA supported-groups registry)."""
+
+    SECP256R1 = 23
+    SECP384R1 = 24
+    SECP521R1 = 25
+    X25519 = 29
+    X448 = 30
+    FFDHE2048 = 256
+
+
+class SignatureScheme(Enum):
+    """Signature algorithms (RFC 8446 §4.2.3 codepoints)."""
+
+    RSA_PKCS1_SHA1 = 0x0201
+    ECDSA_SHA1 = 0x0203
+    RSA_PKCS1_SHA256 = 0x0401
+    ECDSA_SECP256R1_SHA256 = 0x0403
+    RSA_PKCS1_SHA384 = 0x0501
+    RSA_PKCS1_SHA512 = 0x0601
+    RSA_PSS_RSAE_SHA256 = 0x0804
+    RSA_PSS_RSAE_SHA384 = 0x0805
+    ED25519 = 0x0807
+
+
+class ECPointFormat(Enum):
+    UNCOMPRESSED = 0
+    ANSIX962_COMPRESSED_PRIME = 1
+
+
+@dataclass(frozen=True)
+class Extension:
+    """A hello extension: its type plus an opaque, hashable payload.
+
+    ``data`` is a tuple of primitives (ints/strings) rather than raw
+    bytes; the fingerprinting layer only needs type codes and the group /
+    point-format lists, per the JA3 definition.
+    """
+
+    extension_type: ExtensionType
+    data: tuple = field(default_factory=tuple)
+
+
+def sni(hostname: str) -> Extension:
+    """Server Name Indication carrying the destination hostname."""
+    return Extension(ExtensionType.SERVER_NAME, (hostname,))
+
+
+def status_request() -> Extension:
+    """OCSP stapling request (certificate status request)."""
+    return Extension(ExtensionType.STATUS_REQUEST, ("ocsp",))
+
+
+def supported_versions_ext(wire_codes: tuple[tuple[int, int], ...]) -> Extension:
+    """TLS 1.3 style supported_versions list."""
+    return Extension(ExtensionType.SUPPORTED_VERSIONS, wire_codes)
+
+
+def supported_groups_ext(groups: tuple[NamedGroup, ...]) -> Extension:
+    return Extension(ExtensionType.SUPPORTED_GROUPS, tuple(g.value for g in groups))
+
+
+def signature_algorithms_ext(schemes: tuple[SignatureScheme, ...]) -> Extension:
+    return Extension(ExtensionType.SIGNATURE_ALGORITHMS, tuple(s.value for s in schemes))
+
+
+def ec_point_formats_ext(formats: tuple[ECPointFormat, ...] = (ECPointFormat.UNCOMPRESSED,)) -> Extension:
+    return Extension(ExtensionType.EC_POINT_FORMATS, tuple(f.value for f in formats))
+
+
+def alpn_ext(protocols: tuple[str, ...]) -> Extension:
+    return Extension(ExtensionType.ALPN, protocols)

@@ -1,0 +1,117 @@
+"""TLS handshake messages (the subset observable by the paper's tooling).
+
+The paper's instrumentation sees ClientHellos, ServerHellos, certificate
+chains, alerts and (for intercepted connections) application data.  These
+dataclasses are that wire surface; everything the analysis pipeline
+consumes is derived from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..pki.certificate import Certificate
+from ..pki.revocation import OCSPResponse
+from .alerts import Alert
+from .ciphersuites import GREASE_CODEPOINTS, REGISTRY, CipherSuite
+from .extensions import Extension, ExtensionType
+from .versions import ProtocolVersion
+
+__all__ = ["ClientHello", "ServerHello", "ServerResponse"]
+
+
+@dataclass(frozen=True)
+class ClientHello:
+    """A ClientHello as captured on the wire.
+
+    ``legacy_version`` is the record-layer version; for TLS 1.3 clients
+    it stays at TLS 1.2 and the real offer lives in the
+    ``supported_versions`` extension (RFC 8446 §4.1.2), which
+    :meth:`advertised_versions` reconstructs -- matching how the paper's
+    passive pipeline computes "advertised" version fractions.
+    """
+
+    legacy_version: ProtocolVersion
+    cipher_codes: tuple[int, ...]
+    extensions: tuple[Extension, ...] = ()
+    compression_methods: tuple[int, ...] = (0,)
+
+    def extension(self, extension_type: ExtensionType) -> Extension | None:
+        """First extension of the given type, or None."""
+        for ext in self.extensions:
+            if ext.extension_type is extension_type:
+                return ext
+        return None
+
+    @property
+    def server_name(self) -> str | None:
+        """SNI hostname, if sent."""
+        ext = self.extension(ExtensionType.SERVER_NAME)
+        return ext.data[0] if ext and ext.data else None
+
+    @property
+    def requests_ocsp_staple(self) -> bool:
+        """Whether the hello carries a status_request (OCSP stapling)."""
+        return self.extension(ExtensionType.STATUS_REQUEST) is not None
+
+    def advertised_versions(self) -> tuple[ProtocolVersion, ...]:
+        """All protocol versions this hello offers, highest first."""
+        ext = self.extension(ExtensionType.SUPPORTED_VERSIONS)
+        if ext is not None:
+            versions = [ProtocolVersion.from_wire(wire) for wire in ext.data]
+            return tuple(sorted(versions, reverse=True))
+        # Pre-1.3 semantics: the legacy version is the *maximum*; all
+        # lower versions are implicitly acceptable to most stacks, but
+        # for "advertised" statistics the paper counts the maximum.
+        return (self.legacy_version,)
+
+    @property
+    def max_version(self) -> ProtocolVersion:
+        return self.advertised_versions()[0]
+
+    def cipher_suites(self) -> tuple[CipherSuite, ...]:
+        """Decode offered codepoints, skipping GREASE and unknown values."""
+        return tuple(
+            REGISTRY[code]
+            for code in self.cipher_codes
+            if code not in GREASE_CODEPOINTS and code in REGISTRY
+        )
+
+    @property
+    def advertises_insecure_cipher(self) -> bool:
+        return any(suite.is_insecure for suite in self.cipher_suites())
+
+    @property
+    def advertises_forward_secrecy(self) -> bool:
+        return any(suite.forward_secret for suite in self.cipher_suites())
+
+
+@dataclass(frozen=True)
+class ServerHello:
+    """A ServerHello: the server's version and ciphersuite choice."""
+
+    version: ProtocolVersion
+    cipher_code: int
+
+    @property
+    def cipher_suite(self) -> CipherSuite:
+        return REGISTRY[self.cipher_code]
+
+
+@dataclass(frozen=True)
+class ServerResponse:
+    """Everything a (possibly impersonated) server sends after ClientHello.
+
+    ``incomplete`` models the paper's *IncompleteHandshake* probe: the
+    attacker simply never answers the ClientHello.
+    """
+
+    server_hello: ServerHello | None = None
+    certificate_chain: tuple[Certificate, ...] = ()
+    ocsp_staple: OCSPResponse | None = None
+    alert: Alert | None = None
+    incomplete: bool = False
+
+    @property
+    def chain(self) -> list[Certificate]:
+        return list(self.certificate_chain)

@@ -1,0 +1,28 @@
+"""Simulated TLS client libraries (Table 4 behaviours)."""
+
+from .catalog import (
+    ALL_LIBRARIES,
+    GNUTLS,
+    MBEDTLS,
+    OPENSSL,
+    ORACLE_JAVA,
+    SECURE_TRANSPORT,
+    WOLFSSL,
+    by_name,
+)
+from .library import AlertPolicy, ClientConfig, LibraryClient, TLSLibrary
+
+__all__ = [
+    "ALL_LIBRARIES",
+    "AlertPolicy",
+    "ClientConfig",
+    "GNUTLS",
+    "LibraryClient",
+    "MBEDTLS",
+    "OPENSSL",
+    "ORACLE_JAVA",
+    "SECURE_TRANSPORT",
+    "TLSLibrary",
+    "WOLFSSL",
+    "by_name",
+]

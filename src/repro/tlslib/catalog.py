@@ -1,0 +1,153 @@
+"""Catalog of the six simulated TLS libraries measured in Table 4.
+
+| Library                        | known CA, invalid signature | unknown CA          | amenable |
+|--------------------------------|-----------------------------|---------------------|----------|
+| MbedTLS (v2.21.0)              | Bad Certificate             | Unknown CA          | yes      |
+| OpenSSL (v1.1.1i)              | Decrypt Error               | Unknown CA          | yes      |
+| Oracle Java (v18.0)            | Certificate Unknown         | Certificate Unknown | no       |
+| WolfSSL (v4.1.0)               | Bad Certificate             | Bad Certificate     | no       |
+| GNU TLS (v3.6.15)              | (no alert)                  | (no alert)          | no       |
+| Secure Transport (macOS 11.3)  | (no alert)                  | (no alert)          | no       |
+
+The extension dialects differ per library so that hellos -- and hence
+fingerprints -- are library-distinctive, mirroring how the Kotzias et al.
+database can label traffic with the generating application.
+"""
+
+from __future__ import annotations
+
+from ..tls.alerts import AlertDescription
+from ..tls.extensions import ExtensionType
+from .library import AlertPolicy, TLSLibrary
+
+__all__ = [
+    "MBEDTLS",
+    "OPENSSL",
+    "ORACLE_JAVA",
+    "WOLFSSL",
+    "GNUTLS",
+    "SECURE_TRANSPORT",
+    "ALL_LIBRARIES",
+    "by_name",
+]
+
+MBEDTLS = TLSLibrary(
+    name="MbedTLS",
+    version="2.21.0",
+    alert_policy=AlertPolicy(
+        on_unknown_ca=AlertDescription.UNKNOWN_CA,
+        on_bad_signature=AlertDescription.BAD_CERTIFICATE,
+    ),
+    extension_dialect=(
+        ExtensionType.SUPPORTED_GROUPS,
+        ExtensionType.EC_POINT_FORMATS,
+        ExtensionType.SIGNATURE_ALGORITHMS,
+        ExtensionType.ENCRYPT_THEN_MAC,
+        ExtensionType.EXTENDED_MASTER_SECRET,
+    ),
+)
+
+OPENSSL = TLSLibrary(
+    name="OpenSSL",
+    version="1.1.1i",
+    alert_policy=AlertPolicy(
+        on_unknown_ca=AlertDescription.UNKNOWN_CA,
+        on_bad_signature=AlertDescription.DECRYPT_ERROR,
+    ),
+    extension_dialect=(
+        ExtensionType.EC_POINT_FORMATS,
+        ExtensionType.SUPPORTED_GROUPS,
+        ExtensionType.SESSION_TICKET,
+        ExtensionType.SIGNATURE_ALGORITHMS,
+        ExtensionType.EXTENDED_MASTER_SECRET,
+        ExtensionType.RENEGOTIATION_INFO,
+    ),
+)
+
+ORACLE_JAVA = TLSLibrary(
+    name="Oracle Java",
+    version="18.0",
+    alert_policy=AlertPolicy(
+        on_unknown_ca=AlertDescription.CERTIFICATE_UNKNOWN,
+        on_bad_signature=AlertDescription.CERTIFICATE_UNKNOWN,
+        on_hostname_mismatch=AlertDescription.CERTIFICATE_UNKNOWN,
+        on_bad_constraints=AlertDescription.CERTIFICATE_UNKNOWN,
+    ),
+    extension_dialect=(
+        ExtensionType.SUPPORTED_GROUPS,
+        ExtensionType.EC_POINT_FORMATS,
+        ExtensionType.SIGNATURE_ALGORITHMS,
+        ExtensionType.SIGNED_CERTIFICATE_TIMESTAMP,
+    ),
+)
+
+WOLFSSL = TLSLibrary(
+    name="WolfSSL",
+    version="4.1.0",
+    alert_policy=AlertPolicy(
+        on_unknown_ca=AlertDescription.BAD_CERTIFICATE,
+        on_bad_signature=AlertDescription.BAD_CERTIFICATE,
+    ),
+    extension_dialect=(
+        ExtensionType.SUPPORTED_GROUPS,
+        ExtensionType.SIGNATURE_ALGORITHMS,
+    ),
+)
+
+GNUTLS = TLSLibrary(
+    name="GNU TLS",
+    version="3.6.15",
+    alert_policy=AlertPolicy(
+        on_unknown_ca=None,
+        on_bad_signature=None,
+        on_expired=None,
+        on_hostname_mismatch=None,
+        on_bad_constraints=None,
+        on_other=None,
+    ),
+    sends_alerts=False,
+    extension_dialect=(
+        ExtensionType.SUPPORTED_GROUPS,
+        ExtensionType.EC_POINT_FORMATS,
+        ExtensionType.SIGNATURE_ALGORITHMS,
+        ExtensionType.SESSION_TICKET,
+        ExtensionType.ENCRYPT_THEN_MAC,
+    ),
+)
+
+SECURE_TRANSPORT = TLSLibrary(
+    name="Secure Transport",
+    version="macOS 11.3",
+    alert_policy=AlertPolicy(
+        on_unknown_ca=None,
+        on_bad_signature=None,
+        on_expired=None,
+        on_hostname_mismatch=None,
+        on_bad_constraints=None,
+        on_other=None,
+    ),
+    sends_alerts=False,
+    extension_dialect=(
+        ExtensionType.EC_POINT_FORMATS,
+        ExtensionType.SUPPORTED_GROUPS,
+        ExtensionType.SIGNATURE_ALGORITHMS,
+        ExtensionType.ALPN,
+        ExtensionType.SIGNED_CERTIFICATE_TIMESTAMP,
+    ),
+)
+
+ALL_LIBRARIES: tuple[TLSLibrary, ...] = (
+    MBEDTLS,
+    OPENSSL,
+    ORACLE_JAVA,
+    WOLFSSL,
+    GNUTLS,
+    SECURE_TRANSPORT,
+)
+
+_BY_NAME = {library.name: library for library in ALL_LIBRARIES}
+
+
+def by_name(name: str) -> TLSLibrary:
+    """Look a library up by name; raises ``KeyError`` for unknown names."""
+    return _BY_NAME[name]

@@ -1,0 +1,90 @@
+"""Tests for fingerprint-driven attack scaling (§5.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.attack_scaling import (
+    FingerprintTargetedAttacker,
+    shared_risk_analysis,
+)
+from repro.fingerprint import collect_device_fingerprints
+from repro.mitm import AttackMode
+
+
+@pytest.fixture(scope="module")
+def collected(testbed, campaign_results):
+    return collect_device_fingerprints(testbed)
+
+
+@pytest.fixture(scope="module")
+def attacker(testbed, campaign_results, collected):
+    return FingerprintTargetedAttacker.from_campaign(campaign_results, collected, testbed)
+
+
+class TestSharedRisk:
+    @pytest.fixture(scope="class")
+    def findings(self, testbed, campaign_results, collected):
+        return shared_risk_analysis(campaign_results, collected, testbed)
+
+    def test_amazon_wronghostname_propagates(self, findings):
+        """The auth-path flaw on one Echo predicts the same flaw on the
+        rest of the cluster sharing that fingerprint."""
+        amazon = [
+            finding
+            for finding in findings
+            if finding.attack is AttackMode.WRONG_HOSTNAME
+            and finding.source_device.startswith("Amazon Echo")
+            and finding.predicted_devices
+        ]
+        assert amazon
+        predicted = set().union(*(set(f.predicted_devices) for f in amazon))
+        assert {"Fire TV", "Amazon Echo Plus"} & predicted
+
+    def test_propagation_precision_is_high(self, findings):
+        """Same fingerprint == same instance == same flaw: the paper's
+        scaling premise should validate with high precision."""
+        scored = [finding for finding in findings if finding.predicted_devices]
+        assert scored
+        mean_precision = sum(finding.precision for finding in scored) / len(scored)
+        assert mean_precision > 0.8
+
+    def test_no_propagation_from_unique_fingerprints(self, findings):
+        for finding in findings:
+            assert finding.source_device not in finding.predicted_devices
+
+
+class TestTargetedAttacker:
+    def test_knowledge_base_learned(self, attacker):
+        assert attacker.vulnerable_fingerprints
+        attacks = set().union(*attacker.vulnerable_fingerprints.values())
+        assert AttackMode.WRONG_HOSTNAME in attacks
+        assert AttackMode.NO_VALIDATION in attacks
+
+    def test_targeting_economics(self, attacker, passive_capture):
+        outcome = attacker.evaluate(passive_capture)
+        assert outcome.total_connections > 0
+        # Targeting touches a small share of all traffic...
+        assert outcome.touch_fraction < 0.25
+        # ...with a far better per-connection yield than blind attacking...
+        assert outcome.targeted_yield > 4 * outcome.blind_yield
+        # ...while keeping every interceptable connection in scope.
+        assert outcome.recall == 1.0
+
+    def test_would_target_respects_hostname_refinement(self, attacker, passive_capture):
+        """Amazon-fingerprinted traffic to non-auth hosts is skipped."""
+        skipped = [
+            record
+            for record in passive_capture.records
+            if record.device == "Amazon Echo Dot"
+            and record.hostname.startswith("svc")
+            and not attacker.would_target(record)
+        ]
+        assert skipped
+
+    def test_empty_capture(self, attacker):
+        from repro.testbed import GatewayCapture
+
+        outcome = attacker.evaluate(GatewayCapture())
+        assert outcome.touch_fraction == 0.0
+        assert outcome.recall == 1.0

@@ -1,0 +1,172 @@
+"""Tests pinning the device catalog to the paper's Table 1 facts."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.devices import (
+    DeviceCategory,
+    ValidationMode,
+    active_devices,
+    build_catalog,
+    device_by_name,
+    passive_devices,
+)
+
+
+class TestTable1:
+    def test_forty_devices(self):
+        assert len(build_catalog()) == 40
+
+    def test_thirty_two_active(self):
+        assert len(active_devices()) == 32
+
+    def test_category_sizes(self):
+        counts = Counter(device.category for device in build_catalog())
+        assert counts[DeviceCategory.CAMERA] == 7
+        assert counts[DeviceCategory.SMART_HUB] == 7
+        assert counts[DeviceCategory.HOME_AUTOMATION] == 7
+        assert counts[DeviceCategory.TV] == 5
+        assert counts[DeviceCategory.AUDIO] == 7
+        assert counts[DeviceCategory.APPLIANCE] == 7
+
+    def test_passive_only_devices_match_table1_stars(self):
+        passive_only = {device.name for device in build_catalog() if not device.active}
+        assert passive_only == {
+            "Blink Camera",
+            "Amazon Cloudcam",
+            "Ring Doorbell",
+            "Sengled Hub",
+            "Insteon Hub",
+            "Samsung TV",
+            "Samsung Washer",
+            "LG Dishwasher",
+        }
+
+    def test_collective_units_exceed_200_million(self):
+        assert sum(device.units_sold_millions for device in build_catalog()) >= 200
+
+    def test_unknown_device_raises(self):
+        with pytest.raises(KeyError):
+            device_by_name("Nonexistent Toaster")
+
+
+class TestStructuralInvariants:
+    def test_every_destination_references_known_instance(self):
+        for device in build_catalog():
+            names = {spec.name for spec in device.instances}
+            for destination in device.destinations:
+                assert destination.instance in names
+
+    def test_every_device_has_traffic_sources(self):
+        for device in build_catalog():
+            assert device.instances
+            assert device.destinations
+
+    def test_non_rebootable_devices(self):
+        """Washer is passive; the active non-rebootables are the paper's
+        reboot-excluded appliances."""
+        non_rebootable = {
+            device.name for device in active_devices() if not device.rebootable
+        }
+        assert non_rebootable == {"Nest Thermostat", "Samsung Dryer", "Samsung Fridge"}
+
+    def test_hostnames_unique_across_catalog(self):
+        hostnames = [
+            destination.hostname
+            for device in build_catalog()
+            for destination in device.destinations
+        ]
+        assert len(hostnames) == len(set(hostnames))
+
+    def test_longitudinal_windows_at_least_six_months(self):
+        for device in passive_devices():
+            assert device.longitudinal.months_active >= 6, device.name
+
+    def test_most_devices_exceed_a_year(self):
+        over_year = [
+            device for device in passive_devices() if device.longitudinal.months_active > 12
+        ]
+        assert len(over_year) >= 32
+
+
+class TestPaperSpecificDevices:
+    def test_no_validation_devices(self):
+        """The four devices validating on no destination at all."""
+        fully_unvalidated = set()
+        for device in active_devices():
+            modes = {
+                device.instance_spec(destination.instance).validation.mode
+                for destination in device.destinations
+            }
+            if modes == {ValidationMode.NONE}:
+                fully_unvalidated.add(device.name)
+        assert fully_unvalidated == {
+            "Zmodo Doorbell",
+            "Amcrest Camera",
+            "Smarter iKettle",
+        }
+
+    def test_yi_camera_disables_after_three_failures(self):
+        device = device_by_name("Yi Camera")
+        policy = device.instances[0].validation
+        assert policy.disable_after_failures == 3
+
+    def test_amazon_family_shares_instance_names(self):
+        for name in ("Amazon Echo Plus", "Amazon Echo Dot", "Amazon Echo Spot", "Fire TV"):
+            device = device_by_name(name)
+            instance_names = {spec.name for spec in device.instances}
+            assert {"amazon-tls", "amazon-auth"} <= instance_names
+
+    def test_echo_spot_boots_through_wolfssl(self):
+        device = device_by_name("Amazon Echo Spot")
+        first = device.destinations[0]
+        assert first.instance == "amazon-boot"
+        assert device.instance_spec("amazon-boot").library.name == "WolfSSL"
+
+    def test_firetv_boots_through_android(self):
+        device = device_by_name("Fire TV")
+        assert device.destinations[0].instance == "firetv-android"
+
+    def test_wemo_only_tls10(self):
+        from repro.tls import ProtocolVersion
+
+        device = device_by_name("Wemo Plug")
+        config = device.instances[0].config_at(38)
+        assert config.versions == (ProtocolVersion.TLS_1_0,)
+
+    def test_table5_destination_totals(self):
+        expected = {
+            "Amazon Echo Dot": (7, 9),
+            "Amazon Echo Plus": (6, 7),
+            "Amazon Echo Spot": (11, 15),
+            "Fire TV": (13, 21),
+            "Apple HomePod": (7, 9),
+            "Google Home Mini": (5, 5),
+            "Roku TV": (8, 15),
+        }
+        for name, (_downgraded, tested) in expected.items():
+            device = device_by_name(name)
+            actually_tested = sum(
+                1 for destination in device.destinations if destination.tested_for_downgrade
+            )
+            assert actually_tested == tested, name
+
+    def test_table7_destination_totals(self):
+        expected = {
+            "Zmodo Doorbell": 6,
+            "Amcrest Camera": 2,
+            "Smarter iKettle": 1,
+            "Yi Camera": 1,
+            "Wink Hub 2": 2,
+            "LG TV": 2,
+            "Smartthings Hub": 3,
+            "Amazon Echo Plus": 8,
+            "Amazon Echo Dot": 9,
+            "Amazon Echo Spot": 17,
+            "Fire TV": 21,
+        }
+        for name, total in expected.items():
+            assert len(device_by_name(name).destinations) == total, name

@@ -1,0 +1,127 @@
+"""Tests for the CLI and the JSON export layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    campaign_to_dict,
+    capture_to_records,
+    probe_report_to_dict,
+    write_json,
+)
+from repro.cli import build_parser, main
+
+
+class TestExport:
+    def test_capture_records_roundtrip_json(self, passive_capture, tmp_path):
+        records = capture_to_records(passive_capture)
+        assert len(records) == len(passive_capture)
+        path = write_json(records[:50], tmp_path / "capture.json")
+        loaded = json.loads(path.read_text())
+        assert loaded[0]["device"]
+        assert isinstance(loaded[0]["count"], int)
+        assert loaded[0]["advertised_max_version"].startswith(("TLS", "SSL"))
+
+    def test_campaign_dict_structure(self, campaign_results):
+        payload = campaign_to_dict(campaign_results)
+        assert payload["summary"]["vulnerable_devices"] == 11
+        assert len(payload["interception"]) == 32
+        assert len(payload["probes"]) == len(campaign_results.probes)
+        assert {entry["device"] for entry in payload["interception"] if entry["vulnerable"]} == {
+            report.device for report in campaign_results.interception if report.vulnerable
+        }
+        json.dumps(payload)  # must be serialisable
+
+    def test_probe_report_dict_amenable_and_not(self, campaign_results):
+        amenable = campaign_results.amenable_probe_reports[0]
+        payload = probe_report_to_dict(amenable)
+        assert payload["amenable"]
+        assert payload["common"]["conclusive"] > 0
+
+        not_amenable = next(
+            report for report in campaign_results.probes if not report.calibration.amenable
+        )
+        payload = probe_report_to_dict(not_amenable)
+        assert not payload["amenable"]
+        assert payload["reason"]
+
+    def test_write_json_creates_parents(self, tmp_path):
+        path = write_json({"x": 1}, tmp_path / "deep" / "nested" / "out.json")
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"x": 1}
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_devices_lists_catalog(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Zmodo Doorbell" in out
+        assert "Cameras (n = 7)" in out
+
+    def test_amenability_prints_table4(self, capsys):
+        assert main(["amenability"]) == 0
+        out = capsys.readouterr().out
+        assert "Decrypt Error" in out
+        assert "No Alert" in out
+
+    def test_probe_known_device(self, capsys, tmp_path):
+        json_path = tmp_path / "probe.json"
+        assert main(["probe", "Wink Hub 2", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Wink Hub 2: common" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["device"] == "Wink Hub 2"
+        assert payload["amenable"]
+
+    def test_probe_non_amenable_device_exit_code(self, capsys):
+        assert main(["probe", "Apple TV"]) == 1
+        assert "not amenable" in capsys.readouterr().out
+
+    def test_probe_unknown_device(self, capsys):
+        assert main(["probe", "Nonexistent Toaster"]) == 2
+        assert "unknown device" in capsys.readouterr().err
+
+    def test_probe_rejects_non_rebootable(self, capsys):
+        assert main(["probe", "Samsung Fridge"]) == 2
+        assert "reboot" in capsys.readouterr().err
+
+    def test_probe_rejects_passive_only(self, capsys):
+        assert main(["probe", "Samsung TV"]) == 2
+        assert "passive-only" in capsys.readouterr().err
+
+    def test_trace_summary(self, capsys):
+        assert main(["trace", "--scale", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1: 12 devices shown" in out
+        assert "Table 8: CRL 1, OCSP 3, stapling 12" in out
+
+    def test_fingerprint_summary(self, capsys):
+        assert main(["fingerprint"]) == 0
+        out = capsys.readouterr().out
+        assert "19 devices share a fingerprint" in out
+        assert "cluster:" in out
+
+    def test_pcap_command(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.pcap"
+        assert main(["pcap", "--out", str(out_path), "--scale", "1", "--limit", "10"]) == 0
+        assert out_path.exists()
+        import struct
+
+        magic = struct.unpack("!I", out_path.read_bytes()[:4])[0]
+        assert magic == 0xA1B2C3D4
+
+    def test_audit_summary(self, capsys, tmp_path):
+        json_path = tmp_path / "audit.json"
+        assert main(["audit", "--no-passthrough", "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "11 vulnerable" in out
+        assert "8 probe-amenable" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["summary"]["vulnerable_devices"] == 11

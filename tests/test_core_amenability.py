@@ -1,0 +1,62 @@
+"""Tests for the Table 4 amenability harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import survey_all_libraries
+from repro.core import test_library_amenability as check_library_amenability
+from repro.tlslib import ALL_LIBRARIES, OPENSSL
+
+# Imported callable is a library API, not a pytest case.
+check_library_amenability.__test__ = False
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return {row.library: row for row in survey_all_libraries()}
+
+
+class TestTable4:
+    def test_covers_all_six_libraries(self, survey):
+        assert set(survey) == {library.name for library in ALL_LIBRARIES}
+
+    def test_exactly_two_amenable(self, survey):
+        amenable = {name for name, row in survey.items() if row.amenable}
+        assert amenable == {"MbedTLS", "OpenSSL"}
+
+    def test_mbedtls_alerts(self, survey):
+        row = survey["MbedTLS"]
+        assert row.alert_known_ca_bad_signature == "bad_certificate"
+        assert row.alert_unknown_ca == "unknown_ca"
+
+    def test_openssl_alerts(self, survey):
+        row = survey["OpenSSL"]
+        assert row.alert_known_ca_bad_signature == "decrypt_error"
+        assert row.alert_unknown_ca == "unknown_ca"
+
+    def test_java_same_alert_both_cases(self, survey):
+        row = survey["Oracle Java"]
+        assert row.alert_known_ca_bad_signature == row.alert_unknown_ca == "certificate_unknown"
+
+    def test_wolfssl_same_alert_both_cases(self, survey):
+        row = survey["WolfSSL"]
+        assert row.alert_known_ca_bad_signature == row.alert_unknown_ca == "bad_certificate"
+
+    def test_silent_libraries_send_no_alert(self, survey):
+        for name in ("GNU TLS", "Secure Transport"):
+            row = survey[name]
+            assert row.alert_known_ca_bad_signature is None
+            assert row.alert_unknown_ca is None
+            assert not row.amenable
+
+    def test_row_rendering_matches_paper_wording(self, survey):
+        _, bad_sig, unknown = survey["MbedTLS"].row()
+        assert bad_sig == "Bad Certificate"
+        assert unknown == "Unknown CA"
+        _, bad_sig, unknown = survey["GNU TLS"].row()
+        assert bad_sig == unknown == "No Alert"
+
+    def test_single_library_helper(self):
+        row = check_library_amenability(OPENSSL)
+        assert row.amenable

@@ -1,0 +1,115 @@
+"""Tests for the full campaign orchestration, probing results (Table 9)
+and the TrafficPassthrough verification pass."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import distrusted_trusted_by, staleness_by_device
+
+
+class TestProbeCampaign:
+    def test_eight_amenable_devices(self, campaign_results):
+        amenable = {r.device for r in campaign_results.amenable_probe_reports}
+        assert amenable == {
+            "Google Home Mini",
+            "Amazon Echo Plus",
+            "Amazon Echo Dot",
+            "Amazon Echo Dot 3",
+            "Wink Hub 2",
+            "Roku TV",
+            "LG TV",
+            "Harman Invoke",
+        }
+
+    def test_eligibility_excludes_reboot_unsafe_and_unvalidated(self, campaign_results):
+        eligible = set(campaign_results.probe_eligible)
+        for excluded in (
+            "Nest Thermostat",
+            "Samsung Dryer",
+            "Samsung Fridge",  # reboot-unsafe
+            "Zmodo Doorbell",
+            "Amcrest Camera",
+            "Smarter iKettle",
+            "Yi Camera",  # never validated under attack
+        ):
+            assert excluded not in eligible
+
+    def test_table9_shape(self, campaign_results):
+        """Fractions follow the paper's ordering: GHM cleanest store,
+        LG TV / Invoke the most stale."""
+        by_device = {
+            r.device: r for r in campaign_results.amenable_probe_reports
+        }
+
+        def deprecated_fraction(name):
+            present, conclusive = by_device[name].deprecated_tally
+            return present / conclusive
+
+        def common_fraction(name):
+            present, conclusive = by_device[name].common_tally
+            return present / conclusive
+
+        assert common_fraction("Google Home Mini") == 1.0
+        assert deprecated_fraction("Google Home Mini") < 0.10
+        assert deprecated_fraction("LG TV") > 0.5
+        assert deprecated_fraction("Harman Invoke") > 0.5
+        assert deprecated_fraction("Wink Hub 2") > deprecated_fraction("Amazon Echo Dot")
+        # Every probed device retains most of the common set.
+        for name in by_device:
+            assert common_fraction(name) > 0.8, name
+
+    def test_every_probed_device_has_deprecated_roots(self, campaign_results):
+        for report in campaign_results.amenable_probe_reports:
+            present, _ = report.deprecated_tally
+            assert present >= 1, report.device
+
+    def test_every_probed_device_trusts_a_distrusted_ca(
+        self, campaign_results, universe
+    ):
+        trusted = distrusted_trusted_by(campaign_results.probes, universe)
+        assert len(trusted) == 8
+        for device, names in trusted.items():
+            assert names, f"{device} should trust >=1 explicitly distrusted CA"
+
+    def test_lg_tv_staleness_reaches_2013(self, campaign_results, universe):
+        staleness = {
+            s.device: s for s in staleness_by_device(campaign_results.probes, universe)
+        }
+        assert staleness["LG TV"].oldest_removal_year == 2013
+
+    def test_staleness_mass_in_2018_2019(self, campaign_results, universe):
+        """Figure 4: most retained stale roots were deprecated 2018/2019."""
+        total = 0
+        recent = 0
+        for s in staleness_by_device(campaign_results.probes, universe):
+            for year, count in s.removal_years.items():
+                total += count
+                if year in (2018, 2019):
+                    recent += count
+        assert recent > total / 2
+
+
+class TestPassthrough:
+    def test_no_new_validation_failures(self, campaign_results):
+        assert sum(o.new_validation_failures for o in campaign_results.passthrough) == 0
+
+    def test_extra_destinations_surface(self, campaign_results):
+        fractions = [o.extra_fraction for o in campaign_results.passthrough]
+        mean = statistics.mean(fractions)
+        # The paper reports ~20.4% more destinations on average.
+        assert 0.10 < mean < 0.35
+
+    def test_new_hostnames_are_followups(self, campaign_results):
+        for outcome in campaign_results.passthrough:
+            for hostname in outcome.new_hostnames:
+                assert hostname.startswith("session.")
+
+
+class TestHeadlineNumbers:
+    def test_research_findings_summary(self, campaign_results):
+        assert campaign_results.vulnerable_device_count == 11
+        assert campaign_results.downgrading_device_count == 7
+        assert campaign_results.sensitive_leak_count == 7
+        assert campaign_results.old_version_device_count == 18
+        assert len(campaign_results.amenable_probe_reports) == 8

@@ -1,0 +1,128 @@
+"""Tests for the interception audit (Tables 2 and 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InterceptionAuditor, TABLE2_ATTACKS
+from repro.mitm import AttackMode
+
+
+@pytest.fixture(scope="module")
+def auditor(testbed):
+    return InterceptionAuditor(testbed)
+
+
+class TestAttackSuite:
+    def test_three_table2_attacks(self):
+        assert set(TABLE2_ATTACKS) == {
+            AttackMode.NO_VALIDATION,
+            AttackMode.INVALID_BASIC_CONSTRAINTS,
+            AttackMode.WRONG_HOSTNAME,
+        }
+
+
+class TestPerDeviceAudits:
+    def test_secure_device_not_vulnerable(self, auditor, testbed):
+        report = auditor.audit_device(testbed.device("D-Link Camera"))
+        assert not report.vulnerable
+        assert report.vulnerable_destinations == 0
+
+    def test_no_validation_device_fully_vulnerable(self, auditor, testbed):
+        report = auditor.audit_device(testbed.device("Zmodo Doorbell"))
+        for attack in TABLE2_ATTACKS:
+            assert report.vulnerable_to(attack)
+        assert report.vulnerable_destinations == report.total_destinations == 6
+        assert report.leaks_sensitive_data
+
+    def test_amazon_device_hostname_only(self, auditor, testbed):
+        report = auditor.audit_device(testbed.device("Amazon Echo Dot"))
+        assert report.vulnerable_to(AttackMode.WRONG_HOSTNAME)
+        assert not report.vulnerable_to(AttackMode.NO_VALIDATION)
+        assert not report.vulnerable_to(AttackMode.INVALID_BASIC_CONSTRAINTS)
+        assert report.vulnerable_destinations == 1
+        assert report.total_destinations == 9
+
+    def test_yi_camera_needs_consecutive_failures(self, auditor, testbed):
+        """Yi succumbs only after its validation-disable threshold."""
+        report = auditor.audit_device(testbed.device("Yi Camera"))
+        result = report.destinations[0].results[AttackMode.NO_VALIDATION]
+        assert result.intercepted
+        assert result.attempts_needed == 4  # three failures, then success
+
+    def test_mixed_device_partial_vulnerability(self, auditor, testbed):
+        report = auditor.audit_device(testbed.device("Wink Hub 2"))
+        assert report.vulnerable_destinations == 1
+        assert report.total_destinations == 2
+        vulnerable = [d for d in report.destinations if d.vulnerable]
+        assert vulnerable[0].instance == "wink-legacy"
+
+    def test_captured_plaintext_on_success(self, auditor, testbed):
+        report = auditor.audit_device(testbed.device("LG TV"))
+        leaky = [d for d in report.destinations if d.vulnerable][0]
+        result = leaky.results[AttackMode.NO_VALIDATION]
+        assert any("deviceSecret" in text for text in result.captured_plaintext)
+
+    def test_table7_row_shape(self, auditor, testbed):
+        report = auditor.audit_device(testbed.device("Amcrest Camera"))
+        row = report.table7_row()
+        assert row[0] == "Amcrest Camera"
+        assert row[1:4] == ("yes", "yes", "yes")
+        assert row[4] == "2 / 2"
+
+
+class TestCampaignWide:
+    def test_eleven_vulnerable_devices(self, campaign_results):
+        assert campaign_results.vulnerable_device_count == 11
+
+    def test_paper_table7_vulnerable_set(self, campaign_results):
+        vulnerable = {
+            report.device for report in campaign_results.interception if report.vulnerable
+        }
+        assert vulnerable == {
+            "Zmodo Doorbell",
+            "Amcrest Camera",
+            "Smarter iKettle",  # "Smarter Brewer" in the paper's tables
+            "Yi Camera",
+            "Wink Hub 2",
+            "LG TV",
+            "Smartthings Hub",
+            "Amazon Echo Plus",
+            "Amazon Echo Dot",
+            "Amazon Echo Spot",
+            "Fire TV",
+        }
+
+    def test_seven_devices_leak_sensitive_data(self, campaign_results):
+        assert campaign_results.sensitive_leak_count == 7
+
+    def test_seven_fully_vulnerable_devices(self, campaign_results):
+        """'Seven devices do not perform any certificate validation' --
+        i.e. all three attacks succeed somewhere."""
+        full = [
+            report
+            for report in campaign_results.interception
+            if report.vulnerable_to(AttackMode.NO_VALIDATION)
+        ]
+        assert len(full) == 7
+
+    def test_paper_destination_ratios(self, campaign_results):
+        expected = {
+            "Zmodo Doorbell": (6, 6),
+            "Amcrest Camera": (2, 2),
+            "Smarter iKettle": (1, 1),
+            "Yi Camera": (1, 1),
+            "Wink Hub 2": (1, 2),
+            "LG TV": (1, 2),
+            "Smartthings Hub": (1, 3),
+            "Amazon Echo Plus": (1, 8),
+            "Amazon Echo Dot": (1, 9),
+            "Amazon Echo Spot": (1, 17),
+            "Fire TV": (1, 21),
+        }
+        for report in campaign_results.interception:
+            if report.device in expected:
+                assert (
+                    report.vulnerable_destinations,
+                    report.total_destinations,
+                ) == expected[report.device], report.device

@@ -1,0 +1,122 @@
+"""Tests for the root-store prober (the paper's novel technique)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProbeOutcome, RootStoreProber
+from repro.devices import device_by_name
+from repro.testbed import SmartPlug
+
+
+@pytest.fixture(scope="module")
+def prober(testbed):
+    return RootStoreProber(testbed)
+
+
+class TestCalibration:
+    def test_openssl_device_amenable(self, prober, testbed):
+        plug = SmartPlug(testbed.device("Wink Hub 2"))
+        calibration = prober.calibrate(plug)
+        assert calibration.amenable
+        assert calibration.unknown_ca_alert == "unknown_ca"
+        assert calibration.known_ca_alert == "decrypt_error"
+
+    def test_mbedtls_device_amenable(self, prober, testbed):
+        plug = SmartPlug(testbed.device("Google Home Mini"))
+        calibration = prober.calibrate(plug)
+        assert calibration.amenable
+        assert calibration.known_ca_alert == "bad_certificate"
+
+    def test_wolfssl_device_not_amenable(self, prober, testbed):
+        plug = SmartPlug(testbed.device("D-Link Camera"))
+        calibration = prober.calibrate(plug)
+        assert not calibration.amenable
+        assert "same alert" in calibration.reason
+
+    def test_silent_device_not_amenable(self, prober, testbed):
+        plug = SmartPlug(testbed.device("Apple TV"))
+        calibration = prober.calibrate(plug)
+        assert not calibration.amenable
+        assert "no alerts" in calibration.reason
+
+    def test_no_validation_device_not_amenable(self, prober, testbed):
+        plug = SmartPlug(testbed.device("Zmodo Doorbell"))
+        calibration = prober.calibrate(plug)
+        assert not calibration.amenable
+        assert "no validation" in calibration.reason
+
+    def test_java_boot_device_not_amenable(self, prober, testbed):
+        """Fire TV boots through the android-sdk (Java) instance."""
+        plug = SmartPlug(testbed.device("Fire TV"))
+        assert not prober.calibrate(plug).amenable
+
+
+class TestCertificateProbing:
+    def test_blackbox_inference_matches_ground_truth(self, prober, testbed, universe):
+        """The key correctness property: the prober's PRESENT/ABSENT
+        classifications agree with the device's actual store, without
+        ever reading it."""
+        device = testbed.device("Wink Hub 2")
+        plug = SmartPlug(device)
+        calibration = prober.calibrate(plug)
+        checked = 0
+        for record in universe.deprecated_records()[:30]:
+            result = prober.probe_certificate(
+                plug, calibration, record.certificate, conclusive_rate=1.0
+            )
+            assert result.outcome is not ProbeOutcome.INCONCLUSIVE
+            truth = device.root_store.contains(record.certificate)
+            assert (result.outcome is ProbeOutcome.PRESENT) == truth
+            checked += 1
+        assert checked == 30
+
+    def test_inconclusive_rate_respected(self, prober, testbed, universe):
+        device = testbed.device("Google Home Mini")
+        plug = SmartPlug(device)
+        calibration = prober.calibrate(plug)
+        outcomes = [
+            prober.probe_certificate(
+                plug, calibration, record.certificate, conclusive_rate=0.0
+            ).outcome
+            for record in universe.common_records()[:5]
+        ]
+        assert all(outcome is ProbeOutcome.INCONCLUSIVE for outcome in outcomes)
+
+    def test_probe_is_deterministic(self, prober, testbed, universe):
+        device = testbed.device("Roku TV")
+        plug = SmartPlug(device)
+        calibration = prober.calibrate(plug)
+        record = universe.deprecated_records()[0]
+        first = prober.probe_certificate(plug, calibration, record.certificate, conclusive_rate=0.8)
+        second = prober.probe_certificate(plug, calibration, record.certificate, conclusive_rate=0.8)
+        assert first == second
+
+
+class TestDeviceReports:
+    def test_non_amenable_device_report_is_empty(self, prober, testbed):
+        report = prober.probe_device(testbed.device("Philips Hub"))
+        assert not report.calibration.amenable
+        assert report.common_results == []
+        assert report.deprecated_results == []
+
+    def test_amenable_report_covers_both_sets(self, prober, testbed, universe):
+        report = prober.probe_device(testbed.device("Harman Invoke"))
+        assert report.calibration.amenable
+        assert len(report.common_results) == len(universe.common_records())
+        assert len(report.deprecated_results) == len(universe.deprecated_records())
+        present, conclusive = report.deprecated_tally
+        assert 0 < present <= conclusive <= 87
+
+    def test_table9_row_rendering(self, prober, testbed):
+        report = prober.probe_device(testbed.device("Google Home Mini"))
+        device, common, deprecated = report.table9_row()
+        assert device == "Google Home Mini"
+        assert "%" in common and "/" in common
+        assert "%" in deprecated
+
+    def test_present_deprecated_names_feed_fig4(self, prober, testbed, universe):
+        report = prober.probe_device(testbed.device("LG TV"))
+        names = report.present_deprecated_names()
+        # LG TV pins TurkTrust (deprecated 2013) -- the paper's oldest case.
+        assert "TURKTRUST Elektronik Sertifika Hizmet Saglayicisi" in names

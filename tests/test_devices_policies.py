@@ -1,0 +1,176 @@
+"""Unit tests for device policies, instances and fallback behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import (
+    FallbackMode,
+    FallbackPolicy,
+    FallbackTrigger,
+    InstanceConfigSpec,
+    RevocationBehavior,
+    TLSInstance,
+    TLSInstanceSpec,
+    ValidationMode,
+    ValidationPolicy,
+)
+from repro.devices.configs import FS_MODERN, RSA_PLAIN, codes
+from repro.pki import utc
+from repro.pki.revocation import RevocationMethod
+from repro.tls import ProtocolVersion, ServerResponse
+from repro.tlslib import ClientConfig, WOLFSSL
+
+
+class TestValidationPolicy:
+    def test_modes(self):
+        assert ValidationPolicy().validates
+        assert ValidationPolicy().checks_hostname
+        assert not ValidationPolicy(mode=ValidationMode.NONE).validates
+        no_host = ValidationPolicy(mode=ValidationMode.NO_HOSTNAME)
+        assert no_host.validates and not no_host.checks_hostname
+
+
+class TestFallbackPolicy:
+    def _config(self, store):
+        return ClientConfig(
+            versions=(
+                ProtocolVersion.TLS_1_0,
+                ProtocolVersion.TLS_1_1,
+                ProtocolVersion.TLS_1_2,
+            ),
+            cipher_codes=FS_MODERN + RSA_PLAIN,
+            root_store=store,
+        )
+
+    def test_ssl3_fallback_shape(self, simple_store):
+        policy = FallbackPolicy(mode=FallbackMode.SSL3)
+        downgraded = policy.apply(self._config(simple_store))
+        assert downgraded.versions == (ProtocolVersion.SSL_3_0,)
+        assert all(code < 0x1301 or code > 0x1305 for code in downgraded.cipher_codes)
+
+    def test_tls10_fallback_shape(self, simple_store):
+        policy = FallbackPolicy(mode=FallbackMode.TLS10)
+        downgraded = policy.apply(self._config(simple_store))
+        assert downgraded.versions == (ProtocolVersion.TLS_1_0,)
+
+    def test_weak_cipher_fallback_adds_3des_and_sha1(self, simple_store):
+        from repro.tls.extensions import SignatureScheme
+
+        policy = FallbackPolicy(mode=FallbackMode.WEAK_CIPHER)
+        config = self._config(simple_store).downgraded(
+            signature_schemes=(SignatureScheme.RSA_PKCS1_SHA256,)
+        )
+        downgraded = policy.apply(config)
+        assert codes("TLS_RSA_WITH_3DES_EDE_CBC_SHA")[0] in downgraded.cipher_codes
+        assert SignatureScheme.RSA_PKCS1_SHA1 in downgraded.signature_schemes
+
+    def test_single_rc4_fallback_collapses_offer(self, simple_store):
+        policy = FallbackPolicy(mode=FallbackMode.SINGLE_RC4)
+        downgraded = policy.apply(self._config(simple_store))
+        assert downgraded.cipher_codes == codes("TLS_RSA_WITH_RC4_128_SHA")
+
+    def test_trigger_filter(self):
+        policy = FallbackPolicy(mode=FallbackMode.SSL3)
+        assert policy.triggered_by(FallbackTrigger.INCOMPLETE_HANDSHAKE)
+        assert not policy.triggered_by(FallbackTrigger.FAILED_HANDSHAKE)
+
+    def test_descriptions_match_table5_language(self):
+        assert FallbackPolicy(mode=FallbackMode.SSL3).describe() == "Falls back to using SSL 3.0"
+        assert "TLS 1.0" in FallbackPolicy(mode=FallbackMode.TLS10).describe()
+        assert "RSA_PKCS1_SHA1" in FallbackPolicy(mode=FallbackMode.WEAK_CIPHER).describe()
+
+
+class TestRevocationBehavior:
+    def test_none_checks_nothing(self):
+        assert not RevocationBehavior.none().checks_any
+
+    def test_of_constructor(self):
+        behavior = RevocationBehavior.of(RevocationMethod.CRL, RevocationMethod.OCSP)
+        assert behavior.uses_crl and behavior.uses_ocsp and not behavior.uses_stapling
+        assert behavior.checks_any
+
+
+class TestInstanceTimeline:
+    def _spec(self) -> TLSInstanceSpec:
+        return TLSInstanceSpec(
+            name="timeline",
+            library=WOLFSSL,
+            timeline=(
+                (0, InstanceConfigSpec(versions=(ProtocolVersion.TLS_1_0,), cipher_codes=RSA_PLAIN)),
+                (6, InstanceConfigSpec(versions=(ProtocolVersion.TLS_1_2,), cipher_codes=RSA_PLAIN)),
+            ),
+        )
+
+    def test_config_at_selects_epoch(self):
+        spec = self._spec()
+        assert spec.config_at(0).versions == (ProtocolVersion.TLS_1_0,)
+        assert spec.config_at(5).versions == (ProtocolVersion.TLS_1_0,)
+        assert spec.config_at(6).versions == (ProtocolVersion.TLS_1_2,)
+        assert spec.config_at(99).versions == (ProtocolVersion.TLS_1_2,)
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(ValueError):
+            TLSInstanceSpec(name="bad", library=WOLFSSL, timeline=())
+
+    def test_unsorted_timeline_rejected(self):
+        config = InstanceConfigSpec(versions=(ProtocolVersion.TLS_1_2,), cipher_codes=RSA_PLAIN)
+        with pytest.raises(ValueError):
+            TLSInstanceSpec(name="bad", library=WOLFSSL, timeline=((6, config), (0, config)))
+
+
+class _SilentResponder:
+    """Never answers: the IncompleteHandshake condition."""
+
+    def respond(self, client_hello, *, when):
+        return ServerResponse(incomplete=True)
+
+
+class TestInstanceRuntime:
+    def test_fallback_retry_recorded(self, simple_store):
+        spec = TLSInstanceSpec.static(
+            "fb",
+            WOLFSSL,
+            InstanceConfigSpec(
+                versions=(ProtocolVersion.TLS_1_0, ProtocolVersion.TLS_1_2),
+                cipher_codes=RSA_PLAIN,
+            ),
+            fallback=FallbackPolicy(mode=FallbackMode.SSL3),
+        )
+        instance = TLSInstance(spec, simple_store)
+        attempt = instance.connect(
+            _SilentResponder(), hostname="h", when=utc(2021, 3), month=38
+        )
+        assert attempt.downgraded
+        assert len(attempt.attempts) == 2
+        assert attempt.attempts[1].client_hello.max_version is ProtocolVersion.SSL_3_0
+
+    def test_fallback_suppressed_per_destination(self, simple_store):
+        spec = TLSInstanceSpec.static(
+            "fb2",
+            WOLFSSL,
+            InstanceConfigSpec(versions=(ProtocolVersion.TLS_1_2,), cipher_codes=RSA_PLAIN),
+            fallback=FallbackPolicy(mode=FallbackMode.SSL3),
+        )
+        instance = TLSInstance(spec, simple_store)
+        attempt = instance.connect(
+            _SilentResponder(), hostname="h", when=utc(2021, 3), month=38, fallback_enabled=False
+        )
+        assert not attempt.downgraded
+        assert len(attempt.attempts) == 1
+
+    def test_validation_disabled_after_consecutive_failures(self, simple_store):
+        spec = TLSInstanceSpec.static(
+            "yi-like",
+            WOLFSSL,
+            InstanceConfigSpec(versions=(ProtocolVersion.TLS_1_2,), cipher_codes=RSA_PLAIN),
+            validation=ValidationPolicy(disable_after_failures=3),
+        )
+        instance = TLSInstance(spec, simple_store)
+        for _ in range(3):
+            instance.connect(_SilentResponder(), hostname="h", when=utc(2021, 3), month=38)
+        assert instance.validation_disabled
+        assert not instance.client_config(38).validate
+        instance.reset_failure_state()
+        assert not instance.validation_disabled
+        assert instance.client_config(38).validate

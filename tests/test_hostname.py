@@ -1,0 +1,106 @@
+"""Unit and property tests for RFC 2818/6125 hostname matching."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pki import CertificateAuthority, hostname_matches_pattern, match_hostname
+
+
+class TestExactMatching:
+    @pytest.mark.parametrize(
+        "hostname,pattern",
+        [
+            ("example.com", "example.com"),
+            ("EXAMPLE.com", "example.COM"),
+            ("example.com.", "example.com"),
+            ("a.b.example.com", "a.b.example.com"),
+        ],
+    )
+    def test_matches(self, hostname, pattern):
+        assert hostname_matches_pattern(hostname, pattern)
+
+    @pytest.mark.parametrize(
+        "hostname,pattern",
+        [
+            ("example.com", "example.org"),
+            ("sub.example.com", "example.com"),
+            ("example.com", "sub.example.com"),
+            ("", "example.com"),
+            ("example.com", ""),
+        ],
+    )
+    def test_rejects(self, hostname, pattern):
+        assert not hostname_matches_pattern(hostname, pattern)
+
+
+class TestWildcards:
+    def test_single_label_wildcard(self):
+        assert hostname_matches_pattern("api.example.com", "*.example.com")
+
+    def test_wildcard_does_not_span_labels(self):
+        assert not hostname_matches_pattern("a.b.example.com", "*.example.com")
+
+    def test_wildcard_does_not_match_bare_domain(self):
+        assert not hostname_matches_pattern("example.com", "*.example.com")
+
+    def test_wildcard_must_be_leftmost_whole_label(self):
+        assert not hostname_matches_pattern("api.example.com", "a*.example.com")
+        assert not hostname_matches_pattern("api.example.com", "api.*.com")
+
+    def test_overly_broad_wildcard_refused(self):
+        assert not hostname_matches_pattern("example.com", "*.com")
+
+    def test_case_insensitive_wildcard(self):
+        assert hostname_matches_pattern("API.Example.COM", "*.example.com")
+
+
+class TestIPAddresses:
+    def test_exact_ip_match(self):
+        assert hostname_matches_pattern("192.168.1.1", "192.168.1.1")
+
+    def test_ip_never_matches_wildcard(self):
+        assert not hostname_matches_pattern("192.168.1.1", "*.168.1.1")
+
+    def test_ipv6_exact(self):
+        assert hostname_matches_pattern("::1", "::1")
+
+
+class TestCertificateMatching:
+    def test_san_preferred_over_cn(self, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("real.example.com")
+        assert match_hostname(leaf, "real.example.com")
+        assert not match_hostname(leaf, simple_ca.certificate.subject.common_name)
+
+    def test_falls_back_to_cn_without_sans(self):
+        cert, _ = CertificateAuthority.self_signed_leaf("cn-only.example.com")
+        from dataclasses import replace
+
+        no_san = replace(cert, subject_alt_names=())
+        assert match_hostname(no_san, "cn-only.example.com")
+
+    def test_any_san_matches(self, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("a.example.com", extra_names=("b.example.com",))
+        assert match_hostname(leaf, "b.example.com")
+
+
+_label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=10).filter(
+    lambda s: not s.startswith("-") and not s.endswith("-")
+)
+
+
+@given(st.lists(_label, min_size=2, max_size=4))
+def test_property_hostname_matches_itself(labels):
+    hostname = ".".join(labels)
+    assert hostname_matches_pattern(hostname, hostname)
+
+
+@given(st.lists(_label, min_size=3, max_size=4))
+def test_property_wildcard_matches_one_substituted_label(labels):
+    # Ensure the name cannot parse as an IP address (e.g. "0.0.0.0"),
+    # where wildcard matching is rightly refused.
+    labels = [f"h{label}" for label in labels]
+    hostname = ".".join(labels)
+    pattern = ".".join(["*"] + labels[1:])
+    assert hostname_matches_pattern(hostname, pattern)

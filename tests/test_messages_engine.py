@@ -1,0 +1,207 @@
+"""Unit tests for handshake messages and the negotiation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.configs import FS_MODERN, RSA_PLAIN, TLS13, WEAK_LEGACY
+from repro.pki import utc
+from repro.tls import (
+    Alert,
+    AlertDescription,
+    ClientHello,
+    HandshakeState,
+    ProtocolVersion,
+    ServerResponse,
+    negotiate,
+    perform_handshake,
+    sni,
+    status_request,
+    supported_versions_ext,
+)
+from repro.tlslib import MBEDTLS, OPENSSL, ClientConfig
+
+WHEN = utc(2021, 3)
+
+
+def _hello(
+    max_version=ProtocolVersion.TLS_1_2,
+    ciphers=FS_MODERN + RSA_PLAIN,
+    extensions=(),
+) -> ClientHello:
+    return ClientHello(legacy_version=max_version, cipher_codes=ciphers, extensions=extensions)
+
+
+class TestClientHello:
+    def test_sni_accessor(self):
+        hello = _hello(extensions=(sni("api.example.com"),))
+        assert hello.server_name == "api.example.com"
+        assert _hello().server_name is None
+
+    def test_staple_request_detection(self):
+        assert _hello(extensions=(status_request(),)).requests_ocsp_staple
+        assert not _hello().requests_ocsp_staple
+
+    def test_advertised_versions_pre13(self):
+        hello = _hello(max_version=ProtocolVersion.TLS_1_1)
+        assert hello.advertised_versions() == (ProtocolVersion.TLS_1_1,)
+        assert hello.max_version is ProtocolVersion.TLS_1_1
+
+    def test_advertised_versions_with_supported_versions_ext(self):
+        ext = supported_versions_ext(
+            (ProtocolVersion.TLS_1_3.wire, ProtocolVersion.TLS_1_2.wire)
+        )
+        hello = _hello(extensions=(ext,))
+        assert hello.max_version is ProtocolVersion.TLS_1_3
+        assert ProtocolVersion.TLS_1_2 in hello.advertised_versions()
+
+    def test_cipher_classification_helpers(self):
+        assert _hello(ciphers=WEAK_LEGACY).advertises_insecure_cipher
+        assert not _hello(ciphers=RSA_PLAIN).advertises_insecure_cipher
+        assert _hello(ciphers=FS_MODERN).advertises_forward_secrecy
+        assert not _hello(ciphers=RSA_PLAIN).advertises_forward_secrecy
+
+    def test_grease_and_unknown_codes_skipped(self):
+        hello = _hello(ciphers=(0x0A0A, 0xFFFF) + RSA_PLAIN)
+        assert len(hello.cipher_suites()) == len(RSA_PLAIN)
+
+
+class TestNegotiation:
+    def test_picks_highest_common_version(self):
+        hello = _hello(max_version=ProtocolVersion.TLS_1_2)
+        server_hello = negotiate(
+            hello,
+            frozenset({ProtocolVersion.TLS_1_0, ProtocolVersion.TLS_1_1, ProtocolVersion.TLS_1_2}),
+            RSA_PLAIN,
+        )
+        assert server_hello.version is ProtocolVersion.TLS_1_2
+
+    def test_pre13_clients_accept_lower_versions(self):
+        hello = _hello(max_version=ProtocolVersion.TLS_1_2)
+        server_hello = negotiate(hello, frozenset({ProtocolVersion.TLS_1_0}), RSA_PLAIN)
+        assert server_hello.version is ProtocolVersion.TLS_1_0
+
+    def test_server_preference_order_wins(self):
+        hello = _hello(ciphers=FS_MODERN + RSA_PLAIN)
+        server_hello = negotiate(
+            hello, frozenset({ProtocolVersion.TLS_1_2}), RSA_PLAIN + FS_MODERN
+        )
+        assert server_hello.cipher_code == RSA_PLAIN[0]
+
+    def test_no_common_version_fails(self):
+        hello = _hello(max_version=ProtocolVersion.TLS_1_1)
+        assert negotiate(hello, frozenset({ProtocolVersion.TLS_1_3}), TLS13) is None
+
+    def test_no_common_cipher_fails(self):
+        hello = _hello(ciphers=RSA_PLAIN)
+        assert negotiate(hello, frozenset({ProtocolVersion.TLS_1_2}), WEAK_LEGACY) is None
+
+    def test_tls13_suites_only_at_tls13(self):
+        ext = supported_versions_ext((ProtocolVersion.TLS_1_3.wire, ProtocolVersion.TLS_1_2.wire))
+        hello = _hello(ciphers=TLS13 + RSA_PLAIN, extensions=(ext,))
+        server_hello = negotiate(
+            hello,
+            frozenset({ProtocolVersion.TLS_1_2, ProtocolVersion.TLS_1_3}),
+            TLS13 + RSA_PLAIN,
+        )
+        assert server_hello.version is ProtocolVersion.TLS_1_3
+        assert server_hello.cipher_code in set(TLS13)
+        # Same offer against a 1.2-only server: no TLS 1.3 suite chosen.
+        server_hello_12 = negotiate(hello, frozenset({ProtocolVersion.TLS_1_2}), TLS13 + RSA_PLAIN)
+        assert server_hello_12.version is ProtocolVersion.TLS_1_2
+        assert server_hello_12.cipher_code in set(RSA_PLAIN)
+
+
+class _StaticResponder:
+    def __init__(self, response: ServerResponse) -> None:
+        self.response = response
+
+    def respond(self, client_hello, *, when):
+        return self.response
+
+
+class TestPerformHandshake:
+    @pytest.fixture()
+    def client(self, simple_store):
+        config = ClientConfig(
+            versions=(ProtocolVersion.TLS_1_2,),
+            cipher_codes=FS_MODERN + RSA_PLAIN,
+            root_store=simple_store,
+        )
+        return OPENSSL.client(config)
+
+    def test_incomplete_handshake_state(self, client):
+        result = perform_handshake(
+            client, _StaticResponder(ServerResponse(incomplete=True)), hostname="h", when=WHEN
+        )
+        assert result.state is HandshakeState.NO_RESPONSE
+        assert not result.established
+
+    def test_server_alert_state(self, client):
+        response = ServerResponse(alert=Alert.fatal(AlertDescription.HANDSHAKE_FAILURE))
+        result = perform_handshake(client, _StaticResponder(response), hostname="h", when=WHEN)
+        assert result.state is HandshakeState.SERVER_REJECTED
+
+    def test_established_with_valid_chain(self, client, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("h.example.com")
+        from repro.tls import ServerHello
+
+        response = ServerResponse(
+            server_hello=ServerHello(version=ProtocolVersion.TLS_1_2, cipher_code=FS_MODERN[0]),
+            certificate_chain=(leaf,),
+        )
+        result = perform_handshake(
+            client,
+            _StaticResponder(response),
+            hostname="h.example.com",
+            when=WHEN,
+            application_data=("secret",),
+        )
+        assert result.established
+        assert result.application_data == ("secret",)
+        assert result.established_version is ProtocolVersion.TLS_1_2
+        assert result.established_cipher_code == FS_MODERN[0]
+
+    def test_application_data_withheld_on_rejection(self, client):
+        from repro.tls import ServerHello
+
+        bad_cert, _ = __import__("repro.pki", fromlist=["CertificateAuthority"]).CertificateAuthority.self_signed_leaf("h.example.com")
+        response = ServerResponse(
+            server_hello=ServerHello(version=ProtocolVersion.TLS_1_2, cipher_code=FS_MODERN[0]),
+            certificate_chain=(bad_cert,),
+        )
+        result = perform_handshake(
+            client,
+            _StaticResponder(response),
+            hostname="h.example.com",
+            when=WHEN,
+            application_data=("secret",),
+        )
+        assert result.state is HandshakeState.CLIENT_REJECTED
+        assert result.application_data == ()
+
+    def test_client_refuses_unoffered_version(self, client, simple_ca):
+        """A correct client rejects a ServerHello picking SSL 3.0 when it
+        only offered TLS 1.2 (no unilateral downgrade)."""
+        from repro.tls import ServerHello
+
+        leaf, _ = simple_ca.issue_leaf("h.example.com")
+        response = ServerResponse(
+            server_hello=ServerHello(version=ProtocolVersion.SSL_3_0, cipher_code=RSA_PLAIN[2]),
+            certificate_chain=(leaf,),
+        )
+        result = perform_handshake(client, _StaticResponder(response), hostname="h.example.com", when=WHEN)
+        assert result.state is HandshakeState.CLIENT_REJECTED
+        assert result.client_alert.description is AlertDescription.PROTOCOL_VERSION
+
+    def test_client_refuses_unoffered_cipher(self, client, simple_ca):
+        from repro.tls import ServerHello
+
+        leaf, _ = simple_ca.issue_leaf("h.example.com")
+        response = ServerResponse(
+            server_hello=ServerHello(version=ProtocolVersion.TLS_1_2, cipher_code=WEAK_LEGACY[0]),
+            certificate_chain=(leaf,),
+        )
+        result = perform_handshake(client, _StaticResponder(response), hostname="h.example.com", when=WHEN)
+        assert result.state is HandshakeState.CLIENT_REJECTED
+        assert result.client_alert.description is AlertDescription.ILLEGAL_PARAMETER

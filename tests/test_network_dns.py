@@ -1,0 +1,153 @@
+"""Tests for the DNS substrate and attacker-placement model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mitm import AttackerToolbox, AttackMode, InterceptionProxy
+from repro.testbed import (
+    DnsResolver,
+    GatewayAttacker,
+    HomeNetwork,
+    LanDeviceAttacker,
+    identify_destinations,
+)
+
+
+class TestDnsResolver:
+    def test_addresses_deterministic_and_in_cloud_prefix(self):
+        resolver = DnsResolver()
+        a = resolver.resolve("Device A", "api.example.com")
+        b = resolver.resolve("Device B", "api.example.com")
+        assert a == b
+        assert a.startswith("203.0.113.")
+
+    def test_zone_override(self):
+        resolver = DnsResolver()
+        resolver.add_record("pinned.example.com", "203.0.113.200")
+        assert resolver.resolve("D", "pinned.example.com") == "203.0.113.200"
+
+    def test_query_log_attribution(self):
+        resolver = DnsResolver()
+        resolver.resolve("Camera", "a.example.com", month=3)
+        resolver.resolve("Camera", "b.example.com", month=4)
+        resolver.resolve("Hub", "a.example.com", month=3)
+        assert resolver.hostnames_queried_by("Camera") == {"a.example.com", "b.example.com"}
+        assert resolver.queries[0].month == 3
+
+    def test_identify_destinations_merges_sni_and_dns(self, testbed):
+        """A destination reached without SNI is still identified via its
+        DNS lookup -- the paper's 'SNI or DNS' rule."""
+        from repro.testbed import GatewayCapture
+        from repro.testbed.infrastructure import Testbed as TestbedClass
+
+        resolver = DnsResolver()
+        capture = GatewayCapture()
+        device = testbed.device("D-Link Camera")
+        # The device resolves every destination it will contact...
+        for destination in device.profile.destinations:
+            resolver.resolve(device.name, destination.hostname)
+        # ...but only one connection shows up with SNI in the capture.
+        first = device.profile.destinations[0]
+        connection = device.connect_destination(first, testbed.server_for(first))
+        capture.add(
+            TestbedClass._record_for(connection, connection.attempt.final, downgraded=False)
+        )
+        identified = identify_destinations(resolver, capture, device.name)
+        assert identified == {d.hostname for d in device.profile.destinations}
+
+
+class TestHomeNetwork:
+    def test_join_assigns_stable_addresses(self):
+        network = HomeNetwork()
+        ip1, mac1 = network.join("Camera")
+        ip2, mac2 = network.join("Camera")
+        assert (ip1, mac1) == (ip2, mac2)
+        assert ip1.startswith("192.168.7.")
+
+    def test_arp_poison_and_restore(self):
+        network = HomeNetwork()
+        network.join("Victim")
+        network.join("Attacker")
+        assert not network.is_poisoned("Victim")
+        network.poison_arp("Victim", network.mac_of("Attacker"))
+        assert network.is_poisoned("Victim")
+        assert network.gateway_mac_for("Victim") == network.mac_of("Attacker")
+        network.restore_arp("Victim")
+        assert not network.is_poisoned("Victim")
+
+    def test_poisoning_unknown_victim_raises(self):
+        with pytest.raises(KeyError):
+            HomeNetwork().poison_arp("Ghost", "02:00:00:00:00:99")
+
+
+class TestAttackerPlacement:
+    @pytest.fixture()
+    def interceptor(self, testbed):
+        return InterceptionProxy(
+            toolbox=AttackerToolbox(issuing_ca=testbed.anchor(0)),
+            mode=AttackMode.NO_VALIDATION,
+        )
+
+    def test_gateway_attacker_always_on_path(self, testbed, interceptor):
+        network = HomeNetwork()
+        attacker = GatewayAttacker(interceptor=interceptor, network=network)
+        assert attacker.on_path_for("Zmodo Doorbell")
+
+        device = testbed.device("Zmodo Doorbell")
+        device.power_cycle()
+        connection = device.connect_destination(device.first_destination(), attacker)
+        assert connection.established  # the no-validation device falls
+
+    def test_lan_attacker_needs_arp_spoofing_first(self, testbed, interceptor):
+        network = HomeNetwork()
+        victim = testbed.device("Zmodo Doorbell")
+        network.join(victim.name)
+        destination = victim.first_destination()
+        attacker = LanDeviceAttacker(
+            name="Malicious Plug",
+            interceptor=interceptor,
+            network=network,
+            upstream=testbed.server_for(destination),
+        )
+
+        # Before spoofing: traffic takes the genuine path.
+        victim.power_cycle()
+        connection = victim.connect_destination(
+            destination, attacker.responder_for(victim.name)
+        )
+        assert connection.established
+        assert connection.attempt.final.response.certificate_chain[0].issuer.matches(
+            testbed.intermediate(destination.server.anchor_index).name
+        )
+
+        # After spoofing: same attack capability as the gateway position.
+        attacker.spoof(victim.name)
+        assert attacker.on_path_for(victim.name)
+        victim.power_cycle()
+        connection = victim.connect_destination(
+            destination, attacker.responder_for(victim.name)
+        )
+        assert connection.established
+        assert connection.attempt.final.response.certificate_chain[0].is_self_signed
+
+        attacker.stop_spoofing(victim.name)
+        assert not attacker.on_path_for(victim.name)
+
+    def test_secure_device_resists_both_positions(self, testbed, interceptor):
+        network = HomeNetwork()
+        victim = testbed.device("D-Link Camera")
+        network.join(victim.name)
+        destination = victim.first_destination()
+        attacker = LanDeviceAttacker(
+            name="Malicious Plug",
+            interceptor=interceptor,
+            network=network,
+            upstream=testbed.server_for(destination),
+        )
+        attacker.spoof(victim.name)
+        victim.power_cycle()
+        connection = victim.connect_destination(
+            destination, attacker.responder_for(victim.name)
+        )
+        assert not connection.established  # validation holds regardless of position

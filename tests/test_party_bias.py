@@ -1,0 +1,78 @@
+"""Tests for the §5.1 first/third-party version-bias analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.party_bias import (
+    PartyBiasResult,
+    devices_with_multiple_max_versions,
+    test_party_bias as run_party_bias,
+)
+from repro.devices.profile import Party
+from repro.testbed.capture import GatewayCapture, TrafficRecord
+
+
+class TestMultipleMaxVersions:
+    def test_version_transition_devices_detected(self, passive_capture):
+        devices = devices_with_multiple_max_versions(passive_capture)
+        for expected in ("Apple TV", "Apple HomePod", "Google Home Mini", "Blink Hub"):
+            assert expected in devices
+
+    def test_static_devices_not_flagged(self, passive_capture):
+        devices = devices_with_multiple_max_versions(passive_capture)
+        assert "D-Link Camera" not in devices
+        assert "Wemo Plug" not in devices
+
+
+class TestBiasTest:
+    def test_no_bias_for_any_study_device(self, passive_capture):
+        """The paper: 'no patterns that indicate bias toward one TLS
+        version depending on the destination type contacted'."""
+        for device in devices_with_multiple_max_versions(passive_capture):
+            result = run_party_bias(passive_capture, device)
+            assert not result.biased, (device, result.p_value, result.cramers_v)
+
+    def test_inapplicable_without_both_parties(self, passive_capture):
+        result = run_party_bias(passive_capture, "Google Home Mini")  # first-party only
+        assert result.p_value is None
+        assert not result.biased
+
+    def test_synthetic_biased_device_detected(self, passive_capture):
+        """Sanity: a device whose versions split cleanly by party IS
+        flagged -- the no-bias result above is not vacuous."""
+        template = passive_capture.records[0]
+        from dataclasses import replace
+        from repro.tls import ClientHello, ProtocolVersion, sni
+
+        capture = GatewayCapture()
+        hello_12 = ClientHello(
+            legacy_version=ProtocolVersion.TLS_1_2,
+            cipher_codes=template.client_hello.cipher_codes,
+            extensions=(sni("first.example"),),
+        )
+        hello_10 = ClientHello(
+            legacy_version=ProtocolVersion.TLS_1_0,
+            cipher_codes=template.client_hello.cipher_codes,
+            extensions=(sni("third.example"),),
+        )
+        for hello, party in ((hello_12, Party.FIRST), (hello_10, Party.THIRD)):
+            capture.add(
+                replace(
+                    template,
+                    device="Synthetic Biased",
+                    client_hello=hello,
+                    party=party,
+                    count=500,
+                )
+            )
+        result = run_party_bias(capture, "Synthetic Biased")
+        assert result.biased
+        # ~1.0 up to the chi-square continuity correction.
+        assert result.cramers_v == pytest.approx(1.0, abs=0.01)
+
+    def test_result_table_shape(self, passive_capture):
+        result = run_party_bias(passive_capture, "Apple TV")
+        assert isinstance(result, PartyBiasResult)
+        assert len(result.table) == len(result.versions)
+        assert all(len(row) == 2 for row in result.table)

@@ -1,0 +1,102 @@
+"""Property-based validation of the core contribution.
+
+For arbitrary synthetic devices -- random root-store subsets, random
+amenable library, random candidate sets -- the prober's blackbox
+inferences must equal ground truth exactly (with the noise channel
+disabled).  This is the strongest statement the reproduction can make
+about the technique: it reads the store correctly *whatever* the store
+contains.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.prober import ProbeOutcome, RootStoreProber
+from repro.devices import (
+    DestinationSpec,
+    Device,
+    DeviceCategory,
+    DeviceProfile,
+    ServerEpoch,
+    ServerSpec,
+    TLSInstanceSpec,
+)
+from repro.devices.configs import FS_MODERN, RSA_PLAIN
+from repro.devices.instance import InstanceConfigSpec
+from repro.pki import RootStore
+from repro.roothistory import build_default_universe
+from repro.testbed import SmartPlug, Testbed
+from repro.tls import ProtocolVersion
+from repro.tlslib import MBEDTLS, OPENSSL
+
+_UNIVERSE = build_default_universe()
+_TESTBED = Testbed(_UNIVERSE)
+_DEPRECATED = _UNIVERSE.deprecated_records()
+_ANCHORS = [_TESTBED.anchor(index).certificate for index in range(2)]
+
+
+def _synthetic_device(name: str, library, store_members) -> Device:
+    """A single-instance device trusting anchors + ``store_members``."""
+    store = RootStore.from_certificates(
+        f"{name} store", [*_ANCHORS, *(record.certificate for record in store_members)]
+    )
+    profile = DeviceProfile(
+        name=name,
+        category=DeviceCategory.HOME_AUTOMATION,
+        manufacturer="Synthetic",
+        active=True,
+        instances=(
+            TLSInstanceSpec.static(
+                "main",
+                library,
+                InstanceConfigSpec(
+                    versions=(ProtocolVersion.TLS_1_2,),
+                    cipher_codes=FS_MODERN + RSA_PLAIN,
+                ),
+            ),
+        ),
+        destinations=(
+            DestinationSpec(
+                hostname=f"{name.lower().replace(' ', '-')}.example.com",
+                instance="main",
+                server=ServerSpec.static(
+                    ServerEpoch(
+                        versions=(ProtocolVersion.TLS_1_2,),
+                        cipher_codes=FS_MODERN + RSA_PLAIN,
+                    )
+                ),
+            ),
+        ),
+    )
+    return Device(profile, universe=_UNIVERSE, root_store=store)
+
+
+@given(
+    member_indexes=st.sets(st.integers(min_value=0, max_value=len(_DEPRECATED) - 1), max_size=20),
+    candidate_indexes=st.sets(
+        st.integers(min_value=0, max_value=len(_DEPRECATED) - 1), min_size=1, max_size=12
+    ),
+    library=st.sampled_from([MBEDTLS, OPENSSL]),
+    data=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_prober_reads_arbitrary_stores_exactly(member_indexes, candidate_indexes, library, data):
+    members = [_DEPRECATED[index] for index in sorted(member_indexes)]
+    device = _synthetic_device(f"Synthetic Device {data}", library, members)
+    prober = RootStoreProber(_TESTBED)
+    plug = SmartPlug(device)
+
+    calibration = prober.calibrate(plug)
+    assert calibration.amenable
+
+    member_names = {record.name for record in members}
+    for index in sorted(candidate_indexes):
+        record = _DEPRECATED[index]
+        result = prober.probe_certificate(
+            plug, calibration, record.certificate, conclusive_rate=1.0
+        )
+        expected = (
+            ProbeOutcome.PRESENT if record.name in member_names else ProbeOutcome.ABSENT
+        )
+        assert result.outcome is expected, record.name

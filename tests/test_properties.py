@@ -1,0 +1,136 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.configs import FS_MODERN, RSA_PLAIN, WEAK_LEGACY
+from repro.pki import (
+    CertificateAuthority,
+    DistinguishedName,
+    RootStore,
+    ValidationErrorCode,
+    utc,
+    validate_chain,
+)
+from repro.tls import ClientHello, ProtocolVersion, negotiate
+from repro.tls.ciphersuites import REGISTRY
+
+_ALL_CODES = sorted(code for code, s in REGISTRY.items() if not s.tls13_only)
+_VERSIONS = [
+    ProtocolVersion.SSL_3_0,
+    ProtocolVersion.TLS_1_0,
+    ProtocolVersion.TLS_1_1,
+    ProtocolVersion.TLS_1_2,
+]
+
+
+class TestNegotiationProperties:
+    @given(
+        client_max=st.sampled_from(_VERSIONS),
+        server_versions=st.sets(st.sampled_from(_VERSIONS), min_size=1),
+        client_ciphers=st.lists(st.sampled_from(_ALL_CODES), min_size=1, max_size=12, unique=True),
+        server_ciphers=st.lists(st.sampled_from(_ALL_CODES), min_size=1, max_size=12, unique=True),
+    )
+    @settings(max_examples=120)
+    def test_negotiated_parameters_acceptable_to_both(
+        self, client_max, server_versions, client_ciphers, server_ciphers
+    ):
+        hello = ClientHello(legacy_version=client_max, cipher_codes=tuple(client_ciphers))
+        server_hello = negotiate(hello, frozenset(server_versions), tuple(server_ciphers))
+        if server_hello is None:
+            # Failure must mean genuinely no overlap.
+            overlap_versions = {v for v in server_versions if v <= client_max}
+            overlap_ciphers = set(client_ciphers) & set(server_ciphers)
+            assert not overlap_versions or not overlap_ciphers
+        else:
+            assert server_hello.version in server_versions
+            assert server_hello.version <= client_max
+            assert server_hello.cipher_code in set(client_ciphers) & set(server_ciphers)
+            # Highest common version is chosen.
+            assert server_hello.version == max(
+                v for v in server_versions if v <= client_max
+            )
+
+    @given(
+        ciphers=st.lists(st.sampled_from(_ALL_CODES), min_size=1, max_size=10, unique=True)
+    )
+    def test_negotiation_idempotent(self, ciphers):
+        hello = ClientHello(
+            legacy_version=ProtocolVersion.TLS_1_2, cipher_codes=tuple(ciphers)
+        )
+        first = negotiate(hello, frozenset({ProtocolVersion.TLS_1_2}), tuple(ciphers))
+        second = negotiate(hello, frozenset({ProtocolVersion.TLS_1_2}), tuple(ciphers))
+        assert first == second
+
+
+class TestChainValidationProperties:
+    @given(depth=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_any_depth_chain_validates(self, depth):
+        """A well-formed chain of arbitrary intermediate depth validates."""
+        root = CertificateAuthority(
+            DistinguishedName(common_name=f"Prop Root {depth}"), seed=f"prop-root-{depth}".encode()
+        )
+        store = RootStore.from_certificates("prop", [root.certificate])
+        issuer = root
+        chain_tail = []
+        for level in range(depth):
+            issuer = issuer.issue_intermediate(
+                DistinguishedName(common_name=f"Prop Int {depth}.{level}"),
+                seed=f"prop-int-{depth}-{level}".encode(),
+            )
+            chain_tail.insert(0, issuer.certificate)
+        leaf, _ = issuer.issue_leaf("prop.example.com")
+        result = validate_chain(
+            [leaf, *chain_tail], store, when=utc(2021, 3), hostname="prop.example.com"
+        )
+        assert result.ok
+
+    @given(drop=st.integers(min_value=1, max_value=2))
+    @settings(max_examples=10, deadline=None)
+    def test_missing_intermediate_breaks_chain(self, drop):
+        root = CertificateAuthority(
+            DistinguishedName(common_name="Prop Root Gap"), seed=b"prop-root-gap"
+        )
+        store = RootStore.from_certificates("prop", [root.certificate])
+        a = root.issue_intermediate(DistinguishedName(common_name="Gap A"), seed=b"gap-a")
+        b = a.issue_intermediate(DistinguishedName(common_name="Gap B"), seed=b"gap-b")
+        leaf, _ = b.issue_leaf("gap.example.com")
+        full = [leaf, b.certificate, a.certificate]
+        del full[drop]
+        result = validate_chain(full, store, when=utc(2021, 3), hostname="gap.example.com")
+        assert not result.ok
+
+
+class TestHelloClassificationProperties:
+    @given(
+        ciphers=st.lists(
+            st.sampled_from(sorted(REGISTRY)), min_size=1, max_size=15, unique=True
+        )
+    )
+    def test_classification_consistent_with_suites(self, ciphers):
+        hello = ClientHello(
+            legacy_version=ProtocolVersion.TLS_1_2, cipher_codes=tuple(ciphers)
+        )
+        suites = hello.cipher_suites()
+        assert hello.advertises_insecure_cipher == any(s.is_insecure for s in suites)
+        assert hello.advertises_forward_secrecy == any(s.forward_secret for s in suites)
+
+
+class TestStoreProperties:
+    @given(count=st.integers(min_value=1, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_store_size_tracks_additions_and_removals(self, count):
+        cas = [
+            CertificateAuthority(
+                DistinguishedName(common_name=f"Prop Store CA {i}"),
+                seed=f"prop-store-{i}".encode(),
+            )
+            for i in range(count)
+        ]
+        store = RootStore.from_certificates("prop", [ca.certificate for ca in cas])
+        assert len(store) == count
+        for ca in cas:
+            store.remove(ca.certificate)
+        assert len(store) == 0

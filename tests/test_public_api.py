@@ -1,0 +1,55 @@
+"""Smoke tests for the package's public surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Testbed",
+            "SmartPlug",
+            "Device",
+            "ActiveExperimentCampaign",
+            "RootStoreProber",
+            "InterceptionAuditor",
+            "DowngradeAuditor",
+            "PassiveTraceGenerator",
+            "build_catalog",
+            "build_default_universe",
+        ],
+    )
+    def test_lazy_exports_resolve(self, name):
+        assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_thing
+
+    def test_subpackage_all_exports_importable(self):
+        import importlib
+
+        for module_name in (
+            "repro.pki",
+            "repro.tls",
+            "repro.tlslib",
+            "repro.roothistory",
+            "repro.devices",
+            "repro.testbed",
+            "repro.mitm",
+            "repro.core",
+            "repro.fingerprint",
+            "repro.longitudinal",
+            "repro.analysis",
+            "repro.mitigations",
+        ):
+            module = importlib.import_module(module_name)
+            for exported in getattr(module, "__all__", ()):
+                assert getattr(module, exported, None) is not None, (module_name, exported)

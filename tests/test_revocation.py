@@ -1,0 +1,93 @@
+"""Unit tests for CRL / OCSP / stapling infrastructure."""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import pytest
+
+from repro.pki import (
+    OCSPResponder,
+    RevocationRegistry,
+    RevocationStatus,
+    utc,
+)
+
+WHEN = utc(2021, 3)
+
+
+@pytest.fixture()
+def registry(simple_ca):
+    return RevocationRegistry(
+        issuer_name=simple_ca.name.rfc4514(),
+        crl_url="http://crl.test/latest.crl",
+        ocsp_url="http://ocsp.test",
+        signing_key=simple_ca.keypair.private,
+    )
+
+
+class TestCRL:
+    def test_crl_lists_revoked_serials(self, registry, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("revoked.example.com")
+        registry.revoke(leaf)
+        crl = registry.current_crl(when=WHEN)
+        assert crl.is_revoked(leaf.serial)
+        assert not crl.is_revoked(leaf.serial + 999)
+
+    def test_crl_freshness_window(self, registry):
+        crl = registry.current_crl(when=WHEN, validity=timedelta(days=30))
+        assert crl.is_fresh_at(WHEN)
+        assert crl.is_fresh_at(WHEN + timedelta(days=30))
+        assert not crl.is_fresh_at(WHEN + timedelta(days=31))
+
+    def test_crl_fetches_counted(self, registry):
+        registry.current_crl(when=WHEN)
+        registry.current_crl(when=WHEN)
+        assert registry.crl_fetches == 2
+
+
+class TestOCSP:
+    def test_good_response_for_unrevoked(self, registry, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("good.example.com")
+        response = registry.ocsp.respond(leaf.serial, when=WHEN)
+        assert response.status is RevocationStatus.GOOD
+
+    def test_revoked_response(self, registry, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("bad.example.com")
+        registry.revoke(leaf)
+        response = registry.ocsp.respond(leaf.serial, when=WHEN)
+        assert response.status is RevocationStatus.REVOKED
+
+    def test_response_signature_verifies(self, registry, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("sig.example.com")
+        response = registry.ocsp.respond(leaf.serial, when=WHEN)
+        assert OCSPResponder.verify_response(response, simple_ca.keypair.public)
+
+    def test_tampered_response_rejected(self, registry, simple_ca):
+        from dataclasses import replace
+
+        leaf, _ = simple_ca.issue_leaf("tamper.example.com")
+        registry.revoke(leaf)
+        response = registry.ocsp.respond(leaf.serial, when=WHEN)
+        # Attacker rewrites REVOKED -> GOOD without the CA key.
+        forged = replace(response, status=RevocationStatus.GOOD)
+        assert not OCSPResponder.verify_response(forged, simple_ca.keypair.public)
+
+    def test_staple_for_certificate(self, registry, simple_ca):
+        leaf, _ = simple_ca.issue_leaf("staple.example.com")
+        staple = registry.staple_for(leaf, when=WHEN)
+        assert staple.serial == leaf.serial
+        assert staple.is_fresh_at(WHEN + timedelta(days=6))
+        assert not staple.is_fresh_at(WHEN + timedelta(days=8))
+
+    def test_queries_counted(self, registry):
+        registry.ocsp.respond(1, when=WHEN)
+        registry.ocsp.respond(2, when=WHEN)
+        assert registry.ocsp.queries_served == 2
+
+
+def test_revoke_serial_affects_both_crl_and_ocsp(registry):
+    registry.revoke_serial(42)
+    assert registry.is_revoked(42)
+    assert registry.current_crl(when=WHEN).is_revoked(42)
+    assert registry.ocsp.respond(42, when=WHEN).status is RevocationStatus.REVOKED

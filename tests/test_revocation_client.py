@@ -1,0 +1,151 @@
+"""Edge cases of client-side revocation checking (tlslib layer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.configs import FS_MODERN, RSA_PLAIN
+from repro.pki import CertificateAuthority, DistinguishedName, RootStore, utc
+from repro.pki.revocation import RevocationMethod, RevocationRegistry, RevocationStatus
+from repro.tls import ProtocolVersion, ServerHello, ServerResponse
+from repro.tlslib import ClientConfig, OPENSSL
+
+WHEN = utc(2021, 3)
+HOST = "revoked.example.com"
+
+
+@pytest.fixture()
+def setup(simple_ca, simple_store):
+    registry = RevocationRegistry(
+        issuer_name=simple_ca.name.rfc4514(),
+        crl_url="http://crl.rev.test/latest.crl",
+        ocsp_url="http://ocsp.rev.test",
+        signing_key=simple_ca.keypair.private,
+    )
+    leaf, _ = simple_ca.issue_leaf(
+        HOST,
+        crl_distribution_point=registry.crl_url,
+        ocsp_responder_url=registry.ocsp_url,
+    )
+    return simple_ca, simple_store, registry, leaf
+
+
+def _config(store, **kwargs) -> ClientConfig:
+    defaults = dict(
+        versions=(ProtocolVersion.TLS_1_2,),
+        cipher_codes=FS_MODERN + RSA_PLAIN,
+        root_store=store,
+    )
+    defaults.update(kwargs)
+    return ClientConfig(**defaults)
+
+
+def _response(leaf, staple=None) -> ServerResponse:
+    return ServerResponse(
+        server_hello=ServerHello(version=ProtocolVersion.TLS_1_2, cipher_code=FS_MODERN[0]),
+        certificate_chain=(leaf,),
+        ocsp_staple=staple,
+    )
+
+
+class TestStaplingClient:
+    def test_revoked_staple_rejected(self, setup):
+        ca, store, registry, leaf = setup
+        registry.revoke(leaf)
+        staple = registry.staple_for(leaf, when=WHEN)
+        client = OPENSSL.client(
+            _config(store, revocation_method=RevocationMethod.OCSP_STAPLING)
+        )
+        verdict = client.evaluate_response(_response(leaf, staple), hostname=HOST, when=WHEN)
+        assert not verdict.accept
+        assert verdict.alert.description.name == "CERTIFICATE_REVOKED"
+
+    def test_good_staple_accepted(self, setup):
+        _, store, registry, leaf = setup
+        staple = registry.staple_for(leaf, when=WHEN)
+        client = OPENSSL.client(
+            _config(store, revocation_method=RevocationMethod.OCSP_STAPLING)
+        )
+        assert client.evaluate_response(_response(leaf, staple), hostname=HOST, when=WHEN).accept
+
+    def test_missing_staple_soft_fails(self, setup):
+        """Deployed stapling clients accept when no staple arrives."""
+        _, store, registry, leaf = setup
+        registry.revoke(leaf)  # revoked, but no staple presented
+        client = OPENSSL.client(
+            _config(store, revocation_method=RevocationMethod.OCSP_STAPLING)
+        )
+        assert client.evaluate_response(_response(leaf), hostname=HOST, when=WHEN).accept
+
+    def test_mismatched_staple_serial_ignored(self, setup):
+        _, store, registry, leaf = setup
+        registry.revoke_serial(999_999)
+        wrong_staple = registry.ocsp.respond(999_999, when=WHEN)
+        client = OPENSSL.client(
+            _config(store, revocation_method=RevocationMethod.OCSP_STAPLING)
+        )
+        assert client.evaluate_response(
+            _response(leaf, wrong_staple), hostname=HOST, when=WHEN
+        ).accept
+
+
+class TestOutOfBandClient:
+    def _transport(self, registry):
+        def transport(url, serial):
+            return (
+                RevocationStatus.REVOKED
+                if registry.is_revoked(serial)
+                else RevocationStatus.GOOD
+            )
+
+        return transport
+
+    @pytest.mark.parametrize("method", [RevocationMethod.OCSP, RevocationMethod.CRL])
+    def test_revoked_rejected_via_transport(self, setup, method):
+        _, store, registry, leaf = setup
+        registry.revoke(leaf)
+        client = OPENSSL.client(
+            _config(
+                store,
+                revocation_method=method,
+                revocation_transport=self._transport(registry),
+            )
+        )
+        verdict = client.evaluate_response(_response(leaf), hostname=HOST, when=WHEN)
+        assert not verdict.accept
+
+    def test_no_transport_soft_fails(self, setup):
+        _, store, registry, leaf = setup
+        registry.revoke(leaf)
+        client = OPENSSL.client(_config(store, revocation_method=RevocationMethod.OCSP))
+        assert client.evaluate_response(_response(leaf), hostname=HOST, when=WHEN).accept
+
+    def test_certificate_without_urls_soft_fails(self, setup, simple_ca, simple_store):
+        registry = setup[2]
+        bare_leaf, _ = simple_ca.issue_leaf("bare.example.com")  # no CRL/OCSP URLs
+        client = OPENSSL.client(
+            _config(
+                simple_store,
+                revocation_method=RevocationMethod.CRL,
+                revocation_transport=self._transport(registry),
+            )
+        )
+        assert client.evaluate_response(
+            _response(bare_leaf), hostname="bare.example.com", when=WHEN
+        ).accept
+
+    def test_revocation_never_rescues_invalid_chain(self, setup):
+        """A GOOD revocation status cannot turn a failed validation into
+        an accept: the checks compose, they don't substitute."""
+        _, store, registry, leaf = setup
+        client = OPENSSL.client(
+            _config(
+                store,
+                revocation_method=RevocationMethod.OCSP,
+                revocation_transport=self._transport(registry),
+            )
+        )
+        verdict = client.evaluate_response(
+            _response(leaf), hostname="other.example.com", when=WHEN
+        )
+        assert not verdict.accept  # hostname mismatch still rejects

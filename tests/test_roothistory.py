@@ -1,0 +1,163 @@
+"""Unit tests for the root-store history substrate (Table 3, §4.2 sets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.roothistory import (
+    PLATFORM_SPECS,
+    RemovalReason,
+    RootCARecord,
+    build_default_universe,
+    build_history,
+    derive_common_names,
+    derive_deprecated_names,
+)
+from repro.roothistory.universe import PROBE_YEAR
+
+
+class TestRecordLifecycle:
+    def _record(self, **kwargs) -> RootCARecord:
+        defaults = dict(
+            name="Lifecycle CA",
+            organization="Test",
+            country="US",
+            added_year=2010,
+            expiry_year=2030,
+            carriers=frozenset({"Mozilla"}),
+        )
+        defaults.update(kwargs)
+        return RootCARecord(**defaults)
+
+    def test_present_between_add_and_removal(self):
+        record = self._record(removal_year=2018)
+        assert not record.in_store_at("Mozilla", 2009)
+        assert record.in_store_at("Mozilla", 2015)
+        assert not record.in_store_at("Mozilla", 2018)
+        assert not record.in_store_at("Mozilla", 2020)
+
+    def test_never_present_on_non_carrier(self):
+        record = self._record()
+        assert not record.in_store_at("Microsoft", 2015)
+
+    def test_readdition_restores(self):
+        record = self._record(removal_year=2015, readded_year=2018)
+        assert record.in_store_at("Mozilla", 2016) is False
+        assert record.in_store_at("Mozilla", 2019)
+
+    def test_invalid_lifecycles_rejected(self):
+        with pytest.raises(ValueError):
+            self._record(removal_year=2005)
+        with pytest.raises(ValueError):
+            self._record(readded_year=2018)
+
+    def test_authority_is_deterministic_and_dated(self):
+        a = self._record().authority.certificate
+        b = self._record().authority.certificate
+        assert a.public_key == b.public_key
+        assert a.not_before.year == 2010
+        assert a.not_after.year == 2030
+
+    def test_unexpired_at(self):
+        record = self._record(expiry_year=2022)
+        assert record.unexpired_at(2021.5)
+        assert not record.unexpired_at(2022.0)
+
+
+class TestHistories:
+    def test_snapshot_counts_match_specs(self, universe):
+        for platform, version_count, earliest, _latest in PLATFORM_SPECS:
+            history = universe.history(platform)
+            assert history.version_count == version_count
+            assert history.earliest.year == earliest
+
+    def test_removed_names_detects_removals(self):
+        record = RootCARecord(
+            name="Removed CA",
+            organization="T",
+            country="US",
+            added_year=2008,
+            expiry_year=2030,
+            carriers=frozenset({"P"}),
+            removal_year=2016,
+        )
+        keeper = RootCARecord(
+            name="Kept CA",
+            organization="T",
+            country="US",
+            added_year=2008,
+            expiry_year=2030,
+            carriers=frozenset({"P"}),
+        )
+        history = build_history(
+            "P", [record, keeper], version_count=5, earliest_year=2012, latest_year=2020
+        )
+        assert history.removed_names() == {"Removed CA"}
+        assert history.removal_year_of("Removed CA") == 2016.0
+        assert history.removal_year_of("Kept CA") is None
+
+
+class TestDerivations:
+    def test_paper_set_sizes(self, universe):
+        assert len(universe.common_names) == 122
+        assert len(universe.deprecated_names) == 87
+
+    def test_sets_are_disjoint(self, universe):
+        assert not (universe.common_names & universe.deprecated_names)
+
+    def test_distrusted_cas_in_deprecated_set(self, universe):
+        deprecated = universe.deprecated_names
+        for record in universe.distrusted_records():
+            assert record.name in deprecated
+
+    def test_four_named_distrusted_cas(self, universe):
+        names = {record.name for record in universe.distrusted_records()}
+        assert names == {
+            "TURKTRUST Elektronik Sertifika Hizmet Saglayicisi",
+            "CNNIC ROOT",
+            "Certification Authority of WoSign",
+            "Certinomis - Root CA",
+        }
+        years = {record.distrust.year for record in universe.distrusted_records()}
+        assert years == {2013, 2015, 2016, 2019}
+
+    def test_expired_removals_excluded(self, universe):
+        """Distractor (a): removed roots already expired at probe time."""
+        for name in universe.deprecated_names:
+            assert universe.records[name].unexpired_at(PROBE_YEAR)
+
+    def test_readded_roots_excluded(self, universe):
+        for name in universe.deprecated_names:
+            assert universe.records[name].readded_year is None
+
+    def test_late_added_roots_invisible(self, universe):
+        """Distractor (c): added after every earliest snapshot."""
+        late = [r for r in universe.records.values() if "LateCycle" in r.name]
+        assert late, "universe should contain late-cycle distractors"
+        for record in late:
+            assert record.name not in universe.deprecated_names
+
+    def test_common_set_unexpired_and_everywhere(self, universe):
+        for name in universe.common_names:
+            record = universe.records[name]
+            assert record.unexpired_at(PROBE_YEAR)
+            for history in universe.histories.values():
+                assert name in history.latest.members
+
+    def test_derivations_pure_functions(self, universe):
+        again_common = derive_common_names(
+            universe.histories, universe.records, probe_year=PROBE_YEAR
+        )
+        again_deprecated = derive_deprecated_names(
+            universe.histories, universe.records, probe_year=PROBE_YEAR
+        )
+        assert again_common == universe.common_names
+        assert again_deprecated == universe.deprecated_names
+
+    def test_removal_year_distribution_shape(self, universe):
+        """Figure 4's population: mass in 2018/2019, tail back to 2013."""
+        from collections import Counter
+
+        years = Counter(r.removal_year for r in universe.deprecated_records())
+        assert min(years) == 2013
+        assert years[2018] + years[2019] > sum(years.values()) / 2

@@ -1,0 +1,101 @@
+"""Tests for device root-store construction and the runtime Device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import (
+    ANCHOR_COUNT,
+    Device,
+    StoreProfile,
+    anchor_records,
+    build_device_store,
+    device_by_name,
+)
+
+
+class TestStoreConstruction:
+    def test_deterministic(self, universe):
+        profile = StoreProfile(common_count=100, deprecated_count=20)
+        a = build_device_store("determinism-test", profile, universe)
+        b = build_device_store("determinism-test", profile, universe)
+        assert {c.serial for c in a} == {c.serial for c in b}
+
+    def test_counts_respected(self, universe):
+        profile = StoreProfile(common_count=100, deprecated_count=20)
+        store = build_device_store("count-test", profile, universe)
+        assert len(store) == 120
+
+    def test_anchors_always_present(self, universe):
+        profile = StoreProfile(common_count=ANCHOR_COUNT, deprecated_count=0)
+        store = build_device_store("anchor-test", profile, universe)
+        for record in anchor_records(universe):
+            assert record.certificate in store
+
+    def test_forced_deprecated_included(self, universe):
+        profile = StoreProfile(
+            common_count=50,
+            deprecated_count=3,
+            force_deprecated=("CNNIC ROOT",),
+        )
+        store = build_device_store("force-test", profile, universe)
+        cnnic = universe.records["CNNIC ROOT"]
+        assert cnnic.certificate in store
+
+    def test_unknown_forced_name_raises(self, universe):
+        profile = StoreProfile(deprecated_count=1, force_deprecated=("No Such CA",))
+        with pytest.raises(KeyError):
+            build_device_store("bad-force", profile, universe)
+
+    def test_recency_bias_shapes_selection(self, universe):
+        recent = build_device_store(
+            "bias-recent", StoreProfile(deprecated_count=20, recency_bias=6.0), universe
+        )
+        old = build_device_store(
+            "bias-old", StoreProfile(deprecated_count=20, recency_bias=0.0), universe
+        )
+        def mean_removal_year(store):
+            years = [
+                universe.records[c.subject.common_name].removal_year
+                for c in store
+                if universe.records.get(c.subject.common_name)
+                and universe.records[c.subject.common_name].removal_year
+            ]
+            return sum(years) / len(years)
+
+        assert mean_removal_year(recent) > mean_removal_year(old)
+
+
+class TestRuntimeDevice:
+    def test_device_builds_instances(self, universe):
+        device = Device(device_by_name("Google Home Mini"), universe=universe)
+        assert set(device.instances) == {"ghm-main", "ghm-cast"}
+        assert device.first_destination().hostname == "clients.google.com"
+
+    def test_boot_contacts_every_destination(self, testbed):
+        device = testbed.device("Zmodo Doorbell")
+        connections = device.boot(lambda dest: testbed.server_for(dest))
+        assert len(connections) == len(device.profile.destinations)
+        assert all(connection.established for connection in connections)
+
+    def test_power_cycle_resets_instance_state(self, universe):
+        from repro.tls import ServerResponse
+
+        class Silent:
+            def respond(self, hello, *, when):
+                return ServerResponse(incomplete=True)
+
+        device = Device(device_by_name("Yi Camera"), universe=universe)
+        instance = device.instance("yi-tls")
+        for _ in range(3):
+            device.connect_destination(device.profile.destinations[0], Silent())
+        assert instance.validation_disabled
+        device.power_cycle()
+        assert not instance.validation_disabled
+
+    def test_sensitive_payload_becomes_application_data(self, testbed):
+        device = testbed.device("Zmodo Doorbell")
+        destination = device.profile.destinations[0]
+        connection = device.connect_destination(destination, testbed.server_for(destination))
+        assert connection.established
+        assert destination.sensitive_payload in connection.attempt.final.application_data

@@ -1,0 +1,164 @@
+"""Tests for TLS_FALLBACK_SCSV (RFC 7507) support."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import ServerEpoch, ServerSpec, TLSInstanceSpec
+from repro.devices.configs import FS_MODERN, RSA_PLAIN
+from repro.devices.instance import InstanceConfigSpec, TLSInstance
+from repro.devices.policies import FallbackMode, FallbackPolicy, FallbackTrigger
+from repro.pki import utc
+from repro.tls import ClientHello, ProtocolVersion, negotiate
+from repro.tls.ciphersuites import TLS_FALLBACK_SCSV
+from repro.tlslib import WOLFSSL
+
+WHEN = utc(2021, 3)
+
+_ALL_LEGACY = frozenset(
+    {
+        ProtocolVersion.SSL_3_0,
+        ProtocolVersion.TLS_1_0,
+        ProtocolVersion.TLS_1_1,
+        ProtocolVersion.TLS_1_2,
+    }
+)
+
+
+class TestNegotiationWithScsv:
+    def _fallback_hello(self, max_version=ProtocolVersion.SSL_3_0) -> ClientHello:
+        return ClientHello(
+            legacy_version=max_version,
+            cipher_codes=RSA_PLAIN + (TLS_FALLBACK_SCSV,),
+        )
+
+    def test_scsv_fallback_refused_by_conforming_server(self):
+        assert (
+            negotiate(self._fallback_hello(), _ALL_LEGACY, RSA_PLAIN, honor_fallback_scsv=True)
+            is None
+        )
+
+    def test_scsv_ignored_by_legacy_server(self):
+        server_hello = negotiate(self._fallback_hello(), _ALL_LEGACY, RSA_PLAIN)
+        assert server_hello is not None
+        assert server_hello.version is ProtocolVersion.SSL_3_0
+
+    def test_scsv_at_servers_best_version_is_fine(self):
+        """RFC 7507: the signal only matters when the client's maximum is
+        *below* the server's best -- a retry at the top version passes."""
+        hello = self._fallback_hello(max_version=ProtocolVersion.TLS_1_2)
+        server_hello = negotiate(hello, _ALL_LEGACY, RSA_PLAIN, honor_fallback_scsv=True)
+        assert server_hello is not None
+        assert server_hello.version is ProtocolVersion.TLS_1_2
+
+    def test_scsv_never_selected_as_a_suite(self):
+        hello = self._fallback_hello(max_version=ProtocolVersion.TLS_1_2)
+        server_hello = negotiate(
+            hello, _ALL_LEGACY, (TLS_FALLBACK_SCSV,) + RSA_PLAIN, honor_fallback_scsv=True
+        )
+        assert server_hello.cipher_code != TLS_FALLBACK_SCSV
+
+
+class TestScsvFallbackPolicy:
+    def _instance(self, *, scsv: bool) -> TLSInstance:
+        from repro.pki import CertificateAuthority, DistinguishedName, RootStore
+
+        ca = CertificateAuthority(DistinguishedName(common_name="SCSV Root"), seed=b"scsv")
+        store = RootStore.from_certificates("scsv", [ca.certificate])
+        spec = TLSInstanceSpec.static(
+            "scsv-instance",
+            WOLFSSL,
+            InstanceConfigSpec(
+                versions=(
+                    ProtocolVersion.SSL_3_0,
+                    ProtocolVersion.TLS_1_0,
+                    ProtocolVersion.TLS_1_1,
+                    ProtocolVersion.TLS_1_2,
+                ),
+                cipher_codes=FS_MODERN + RSA_PLAIN,
+            ),
+            fallback=FallbackPolicy(
+                mode=FallbackMode.SSL3,
+                triggers=frozenset({FallbackTrigger.INCOMPLETE_HANDSHAKE}),
+                send_fallback_scsv=scsv,
+            ),
+        )
+        return TLSInstance(spec, store)
+
+    def test_scsv_appended_to_retry(self):
+        instance = self._instance(scsv=True)
+        downgraded = instance.spec.fallback.apply(instance.client_config(38))
+        assert downgraded.cipher_codes[-1] == TLS_FALLBACK_SCSV
+
+    def test_paper_devices_do_not_send_scsv(self):
+        """None of the study's downgrading devices signalled fallback."""
+        from repro.devices import active_devices
+
+        for profile in active_devices():
+            for spec in profile.instances:
+                if spec.fallback is not None:
+                    assert not spec.fallback.send_fallback_scsv, profile.name
+
+
+class TestEndToEndScsvProtection:
+    @pytest.fixture()
+    def scsv_server_spec(self) -> ServerSpec:
+        return ServerSpec(
+            timeline=(
+                (
+                    0,
+                    ServerEpoch(
+                        versions=(
+                            ProtocolVersion.SSL_3_0,
+                            ProtocolVersion.TLS_1_0,
+                            ProtocolVersion.TLS_1_1,
+                            ProtocolVersion.TLS_1_2,
+                        ),
+                        cipher_codes=RSA_PLAIN + FS_MODERN,
+                    ),
+                ),
+            ),
+            honor_fallback_scsv=True,
+        )
+
+    def test_conforming_server_refuses_signalled_downgrade(self, testbed, scsv_server_spec):
+        """A first-attempt blip triggers the fallback retry; an RFC 7507
+        server rejects the SSL 3.0 retry instead of serving it."""
+        from repro.devices import DestinationSpec
+        from repro.testbed.cloud import CloudServer
+        from repro.tls.alerts import AlertDescription
+
+        destination = DestinationSpec(
+            hostname="scsv.example.com", instance="x", server=scsv_server_spec
+        )
+        server = CloudServer.build(
+            destination.hostname,
+            scsv_server_spec,
+            testbed.anchor(0),
+            testbed.intermediate(0),
+            testbed.registry(0),
+        )
+        hello = ClientHello(
+            legacy_version=ProtocolVersion.SSL_3_0,
+            cipher_codes=RSA_PLAIN + (TLS_FALLBACK_SCSV,),
+        )
+        response = server.respond(hello, when=WHEN)
+        assert response.server_hello is None
+        assert response.alert.description is AlertDescription.INAPPROPRIATE_FALLBACK
+
+    def test_unsignalled_downgrade_still_served(self, testbed, scsv_server_spec):
+        """Without the SCSV (the study's devices), even a conforming
+        server cannot tell a fallback from a genuinely old client."""
+        from repro.testbed.cloud import CloudServer
+
+        server = CloudServer.build(
+            "scsv2.example.com",
+            scsv_server_spec,
+            testbed.anchor(0),
+            testbed.intermediate(0),
+            testbed.registry(0),
+        )
+        hello = ClientHello(legacy_version=ProtocolVersion.SSL_3_0, cipher_codes=RSA_PLAIN)
+        response = server.respond(hello, when=WHEN)
+        assert response.server_hello is not None
+        assert response.server_hello.version is ProtocolVersion.SSL_3_0

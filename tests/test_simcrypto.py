@@ -1,0 +1,71 @@
+"""Unit tests for the simulated signature scheme."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.pki.simcrypto import Signature, generate_keypair, sha256_hex, verify
+
+
+class TestKeyGeneration:
+    def test_seeded_generation_is_deterministic(self):
+        a = generate_keypair(seed=b"same-seed")
+        b = generate_keypair(seed=b"same-seed")
+        assert a.public.key_id == b.public.key_id
+
+    def test_different_seeds_yield_different_keys(self):
+        a = generate_keypair(seed=b"seed-a")
+        b = generate_keypair(seed=b"seed-b")
+        assert a.public.key_id != b.public.key_id
+
+    def test_unseeded_keys_are_unique(self):
+        keys = {generate_keypair().public.key_id for _ in range(32)}
+        assert len(keys) == 32
+
+    def test_public_key_fingerprint_is_prefix(self):
+        pair = generate_keypair(seed=b"fp")
+        assert pair.public.key_id.startswith(pair.public.fingerprint())
+
+
+class TestSignVerify:
+    def test_valid_signature_verifies(self):
+        pair = generate_keypair(seed=b"sv")
+        signature = pair.private.sign(b"message")
+        assert verify(pair.public, b"message", signature)
+
+    def test_signature_bound_to_message(self):
+        pair = generate_keypair(seed=b"sv2")
+        signature = pair.private.sign(b"message")
+        assert not verify(pair.public, b"other message", signature)
+
+    def test_signature_bound_to_key(self):
+        signer = generate_keypair(seed=b"signer")
+        other = generate_keypair(seed=b"other")
+        signature = signer.private.sign(b"message")
+        assert not verify(other.public, b"message", signature)
+
+    def test_forged_tag_rejected(self):
+        pair = generate_keypair(seed=b"forge")
+        forged = Signature(key_id=pair.public.key_id, tag="00" * 32)
+        assert not verify(pair.public, b"message", forged)
+
+    def test_unregistered_key_id_rejected(self):
+        pair = generate_keypair(seed=b"unreg")
+        bogus = Signature(key_id="f" * 64, tag=pair.private.sign(b"m").tag)
+        from repro.pki.simcrypto import PublicKey
+
+        assert not verify(PublicKey(key_id="f" * 64), b"m", bogus)
+
+    @given(st.binary(max_size=256), st.binary(max_size=256))
+    def test_cross_message_unforgeability(self, message, other):
+        pair = generate_keypair(seed=b"prop")
+        signature = pair.private.sign(message)
+        assert verify(pair.public, message, signature)
+        if other != message:
+            assert not verify(pair.public, other, signature)
+
+
+def test_sha256_hex_known_value():
+    assert sha256_hex(b"") == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )

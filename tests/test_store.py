@@ -1,0 +1,86 @@
+"""Unit tests for root stores."""
+
+from __future__ import annotations
+
+from repro.pki import CertificateAuthority, CertificateBuilder, DistinguishedName, RootStore, generate_keypair, utc
+
+
+def _ca(name: str, **kwargs) -> CertificateAuthority:
+    return CertificateAuthority(
+        DistinguishedName(common_name=name), seed=f"store-test:{name}".encode(), **kwargs
+    )
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        ca = _ca("Store CA 1")
+        store = RootStore(label="t")
+        store.add(ca.certificate)
+        assert ca.certificate in store
+        assert store.contains_name(ca.name)
+        assert len(store) == 1
+
+    def test_add_is_idempotent(self):
+        ca = _ca("Store CA 2")
+        store = RootStore.from_certificates("t", [ca.certificate, ca.certificate])
+        assert len(store) == 1
+
+    def test_same_name_different_key_both_stored(self):
+        ca = _ca("Collide CA")
+        attacker = generate_keypair(seed=b"store-attacker")
+        spoofed = CertificateBuilder.spoof_from(ca.certificate, attacker.public).sign(
+            attacker.private
+        )
+        store = RootStore.from_certificates("t", [ca.certificate, spoofed])
+        assert len(store) == 2
+        assert len(store.find_by_subject(ca.name)) == 2
+
+    def test_exact_contains_distinguishes_keys(self):
+        ca = _ca("Exact CA")
+        attacker = generate_keypair(seed=b"store-attacker-2")
+        spoofed = CertificateBuilder.spoof_from(ca.certificate, attacker.public).sign(
+            attacker.private
+        )
+        store = RootStore.from_certificates("t", [ca.certificate])
+        assert store.contains(ca.certificate)
+        assert not store.contains(spoofed)
+        assert store.contains_name(spoofed.subject)  # name matches, key differs
+
+
+class TestRemoval:
+    def test_remove_certificate(self):
+        ca = _ca("Remove CA")
+        store = RootStore.from_certificates("t", [ca.certificate])
+        assert store.remove(ca.certificate)
+        assert len(store) == 0
+        assert not store.remove(ca.certificate)
+
+    def test_remove_by_name(self):
+        a, b = _ca("RM A"), _ca("RM B")
+        store = RootStore.from_certificates("t", [a.certificate, b.certificate])
+        assert store.remove_by_name(a.name) == 1
+        assert not store.contains_name(a.name)
+        assert store.contains_name(b.name)
+
+
+class TestQueries:
+    def test_unexpired_at_filters(self):
+        fresh = _ca("Fresh CA", not_before=utc(2010), not_after=utc(2030))
+        stale = _ca("Stale CA", not_before=utc(2005), not_after=utc(2015))
+        store = RootStore.from_certificates("t", [fresh.certificate, stale.certificate])
+        unexpired = store.unexpired_at(utc(2021))
+        assert fresh.certificate in unexpired
+        assert stale.certificate not in unexpired
+
+    def test_copy_is_independent(self):
+        ca = _ca("Copy CA")
+        store = RootStore.from_certificates("orig", [ca.certificate])
+        clone = store.copy("clone")
+        clone.remove(ca.certificate)
+        assert ca.certificate in store
+        assert clone.label == "clone"
+
+    def test_iteration_yields_all(self):
+        cas = [_ca(f"Iter CA {i}") for i in range(4)]
+        store = RootStore.from_certificates("t", [ca.certificate for ca in cas])
+        assert {cert.subject.common_name for cert in store} == {f"Iter CA {i}" for i in range(4)}

@@ -1,0 +1,118 @@
+"""Unit tests for TLS versions, ciphersuites, alerts and extensions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tls import (
+    Alert,
+    AlertDescription,
+    AlertLevel,
+    BulkCipher,
+    INSECURE_SUITES,
+    KeyExchange,
+    MODERN_TLS12_SUITES,
+    ProtocolVersion,
+    REGISTRY,
+    TLS13_SUITES,
+    VersionBand,
+    by_code,
+    by_name,
+)
+
+
+class TestVersions:
+    def test_ordering_follows_wire_codes(self):
+        ordered = sorted(ProtocolVersion)
+        assert ordered[0] is ProtocolVersion.SSL_2_0
+        assert ordered[-1] is ProtocolVersion.TLS_1_3
+        assert ProtocolVersion.TLS_1_2 < ProtocolVersion.TLS_1_3
+        assert ProtocolVersion.SSL_3_0 < ProtocolVersion.TLS_1_0
+
+    def test_deprecation_boundary(self):
+        assert ProtocolVersion.TLS_1_1.is_deprecated
+        assert not ProtocolVersion.TLS_1_2.is_deprecated
+        assert not ProtocolVersion.TLS_1_3.is_deprecated
+
+    def test_bands(self):
+        assert ProtocolVersion.TLS_1_3.band is VersionBand.TLS_1_3
+        assert ProtocolVersion.TLS_1_2.band is VersionBand.TLS_1_2
+        for old in (ProtocolVersion.SSL_3_0, ProtocolVersion.TLS_1_0, ProtocolVersion.TLS_1_1):
+            assert old.band is VersionBand.OLDER
+
+    def test_from_wire_roundtrip(self):
+        for version in ProtocolVersion:
+            assert ProtocolVersion.from_wire(version.wire) is version
+
+    def test_from_wire_unknown_raises(self):
+        with pytest.raises(ValueError):
+            ProtocolVersion.from_wire((9, 9))
+
+
+class TestCipherSuites:
+    def test_known_codepoints(self):
+        assert by_code(0x1301).name == "TLS_AES_128_GCM_SHA256"
+        assert by_name("TLS_RSA_WITH_RC4_128_SHA").code == 0x0005
+        assert by_code(0xC02F).key_exchange is KeyExchange.ECDHE
+
+    def test_insecure_classification(self):
+        assert by_name("TLS_RSA_WITH_RC4_128_SHA").is_insecure
+        assert by_name("TLS_RSA_WITH_3DES_EDE_CBC_SHA").is_insecure
+        assert by_name("TLS_RSA_WITH_DES_CBC_SHA").is_insecure
+        assert by_name("TLS_RSA_EXPORT_WITH_DES40_CBC_SHA").is_insecure
+        assert not by_name("TLS_RSA_WITH_AES_128_GCM_SHA256").is_insecure
+
+    def test_null_anon_classification(self):
+        assert by_name("TLS_RSA_WITH_NULL_SHA").is_null_or_anon
+        assert by_name("TLS_DH_anon_WITH_AES_128_CBC_SHA").is_null_or_anon
+        assert not by_name("TLS_RSA_WITH_AES_128_CBC_SHA").is_null_or_anon
+
+    def test_forward_secrecy_classification(self):
+        assert by_name("TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256").forward_secret
+        assert by_name("TLS_DHE_RSA_WITH_AES_128_CBC_SHA").forward_secret
+        assert by_name("TLS_AES_128_GCM_SHA256").forward_secret  # TLS 1.3
+        assert not by_name("TLS_RSA_WITH_AES_128_CBC_SHA").forward_secret
+        # Anonymous DH is "forward secret" in math but offers no auth.
+        assert not by_name("TLS_DH_anon_WITH_AES_128_CBC_SHA").forward_secret
+
+    def test_strong_excludes_insecure_fs(self):
+        ecdhe_3des = by_name("TLS_ECDHE_RSA_WITH_3DES_EDE_CBC_SHA")
+        assert ecdhe_3des.forward_secret
+        assert not ecdhe_3des.is_strong
+
+    def test_group_consistency(self):
+        assert all(s.tls13_only for s in TLS13_SUITES)
+        assert all(s.is_strong for s in MODERN_TLS12_SUITES)
+        assert all(s.is_insecure for s in INSECURE_SUITES)
+
+    def test_registry_codes_are_keys(self):
+        for code, suite in REGISTRY.items():
+            assert suite.code == code
+
+    @given(st.sampled_from(sorted(REGISTRY)))
+    def test_property_classification_partitions(self, code):
+        suite = REGISTRY[code]
+        # A suite cannot be simultaneously strong and insecure.
+        assert not (suite.is_strong and suite.is_insecure)
+        # NULL/ANON suites are never strong.
+        if suite.is_null_or_anon:
+            assert not suite.is_strong
+
+
+class TestAlerts:
+    def test_rfc_codes(self):
+        assert AlertDescription.UNKNOWN_CA.value == 48
+        assert AlertDescription.DECRYPT_ERROR.value == 51
+        assert AlertDescription.BAD_CERTIFICATE.value == 42
+        assert AlertDescription.CERTIFICATE_UNKNOWN.value == 46
+
+    def test_fatal_constructor(self):
+        alert = Alert.fatal(AlertDescription.UNKNOWN_CA)
+        assert alert.level is AlertLevel.FATAL
+        assert str(alert) == "fatal:unknown_ca"
+
+    def test_human_names_match_paper_style(self):
+        assert AlertDescription.UNKNOWN_CA.human_name == "Unknown CA"
+        assert AlertDescription.BAD_CERTIFICATE.human_name == "Bad Certificate"
+        assert AlertDescription.DECRYPT_ERROR.human_name == "Decrypt Error"

@@ -1,0 +1,47 @@
+"""Tests for repository tooling (docs generation)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "generate_catalog_reference", REPO_ROOT / "tools" / "generate_catalog_reference.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestCatalogReferenceGenerator:
+    def test_renders_all_devices(self):
+        text = _load_generator().render()
+        from repro.devices import build_catalog
+
+        for device in build_catalog():
+            assert f"## {device.name}" in text
+
+    def test_passive_only_marked(self):
+        text = _load_generator().render()
+        assert "## Samsung TV *(passive-only)*" in text
+        assert "## LG TV\n" in text  # active, no marker
+
+    def test_paper_facts_surface(self):
+        text = _load_generator().render()
+        assert "disabled after 3 failures" in text  # Yi Camera
+        assert "not suitable for repeated reboots" in text  # appliances
+        assert "TURKTRUST" in text  # LG TV's pinned root
+
+    def test_checked_in_doc_is_current(self):
+        """docs/catalog-reference.md must match the generator's output."""
+        generated = _load_generator().render()
+        checked_in = (REPO_ROOT / "docs" / "catalog-reference.md").read_text()
+        assert checked_in == generated, (
+            "docs/catalog-reference.md is stale; rerun "
+            "tools/generate_catalog_reference.py"
+        )

@@ -1,0 +1,54 @@
+"""Tests for the update-cadence vs store-hygiene analysis."""
+
+from __future__ import annotations
+
+from repro.analysis.updates import update_vs_store_hygiene
+from repro.devices import device_by_name
+from repro.devices.profile import UpdatePolicy
+
+
+class TestCatalogUpdateMetadata:
+    def test_lg_tv_last_updated_july_2019(self):
+        profile = device_by_name("LG TV")
+        assert profile.last_update_month == 18
+        assert profile.update_policy is UpdatePolicy.MANUAL
+
+    def test_roku_last_updated_september_2020(self):
+        assert device_by_name("Roku TV").last_update_month == 32
+
+    def test_assistants_update_automatically(self):
+        for name in ("Google Home Mini", "Amazon Echo Dot", "Amazon Echo Plus"):
+            profile = device_by_name(name)
+            assert profile.update_policy is UpdatePolicy.AUTOMATIC
+            assert profile.last_update_month is None
+
+    def test_unmaintained_devices_marked(self):
+        for name in ("Wemo Plug", "Smarter iKettle", "Insteon Hub"):
+            assert device_by_name(name).update_policy is UpdatePolicy.NONE
+
+
+class TestHygieneJoin:
+    def test_covers_all_amenable_devices(self, campaign_results):
+        rows = update_vs_store_hygiene(campaign_results.probes)
+        assert len(rows) == 8
+
+    def test_the_papers_disconnect(self, campaign_results):
+        """Every automatically-updating probed device still keeps
+        deprecated roots -- updates flow, root stores do not."""
+        rows = update_vs_store_hygiene(campaign_results.probes)
+        auto = [row for row in rows if row.update_policy is UpdatePolicy.AUTOMATIC]
+        assert auto
+        for row in auto:
+            assert row.updates_but_keeps_stale_roots, row.device
+
+    def test_months_since_update(self, campaign_results):
+        rows = {row.device: row for row in update_vs_store_hygiene(campaign_results.probes)}
+        assert rows["LG TV"].months_since_update == 20  # 7/2019 -> 3/2021
+        assert rows["Roku TV"].months_since_update == 6  # 9/2020 -> 3/2021
+        assert rows["Google Home Mini"].months_since_update == 0
+
+    def test_describe_mentions_cadence_and_counts(self, campaign_results):
+        rows = {row.device: row for row in update_vs_store_hygiene(campaign_results.probes)}
+        text = rows["LG TV"].describe()
+        assert "last updated 7/2019" in text
+        assert "deprecated roots" in text

@@ -1,0 +1,222 @@
+"""Unit tests for chain validation -- including the typed failures the
+root-store probing side channel depends on."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pki import (
+    BasicConstraints,
+    CertificateAuthority,
+    CertificateBuilder,
+    DistinguishedName,
+    KeyUsage,
+    RootStore,
+    ValidationErrorCode,
+    generate_keypair,
+    utc,
+    validate_chain,
+)
+from repro.pki.validation import MAX_CHAIN_LENGTH
+
+WHEN = utc(2021, 3)
+HOST = "api.example.com"
+
+
+@pytest.fixture()
+def chain_setup(simple_ca, simple_store):
+    leaf, _ = simple_ca.issue_leaf(HOST, seed=b"val-leaf")
+    return simple_ca, simple_store, leaf
+
+
+class TestHappyPaths:
+    def test_direct_chain_validates(self, chain_setup):
+        _, store, leaf = chain_setup
+        assert validate_chain([leaf], store, when=WHEN, hostname=HOST).ok
+
+    def test_chain_with_intermediate(self, simple_ca, simple_store):
+        intermediate = simple_ca.issue_intermediate(DistinguishedName(common_name="Val Int"))
+        leaf, _ = intermediate.issue_leaf(HOST)
+        result = validate_chain(
+            [leaf, intermediate.certificate], simple_store, when=WHEN, hostname=HOST
+        )
+        assert result.ok
+
+    def test_trusted_self_signed_root_at_top(self, simple_ca, simple_store):
+        leaf, _ = simple_ca.issue_leaf(HOST)
+        result = validate_chain(
+            [leaf, simple_ca.certificate], simple_store, when=WHEN, hostname=HOST
+        )
+        assert result.ok
+
+    def test_hostname_check_skippable(self, chain_setup):
+        _, store, leaf = chain_setup
+        result = validate_chain(
+            [leaf], store, when=WHEN, hostname="wrong.example.com", check_hostname=False
+        )
+        assert result.ok
+
+
+class TestStructuralFailures:
+    def test_empty_chain(self, simple_store):
+        result = validate_chain([], simple_store, when=WHEN)
+        assert result.code is ValidationErrorCode.EMPTY_CHAIN
+
+    def test_chain_too_long(self, chain_setup):
+        _, store, leaf = chain_setup
+        result = validate_chain([leaf] * (MAX_CHAIN_LENGTH + 1), store, when=WHEN)
+        assert result.code is ValidationErrorCode.CHAIN_TOO_LONG
+
+    def test_broken_chain_link(self, simple_ca, simple_store):
+        other = CertificateAuthority(
+            DistinguishedName(common_name="Unrelated CA"), seed=b"unrelated"
+        )
+        leaf, _ = simple_ca.issue_leaf(HOST)
+        result = validate_chain(
+            [leaf, other.certificate], simple_store, when=WHEN, hostname=HOST
+        )
+        assert result.code is ValidationErrorCode.BROKEN_CHAIN
+
+
+class TestSideChannelDistinction:
+    """UNKNOWN_CA vs BAD_SIGNATURE: the probing technique's foundation."""
+
+    def test_unknown_issuer(self, simple_store):
+        stranger = CertificateAuthority(
+            DistinguishedName(common_name="Stranger CA"), seed=b"stranger"
+        )
+        leaf, _ = stranger.issue_leaf(HOST)
+        result = validate_chain([leaf, stranger.certificate], simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.UNKNOWN_CA
+
+    def test_self_signed_leaf_is_unknown_ca(self, simple_store):
+        cert, _ = CertificateAuthority.self_signed_leaf(HOST)
+        result = validate_chain([cert], simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.UNKNOWN_CA
+
+    def test_known_name_bad_signature(self, simple_ca, simple_store):
+        attacker = generate_keypair(seed=b"val-attacker")
+        spoofed_root = CertificateBuilder.spoof_from(
+            simple_ca.certificate, attacker.public
+        ).sign(attacker.private)
+        leaf = CertificateBuilder(
+            subject=DistinguishedName(common_name=HOST),
+            issuer=spoofed_root.subject,
+            public_key=generate_keypair(seed=b"val-al").public,
+            subject_alt_names=(HOST,),
+        ).sign(attacker.private)
+        result = validate_chain([leaf, spoofed_root], simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.BAD_SIGNATURE
+
+    def test_leaf_signed_by_wrong_key_direct(self, simple_ca, simple_store):
+        """A leaf claiming the trusted issuer but signed by another key."""
+        attacker = generate_keypair(seed=b"val-attacker2")
+        leaf = CertificateBuilder(
+            subject=DistinguishedName(common_name=HOST),
+            issuer=simple_ca.name,
+            public_key=attacker.public,
+            subject_alt_names=(HOST,),
+        ).sign(attacker.private)
+        result = validate_chain([leaf], simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.BAD_SIGNATURE
+
+
+class TestExtensions:
+    def test_non_ca_issuer_rejected(self, simple_ca, simple_store):
+        """The InvalidBasicConstraints attack shape."""
+        own_leaf, own_key = simple_ca.issue_leaf("attacker.example")
+        forged = CertificateBuilder(
+            subject=DistinguishedName(common_name=HOST),
+            issuer=own_leaf.subject,
+            public_key=generate_keypair(seed=b"ibc").public,
+            subject_alt_names=(HOST,),
+        ).sign(own_key.private)
+        chain = [forged, own_leaf, simple_ca.certificate]
+        result = validate_chain(chain, simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.INVALID_BASIC_CONSTRAINTS
+        # Skipping the BasicConstraints check accepts it -- the flaw.
+        relaxed = validate_chain(
+            chain, simple_store, when=WHEN, hostname=HOST, check_basic_constraints=False
+        )
+        assert relaxed.ok
+
+    def test_pathlen_constraint_enforced(self, simple_store, simple_ca):
+        constrained = CertificateBuilder(
+            subject=DistinguishedName(common_name="PathLen CA"),
+            issuer=simple_ca.name,
+            public_key=generate_keypair(seed=b"plc").public,
+            basic_constraints=BasicConstraints(ca=True, path_len=0),
+            key_usage=KeyUsage(key_cert_sign=True),
+        ).sign(simple_ca.keypair.private)
+        # pathlen=0 allows issuing leaves, not further CAs; a chain of
+        # depth > path_len+1 below it must fail.
+        mid_key = generate_keypair(seed=b"plc-mid")
+        mid = CertificateBuilder(
+            subject=DistinguishedName(common_name="Too Deep CA"),
+            issuer=constrained.subject,
+            public_key=mid_key.public,
+            basic_constraints=BasicConstraints(ca=True),
+            key_usage=KeyUsage(key_cert_sign=True),
+        ).sign(generate_keypair(seed=b"plc2").private)
+        leaf = CertificateBuilder(
+            subject=DistinguishedName(common_name=HOST),
+            public_key=generate_keypair(seed=b"plc3").public,
+            issuer=mid.subject,
+            subject_alt_names=(HOST,),
+        ).sign(mid_key.private)
+        result = validate_chain([leaf, mid, constrained], simple_store, when=WHEN, hostname=HOST)
+        assert result.code in (
+            ValidationErrorCode.PATHLEN_EXCEEDED,
+            ValidationErrorCode.BAD_SIGNATURE,
+        )
+
+    def test_key_usage_enforced(self, simple_ca, simple_store):
+        no_sign_key = generate_keypair(seed=b"nokeysign")
+        no_sign = CertificateBuilder(
+            subject=DistinguishedName(common_name="NoSign CA"),
+            issuer=simple_ca.name,
+            public_key=no_sign_key.public,
+            basic_constraints=BasicConstraints(ca=True),
+            key_usage=KeyUsage(key_cert_sign=False),
+        ).sign(simple_ca.keypair.private)
+        leaf = CertificateBuilder(
+            subject=DistinguishedName(common_name=HOST),
+            issuer=no_sign.subject,
+            public_key=generate_keypair(seed=b"nks2").public,
+            subject_alt_names=(HOST,),
+        ).sign(no_sign_key.private)
+        result = validate_chain([leaf, no_sign], simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.KEY_USAGE
+
+
+class TestTemporal:
+    def test_expired_leaf(self, simple_ca, simple_store):
+        leaf, _ = simple_ca.issue_leaf(HOST, not_before=utc(2015), not_after=utc(2018))
+        result = validate_chain([leaf], simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.EXPIRED
+
+    def test_not_yet_valid_leaf(self, simple_ca, simple_store):
+        leaf, _ = simple_ca.issue_leaf(HOST, not_before=utc(2030), not_after=utc(2032))
+        result = validate_chain([leaf], simple_store, when=WHEN, hostname=HOST)
+        assert result.code is ValidationErrorCode.NOT_YET_VALID
+
+    def test_validity_check_skippable(self, simple_ca, simple_store):
+        leaf, _ = simple_ca.issue_leaf(HOST, not_before=utc(2015), not_after=utc(2018))
+        result = validate_chain(
+            [leaf], simple_store, when=WHEN, hostname=HOST, check_validity=False
+        )
+        assert result.ok
+
+
+class TestHostname:
+    def test_hostname_mismatch_detected_last(self, simple_ca, simple_store):
+        leaf, _ = simple_ca.issue_leaf(HOST)
+        result = validate_chain([leaf], simple_store, when=WHEN, hostname="evil.example.com")
+        assert result.code is ValidationErrorCode.HOSTNAME_MISMATCH
+
+    def test_result_truthiness(self, chain_setup):
+        _, store, leaf = chain_setup
+        ok = validate_chain([leaf], store, when=WHEN, hostname=HOST)
+        bad = validate_chain([leaf], store, when=WHEN, hostname="x.example.org")
+        assert bool(ok) and ok.ok
+        assert not bool(bad)
