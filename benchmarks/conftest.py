@@ -5,16 +5,62 @@ prints it (run with ``-s`` to see the rendered artifacts; the printed
 rows are also written into ``bench_output`` captures).  Timings measure
 the full regeneration path, so the harness doubles as a performance
 suite over the simulation stack.
+
+Telemetry integration: ``--telemetry`` enables the observability
+subsystem (:mod:`repro.telemetry`) around every benchmark, and
+``--metrics-out DIR`` writes one metrics snapshot per benchmark
+alongside its timing -- the registry is reset at each test's start, so
+a snapshot covers exactly that benchmark's work.  Without the flag,
+benchmarks run with telemetry disabled, measuring the guarded
+(fast-path) overhead only.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
+from repro import telemetry
 from repro.core import ActiveExperimentCampaign
 from repro.longitudinal import PassiveTraceGenerator
 from repro.roothistory import build_default_universe
 from repro.testbed import Testbed
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("telemetry")
+    group.addoption(
+        "--telemetry",
+        action="store_true",
+        default=False,
+        help="enable repro.telemetry around every benchmark",
+    )
+    group.addoption(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="write one metrics snapshot per benchmark into DIR (implies --telemetry)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _benchmark_telemetry(request):
+    """Per-benchmark telemetry window: reset, run, snapshot, disable."""
+    metrics_dir = request.config.getoption("--metrics-out")
+    enabled = request.config.getoption("--telemetry") or metrics_dir is not None
+    if not enabled:
+        yield
+        return
+    telemetry.configure(enabled=True)
+    yield
+    if metrics_dir is not None:
+        telemetry.write_snapshot(
+            telemetry.get_registry(),
+            Path(metrics_dir) / f"{request.node.name}.metrics.json",
+            extra={"benchmark": request.node.nodeid},
+        )
+    telemetry.configure(enabled=False)
 
 
 @pytest.fixture(scope="session")

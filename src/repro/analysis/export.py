@@ -20,6 +20,7 @@ from ..testbed.capture import GatewayCapture
 
 __all__ = [
     "capture_from_records",
+    "capture_to_document",
     "capture_to_records",
     "campaign_to_dict",
     "probe_report_to_dict",
@@ -69,6 +70,19 @@ def capture_to_records(capture: GatewayCapture) -> list[dict[str, Any]]:
             }
         )
     return records
+
+
+def capture_to_document(
+    capture: GatewayCapture, *, metadata: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """A capture export with provenance: ``{"metadata": ..., "records": ...}``.
+
+    ``metadata`` carries run parameters (generator seed, scale, ...) so a
+    published artifact records how it was produced.  Consumed by
+    :func:`capture_from_records`, which accepts both this shape and the
+    bare record list.
+    """
+    return {"metadata": dict(metadata or {}), "records": capture_to_records(capture)}
 
 
 def probe_report_to_dict(report: DeviceProbeReport) -> dict[str, Any]:
@@ -165,15 +179,21 @@ def campaign_to_dict(results: CampaignResults) -> dict[str, Any]:
     }
 
 
-def capture_from_records(records: list[dict[str, Any]]) -> GatewayCapture:
+def capture_from_records(
+    records: list[dict[str, Any]] | dict[str, Any],
+) -> GatewayCapture:
     """Rebuild a capture from exported per-connection dictionaries.
 
     The inverse of :func:`capture_to_records`: hellos are decoded from
     their embedded wire bytes, so every analysis (heatmaps, adoption
     events, fingerprints, Table 8 stapling signals) runs identically on
-    a loaded capture.
+    a loaded capture.  Accepts either the bare record list or the
+    metadata-bearing document from :func:`capture_to_document`.
     """
     from datetime import datetime
+
+    if isinstance(records, dict):
+        records = records["records"]
 
     from ..devices.profile import Party
     from ..tls.codec import decode_client_hello

@@ -9,9 +9,13 @@ Subcommands map one-to-one onto the paper's experiments:
                       Figures 1-3, adoption events, Table 8
 * ``fingerprint``  -- the Figure 5 shared-fingerprint analysis
 * ``devices``      -- list the Table 1 catalog
+* ``telemetry-demo`` -- exercise the telemetry subsystem end-to-end
 
 Every subcommand accepts ``--json PATH`` to export machine-readable
-results alongside the printed report.
+results alongside the printed report, and ``--telemetry`` to enable the
+observability subsystem (:mod:`repro.telemetry`); ``audit``, ``trace``,
+``probe``, and ``report`` additionally accept ``--metrics-out PATH`` to
+write the run's metrics snapshot as JSON (implies ``--telemetry``).
 """
 
 from __future__ import annotations
@@ -21,13 +25,19 @@ import statistics
 import sys
 from typing import Sequence
 
+from . import telemetry
 from .analysis import (
     analyze_revocation,
     compare_with_prior_work,
     render_table,
     table1_rows,
 )
-from .analysis.export import campaign_to_dict, capture_to_records, probe_report_to_dict, write_json
+from .analysis.export import (
+    campaign_to_dict,
+    capture_to_document,
+    probe_report_to_dict,
+    write_json,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -37,38 +47,90 @@ def build_parser() -> argparse.ArgumentParser:
         prog="iotls",
         description="IoTLS reproduction: TLS measurement experiments for consumer IoT devices",
     )
+    # Global observability flags, attached to every subcommand so they can
+    # appear after it (``iotls trace --telemetry``).
+    telemetry_flags = argparse.ArgumentParser(add_help=False)
+    telemetry_flags.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable the telemetry subsystem (metrics, spans, events)",
+    )
+    metrics_flags = argparse.ArgumentParser(add_help=False)
+    metrics_flags.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the run's metrics snapshot as JSON (implies --telemetry)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    audit = subparsers.add_parser("audit", help="run the full active-experiment campaign")
+    audit = subparsers.add_parser(
+        "audit",
+        help="run the full active-experiment campaign",
+        parents=[telemetry_flags, metrics_flags],
+    )
     audit.add_argument("--no-passthrough", action="store_true", help="skip the passthrough pass")
     audit.add_argument("--json", metavar="PATH", help="export full results as JSON")
 
-    probe = subparsers.add_parser("probe", help="probe one device's root store")
+    probe = subparsers.add_parser(
+        "probe",
+        help="probe one device's root store",
+        parents=[telemetry_flags, metrics_flags],
+    )
     probe.add_argument("device", help='device name, e.g. "LG TV"')
     probe.add_argument("--json", metavar="PATH", help="export the probe report as JSON")
 
-    subparsers.add_parser("amenability", help="survey library alert behaviour (Table 4)")
+    subparsers.add_parser(
+        "amenability",
+        help="survey library alert behaviour (Table 4)",
+        parents=[telemetry_flags],
+    )
 
-    trace = subparsers.add_parser("trace", help="generate the 27-month passive capture")
+    trace = subparsers.add_parser(
+        "trace",
+        help="generate the 27-month passive capture",
+        parents=[telemetry_flags, metrics_flags],
+    )
     trace.add_argument("--scale", type=int, default=40, help="connections per weight-unit-month")
+    trace.add_argument(
+        "--seed",
+        default="iotls-passive",
+        help="generator seed (default iotls-passive); recorded in JSON metadata",
+    )
     trace.add_argument("--json", metavar="PATH", help="export per-connection records as JSON")
 
-    subparsers.add_parser("fingerprint", help="shared-fingerprint analysis (Figure 5)")
+    subparsers.add_parser(
+        "fingerprint",
+        help="shared-fingerprint analysis (Figure 5)",
+        parents=[telemetry_flags],
+    )
 
-    subparsers.add_parser("devices", help="list the device catalog (Table 1)")
+    subparsers.add_parser(
+        "devices", help="list the device catalog (Table 1)", parents=[telemetry_flags]
+    )
 
     report = subparsers.add_parser(
-        "report", help="run everything and write a full markdown report"
+        "report",
+        help="run everything and write a full markdown report",
+        parents=[telemetry_flags, metrics_flags],
     )
     report.add_argument("--out", default="REPORT.md", help="output path (default REPORT.md)")
     report.add_argument("--scale", type=int, default=40, help="passive-trace scale")
 
     pcap = subparsers.add_parser(
-        "pcap", help="export the passive capture's ClientHellos as a pcap file"
+        "pcap",
+        help="export the passive capture's ClientHellos as a pcap file",
+        parents=[telemetry_flags],
     )
     pcap.add_argument("--out", default="iotls.pcap", help="output path (default iotls.pcap)")
     pcap.add_argument("--scale", type=int, default=10, help="passive-trace scale")
     pcap.add_argument("--limit", type=int, default=None, help="max packets")
+
+    demo = subparsers.add_parser(
+        "telemetry-demo",
+        help="smoke-test the telemetry subsystem on a small trace",
+        parents=[metrics_flags],
+    )
+    demo.add_argument("--scale", type=int, default=2, help="passive-trace scale (default 2)")
 
     return parser
 
@@ -168,7 +230,7 @@ def _cmd_trace(args) -> int:
         detect_adoption_events,
     )
 
-    capture = PassiveTraceGenerator(scale=args.scale).generate()
+    capture = PassiveTraceGenerator(scale=args.scale, seed=args.seed).generate()
     total = sum(record.count for record in capture.records)
     print(f"generated {total:,} connections ({len(capture)} flow records, "
           f"{len(capture.devices())} devices)")
@@ -189,7 +251,17 @@ def _cmd_trace(args) -> int:
           f"never {len(summary.non_checking_devices)}")
     print(compare_with_prior_work(capture).summary())
     if args.json:
-        path = write_json(capture_to_records(capture), args.json)
+        document = capture_to_document(
+            capture,
+            metadata={
+                "generator": "iotls trace",
+                "seed": args.seed,
+                "scale": args.scale,
+                "flow_records": len(capture.records),
+                "connections": total,
+            },
+        )
+        path = write_json(document, args.json)
         print(f"wrote {path}")
     return 0
 
@@ -249,6 +321,30 @@ def _cmd_pcap(args) -> int:
     return 0
 
 
+def _cmd_telemetry_demo(args) -> int:
+    """Exercise metrics, spans, and events end-to-end on a small trace."""
+    from .longitudinal import PassiveTraceGenerator
+    from .telemetry import to_prometheus
+
+    runtime = telemetry.get()
+    with runtime.tracer.span("demo.run", scale=args.scale):
+        capture = PassiveTraceGenerator(scale=args.scale).generate()
+    runtime.events.info("demo.complete", flow_records=len(capture.records))
+
+    registry = runtime.registry
+    handshakes = registry.get("iotls_handshakes_total")
+    print(
+        f"telemetry demo: {len(capture.records)} flow records generated, "
+        f"{int(handshakes.total()) if handshakes else 0} handshakes counted, "
+        f"{len(runtime.tracer.finished)} spans finished, "
+        f"{len(runtime.events)} events buffered"
+    )
+    print("\nprometheus sample (first 12 lines):")
+    for line in to_prometheus(registry).splitlines()[:12]:
+        print(f"  {line}")
+    return 0
+
+
 _COMMANDS = {
     "audit": _cmd_audit,
     "pcap": _cmd_pcap,
@@ -258,12 +354,32 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "fingerprint": _cmd_fingerprint,
     "devices": _cmd_devices,
+    "telemetry-demo": _cmd_telemetry_demo,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    metrics_out = getattr(args, "metrics_out", None)
+    telemetry_on = (
+        bool(getattr(args, "telemetry", False))
+        or metrics_out is not None
+        or args.command == "telemetry-demo"
+    )
+    if telemetry_on:
+        telemetry.configure(enabled=True)
+    status = _COMMANDS[args.command](args)
+    if telemetry_on:
+        registry = telemetry.get_registry()
+        if metrics_out is not None:
+            path = telemetry.write_snapshot(
+                registry, metrics_out, extra={"command": args.command}
+            )
+            print(f"wrote metrics snapshot {path}")
+        if args.command != "telemetry-demo":
+            print("\ntelemetry summary:")
+            print(telemetry.summary_table(registry))
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import telemetry as _telemetry
 from ..devices.device import Device
 from ..devices.profile import ACTIVE_EXPERIMENT_MONTH, DestinationSpec
 from ..mitm.forge import AttackerToolbox
@@ -33,6 +34,8 @@ __all__ = [
     "DeviceInterceptionReport",
     "InterceptionAuditor",
 ]
+
+_TELEMETRY = _telemetry.get()
 
 TABLE2_ATTACKS: tuple[AttackMode, ...] = (
     AttackMode.NO_VALIDATION,
@@ -134,6 +137,11 @@ class InterceptionAuditor:
             )
             final = connection.attempt.final
             if final.established:
+                if _TELEMETRY.enabled:
+                    _TELEMETRY.registry.counter(
+                        "iotls_interception_successes_total",
+                        "Successful interceptions (device accepted forged credentials).",
+                    ).inc(mode=attack.value)
                 return AttackResult(
                     attack=attack,
                     intercepted=True,

@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass, field
 from enum import Enum
 
+from .. import telemetry as _telemetry
 from ..devices.device import Device
 from ..devices.profile import ACTIVE_EXPERIMENT_MONTH
 from ..mitm.forge import AttackerToolbox
@@ -45,6 +46,9 @@ __all__ = [
     "DeviceProbeReport",
     "RootStoreProber",
 ]
+
+
+_TELEMETRY = _telemetry.get()
 
 
 class ProbeOutcome(Enum):
@@ -139,6 +143,10 @@ class RootStoreProber:
                 return proxy
             return self.testbed.server_for(destination)
 
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter(
+                "iotls_probe_reboots_total", "Device power-cycles driven by the prober."
+            ).inc(device=device.name)
         connections = plug.reboot(responder_for, month=ACTIVE_EXPERIMENT_MONTH)
         for connection in connections:
             if connection.destination.hostname == first.hostname:
@@ -218,15 +226,19 @@ class RootStoreProber:
         rng = random.Random(f"probe:{plug.device.name}:{name}:{noise_key}")
         if rng.random() > conclusive_rate:
             # The device generated no classifiable traffic this reboot.
-            return CertificateProbeResult(certificate_name=name, outcome=ProbeOutcome.INCONCLUSIVE)
+            return self._record_probe(
+                CertificateProbeResult(certificate_name=name, outcome=ProbeOutcome.INCONCLUSIVE)
+            )
 
         proxy = InterceptionProxy(
             toolbox=self.toolbox, mode=AttackMode.SPOOFED_CA, target_root=candidate
         )
         alert, accepted = self._observe_alert(plug, proxy)
         if accepted:  # pragma: no cover - calibrated devices validate
-            return CertificateProbeResult(
-                certificate_name=name, outcome=ProbeOutcome.INCONCLUSIVE, observed_alert=None
+            return self._record_probe(
+                CertificateProbeResult(
+                    certificate_name=name, outcome=ProbeOutcome.INCONCLUSIVE, observed_alert=None
+                )
             )
         if alert == calibration.known_ca_alert:
             outcome = ProbeOutcome.PRESENT
@@ -234,9 +246,17 @@ class RootStoreProber:
             outcome = ProbeOutcome.ABSENT
         else:
             outcome = ProbeOutcome.INCONCLUSIVE
-        return CertificateProbeResult(
-            certificate_name=name, outcome=outcome, observed_alert=alert
+        return self._record_probe(
+            CertificateProbeResult(certificate_name=name, outcome=outcome, observed_alert=alert)
         )
+
+    @staticmethod
+    def _record_probe(result: CertificateProbeResult) -> CertificateProbeResult:
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter(
+                "iotls_probe_iterations_total", "Per-certificate probe iterations by outcome."
+            ).inc(outcome=result.outcome.value)
+        return result
 
     # ------------------------------------------------------------------
     # Full campaign
@@ -249,10 +269,25 @@ class RootStoreProber:
         deprecated: list[RootCARecord] | None = None,
     ) -> DeviceProbeReport:
         """Calibrate, then sweep the common and deprecated probe sets."""
+        with _TELEMETRY.tracer.span("probe.device", device=device.name):
+            return self._probe_device(device, common=common, deprecated=deprecated)
+
+    def _probe_device(
+        self,
+        device: Device,
+        *,
+        common: list[RootCARecord] | None = None,
+        deprecated: list[RootCARecord] | None = None,
+    ) -> DeviceProbeReport:
         plug = SmartPlug(device)
-        calibration = self.calibrate(plug)
+        with _TELEMETRY.tracer.span("probe.calibrate", device=device.name):
+            calibration = self.calibrate(plug)
         report = DeviceProbeReport(device=device.name, calibration=calibration)
         if not calibration.amenable:
+            if _TELEMETRY.enabled:
+                _TELEMETRY.events.info(
+                    "probe.not_amenable", device=device.name, reason=calibration.reason
+                )
             return report
 
         store_profile = device.profile.store
@@ -279,5 +314,16 @@ class RootStoreProber:
                     conclusive_rate=store_profile.conclusive_rate_deprecated,
                     noise_key="deprecated",
                 )
+            )
+        if _TELEMETRY.enabled:
+            cp, cc = report.common_tally
+            dp, dc = report.deprecated_tally
+            _TELEMETRY.events.info(
+                "probe.device_complete",
+                device=device.name,
+                common_present=cp,
+                common_conclusive=cc,
+                deprecated_present=dp,
+                deprecated_conclusive=dc,
             )
         return report

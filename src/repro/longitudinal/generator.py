@@ -16,7 +16,9 @@ fast, while benchmarks raise it toward the study's full volume.
 from __future__ import annotations
 
 import random
+from time import perf_counter
 
+from .. import telemetry as _telemetry
 from ..devices.catalog import passive_devices
 from ..devices.device import Device
 from ..devices.profile import STUDY_MONTHS, DestinationSpec, DeviceProfile, month_to_date
@@ -29,6 +31,8 @@ __all__ = ["PassiveTraceGenerator", "DEFAULT_SCALE"]
 
 #: Connections per unit of destination weight per month.
 DEFAULT_SCALE = 40
+
+_TELEMETRY = _telemetry.get()
 
 
 class PassiveTraceGenerator:
@@ -61,9 +65,15 @@ class PassiveTraceGenerator:
     def generate_device(self, profile: DeviceProfile, capture: GatewayCapture) -> None:
         device = self.testbed.device(profile)
         window = profile.longitudinal
+        telemetry_on = _TELEMETRY.enabled
         for month in range(STUDY_MONTHS):
             if not window.active_in(month):
                 continue
+            if telemetry_on:
+                _TELEMETRY.registry.counter(
+                    "iotls_trace_device_months_total",
+                    "Active (device, month) cells replayed by the trace generator.",
+                ).inc()
             when = month_to_date(month)
             for destination in profile.destinations:
                 if not self._destination_active(destination, month):
@@ -127,6 +137,48 @@ class PassiveTraceGenerator:
     def generate(self) -> GatewayCapture:
         """The full 27-month capture for all 40 devices."""
         capture = GatewayCapture()
-        for profile in passive_devices():
-            self.generate_device(profile, capture)
+        if not _TELEMETRY.enabled:
+            for profile in passive_devices():
+                self.generate_device(profile, capture)
+            return capture
+
+        tracer, registry, events = (
+            _TELEMETRY.tracer,
+            _TELEMETRY.registry,
+            _TELEMETRY.events,
+        )
+        started = perf_counter()
+        with tracer.span("trace.generate", scale=self.scale, seed=self.seed) as root:
+            for profile in passive_devices():
+                before = len(capture.records)
+                with tracer.span("trace.device", device=profile.name) as span:
+                    self.generate_device(profile, capture)
+                    span.annotate(flow_records=len(capture.records) - before)
+                registry.counter(
+                    "iotls_trace_devices_total", "Devices replayed by the trace generator."
+                ).inc()
+                events.debug(
+                    "trace.device_complete",
+                    device=profile.name,
+                    flow_records=len(capture.records) - before,
+                )
+            root.annotate(flow_records=len(capture.records))
+        elapsed = perf_counter() - started
+        connections = sum(record.count for record in capture.records)
+        registry.gauge(
+            "iotls_trace_last_run_seconds", "Wall time of the last full trace generation."
+        ).set(elapsed)
+        throughput = len(capture.records) / elapsed if elapsed > 0 else 0.0
+        registry.gauge(
+            "iotls_trace_records_per_second",
+            "Flow-record throughput of the last full trace generation.",
+        ).set(throughput)
+        events.info(
+            "trace.complete",
+            flow_records=len(capture.records),
+            connections=connections,
+            devices=len(capture.devices()),
+            seconds=round(elapsed, 6),
+            records_per_second=round(throughput, 1),
+        )
         return capture

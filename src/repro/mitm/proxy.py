@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from datetime import datetime
 from enum import Enum
 
+from .. import telemetry as _telemetry
 from ..pki.certificate import Certificate
 from ..tls.ciphersuites import REGISTRY
 from ..tls.engine import negotiate
@@ -38,6 +39,8 @@ _ATTACKER_VERSIONS = frozenset(
     }
 )
 _ATTACKER_CIPHERS = tuple(sorted(REGISTRY))
+
+_TELEMETRY = _telemetry.get()
 
 
 class AttackMode(Enum):
@@ -65,6 +68,11 @@ class InterceptionProxy:
 
     def respond(self, client_hello: ClientHello, *, when: datetime) -> ServerResponse:
         self.observed_hellos.append(client_hello)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter(
+                "iotls_interception_attempts_total",
+                "ClientHellos answered by the interception proxy, by attack mode.",
+            ).inc(mode=self.mode.value)
 
         if self.mode is AttackMode.INCOMPLETE_HANDSHAKE:
             return ServerResponse(incomplete=True)

@@ -1,0 +1,78 @@
+"""Observability for the IoTLS reproduction: metrics, traces, events.
+
+The paper's pipeline is a *measurement system* -- ≈17M passive
+connections over 27 months plus the active probing campaigns -- and
+real TLS measurement tooling treats per-handshake telemetry as a
+first-class artifact.  This package instruments the reproduction the
+same way, with zero external dependencies:
+
+* :class:`MetricsRegistry` -- named counters, gauges, and fixed-bucket
+  histograms (:mod:`repro.telemetry.metrics`),
+* :class:`Tracer` -- nested spans with monotonic timing
+  (:mod:`repro.telemetry.tracing`),
+* :class:`EventLog` -- structured JSONL events with a ring-buffer tail
+  (:mod:`repro.telemetry.events`),
+* exporters -- Prometheus text format, JSON snapshots, and a human
+  summary table (:mod:`repro.telemetry.export`),
+* a process-wide opt-in runtime (:mod:`repro.telemetry.runtime`);
+  disabled by default and no-op cheap when off.
+
+See ``docs/observability.md`` for the metric catalog and span taxonomy.
+"""
+
+from .events import LEVELS, EventLog
+from .export import (
+    SNAPSHOT_SCHEMA,
+    metrics_snapshot,
+    summary_table,
+    to_prometheus,
+    write_snapshot,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .runtime import (
+    TelemetryRuntime,
+    configure,
+    disable,
+    enable,
+    enabled,
+    get,
+    get_events,
+    get_registry,
+    get_tracer,
+    reset,
+)
+from .tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "LEVELS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SNAPSHOT_SCHEMA",
+    "Span",
+    "TelemetryRuntime",
+    "Tracer",
+    "configure",
+    "disable",
+    "enable",
+    "enabled",
+    "get",
+    "get_events",
+    "get_registry",
+    "get_tracer",
+    "metrics_snapshot",
+    "reset",
+    "summary_table",
+    "to_prometheus",
+    "write_snapshot",
+]

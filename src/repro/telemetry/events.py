@@ -1,0 +1,125 @@
+"""Structured event logging: JSONL stream plus an in-memory ring buffer.
+
+Every event is one flat dictionary -- ``{"seq": ..., "level": ...,
+"event": ..., **fields}`` -- appended to a bounded deque (the *tail*,
+which tests assert against) and, when a path is attached, written as
+one JSON line.  Events carry a monotonic sequence number rather than a
+wall-clock timestamp: the simulation is rigorously deterministic and
+its clock is the study-month index, so ambient time never leaks into
+artifacts.
+
+Levels follow the conventional ladder (``debug`` < ``info`` <
+``warning`` < ``error``); events below the configured threshold are
+dropped before any formatting happens.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO
+
+__all__ = ["EventLog", "LEVELS"]
+
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class EventLog:
+    """A levelled, structured event sink with a ring-buffer tail."""
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        level: str = "info",
+        path: str | Path | None = None,
+        tail: int = 256,
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; expected one of {sorted(LEVELS)}")
+        self.enabled = enabled
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._seq = 0
+        self._tail: deque[dict[str, object]] = deque(maxlen=tail)
+        self._handle: IO[str] | None = None
+        self._path: Path | None = None
+        if path is not None:
+            self.attach(path)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def set_level(self, level: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; expected one of {sorted(LEVELS)}")
+        self.level = level
+        self._threshold = LEVELS[level]
+
+    def attach(self, path: str | Path) -> Path:
+        """Start (or switch) JSONL output to ``path``."""
+        self.close()
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self._path.open("a", encoding="utf-8")
+        return self._path
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def log(self, level: str, event: str, **fields: object) -> None:
+        if not self.enabled:
+            return
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise ValueError(f"unknown level {level!r}")
+        if severity < self._threshold:
+            return
+        self._seq += 1
+        entry: dict[str, object] = {"seq": self._seq, "level": level, "event": event}
+        if fields:
+            entry.update(fields)
+        self._tail.append(entry)
+        if self._handle is not None:
+            self._handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+            self._handle.flush()
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def tail(self, n: int | None = None) -> list[dict[str, object]]:
+        """The most recent events (all buffered ones when ``n`` is None)."""
+        events = list(self._tail)
+        return events if n is None else events[-n:]
+
+    def find(self, event: str) -> list[dict[str, object]]:
+        return [entry for entry in self._tail if entry["event"] == event]
+
+    def reset(self) -> None:
+        self._seq = 0
+        self._tail.clear()
+
+    def __len__(self) -> int:
+        return len(self._tail)

@@ -15,12 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from datetime import datetime
 
+from .. import telemetry as _telemetry
 from ..devices.profile import Party
 from ..pki.revocation import RevocationMethod
 from ..tls.messages import ClientHello
 from ..tls.versions import ProtocolVersion
 
 __all__ = ["TrafficRecord", "RevocationEvent", "GatewayCapture"]
+
+_TELEMETRY = _telemetry.get()
 
 
 @dataclass(frozen=True)
@@ -71,9 +74,23 @@ class GatewayCapture:
 
     def add(self, record: TrafficRecord) -> None:
         self.records.append(record)
+        if _TELEMETRY.enabled:
+            registry = _TELEMETRY.registry
+            registry.counter(
+                "iotls_capture_records_total", "Flow records ingested at the gateway."
+            ).inc()
+            registry.counter(
+                "iotls_capture_connections_total",
+                "Wire connections ingested (flow records weighted by count).",
+            ).inc(record.count)
 
     def add_revocation_event(self, event: RevocationEvent) -> None:
         self.revocation_events.append(event)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.registry.counter(
+                "iotls_capture_revocation_events_total",
+                "Revocation-infrastructure interactions observed, by method.",
+            ).inc(method=event.method.value)
 
     def by_device(self, device: str) -> list[TrafficRecord]:
         return [record for record in self.records if record.device == device]

@@ -15,6 +15,7 @@ capped to keep files tractable).
 
 from __future__ import annotations
 
+import hashlib
 import struct
 from pathlib import Path
 
@@ -41,9 +42,17 @@ def _global_header() -> bytes:
     )
 
 
+def _digest(seed: str, size: int) -> bytes:
+    """Deterministic per-name bytes.  A real digest, not ``sum(...)``:
+    byte-sum folding collides for any two names with equal byte sums
+    (anagrams, and five pairs of the Table 1 catalog), which would merge
+    distinct devices into one flow in exported pcaps."""
+    return hashlib.blake2s(seed.encode(), digest_size=size).digest()
+
+
 def _device_ip(device: str) -> bytes:
-    digest = sum(device.encode()) % 200 + 10
-    return bytes((192, 168, 7, digest))
+    first, second = _digest(f"ip:{device}", 2)
+    return bytes((192, 168, 8 + first % 32, second % 250 + 2))
 
 
 def _host_ip(hostname: str) -> bytes:
@@ -52,8 +61,7 @@ def _host_ip(hostname: str) -> bytes:
 
 
 def _mac(seed: str) -> bytes:
-    value = sum(seed.encode()) % 250
-    return bytes((0x02, 0, 0, 0, 0, value))
+    return bytes((0x02, 0, 0)) + _digest(f"mac:{seed}", 3)
 
 
 def _tcp_packet(record: TrafficRecord, payload: bytes) -> bytes:
@@ -63,7 +71,7 @@ def _tcp_packet(record: TrafficRecord, payload: bytes) -> bytes:
 
     tcp_header = struct.pack(
         "!HHIIBBHHH",
-        49152 + (sum(record.device.encode()) % 16000),  # source port
+        49152 + int.from_bytes(_digest(f"port:{record.device}", 2), "big") % 16000,
         443,
         1,  # seq
         0,  # ack

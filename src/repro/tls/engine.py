@@ -19,8 +19,10 @@ import abc
 from dataclasses import dataclass, field
 from datetime import datetime
 from enum import Enum
+from time import perf_counter
 from typing import Protocol, runtime_checkable
 
+from .. import telemetry as _telemetry
 from ..pki.validation import ValidationResult
 from .alerts import Alert, AlertDescription
 from .ciphersuites import REGISTRY
@@ -160,6 +162,12 @@ def negotiate(
     return None
 
 
+#: Shared runtime; mutated in place by :func:`repro.telemetry.configure`,
+#: so caching it at import keeps the disabled fast path to one attribute
+#: read per handshake.
+_TELEMETRY = _telemetry.get()
+
+
 def perform_handshake(
     client: ClientBehavior,
     responder: Responder,
@@ -175,6 +183,45 @@ def perform_handshake(
     handshake establishes, which is how the interception experiments
     recover plaintext from vulnerable devices.
     """
+    if not _TELEMETRY.enabled:
+        return _perform_handshake(
+            client, responder, hostname=hostname, when=when, application_data=application_data
+        )
+    started = perf_counter()
+    result = _perform_handshake(
+        client, responder, hostname=hostname, when=when, application_data=application_data
+    )
+    elapsed = perf_counter() - started
+    registry = _TELEMETRY.registry
+    registry.histogram(
+        "iotls_handshake_seconds", "Wall time per handshake attempt."
+    ).observe(elapsed)
+    registry.counter(
+        "iotls_handshakes_total", "Handshake attempts by terminal state."
+    ).inc(state=result.state.value)
+    if result.established and result.established_version is not None:
+        registry.counter(
+            "iotls_negotiated_versions_total",
+            "Established handshakes by negotiated protocol version.",
+        ).inc(version=result.established_version.label)
+    alerts = registry.counter(
+        "iotls_handshake_alerts_total", "TLS alerts observed on the wire, by sender."
+    )
+    if result.response is not None and result.response.alert is not None:
+        alerts.inc(sender="server", description=result.response.alert.description.name.lower())
+    if result.client_alert is not None:
+        alerts.inc(sender="client", description=result.client_alert.description.name.lower())
+    return result
+
+
+def _perform_handshake(
+    client: ClientBehavior,
+    responder: Responder,
+    *,
+    hostname: str | None,
+    when: datetime,
+    application_data: tuple[str, ...] = (),
+) -> HandshakeResult:
     client_hello = client.build_client_hello(hostname)
     response = responder.respond(client_hello, when=when)
 

@@ -1,0 +1,70 @@
+"""Regression tests for pcap export addressing.
+
+The original ``_device_ip``/``_mac`` derived addresses from
+``sum(name.encode()) % N``, which collides for any two device names with
+the same byte sum -- anagrams, and five pairs of the actual Table 1
+catalog (e.g. "Blink Camera" / "GE Microwave") -- silently merging
+distinct devices into one flow in exported pcaps.  The digest-based
+scheme must keep every catalog device distinct while staying
+deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.catalog import build_catalog
+from repro.testbed.pcap import _device_ip, _mac
+
+
+@pytest.fixture(scope="module")
+def catalog_names() -> list[str]:
+    names = [profile.name for profile in build_catalog()]
+    assert len(names) == 40  # the full Table 1 catalog
+    return names
+
+
+class TestCatalogCollisions:
+    def test_device_ips_distinct_across_catalog(self, catalog_names):
+        ips = {name: _device_ip(name) for name in catalog_names}
+        assert len(set(ips.values())) == len(catalog_names), (
+            "device IP collision: "
+            + repr(sorted(ips.items(), key=lambda item: item[1]))
+        )
+
+    def test_macs_distinct_across_catalog(self, catalog_names):
+        macs = {name: _mac(name) for name in catalog_names}
+        assert len(set(macs.values())) == len(catalog_names)
+
+    def test_equal_byte_sum_names_no_longer_collide(self):
+        # Anagrams have identical byte sums -- the failure mode of the
+        # old sum()-based folding.
+        first, second = "listen", "silent"
+        assert sum(first.encode()) == sum(second.encode())
+        assert _device_ip(first) != _device_ip(second)
+        assert _mac(first) != _mac(second)
+
+    def test_known_catalog_pair_no_longer_collides(self):
+        first, second = "Blink Camera", "GE Microwave"
+        assert sum(first.encode()) % 200 == sum(second.encode()) % 200
+        assert _device_ip(first) != _device_ip(second)
+
+
+class TestDeterminism:
+    def test_addresses_stable_across_calls(self, catalog_names):
+        for name in catalog_names:
+            assert _device_ip(name) == _device_ip(name)
+            assert _mac(name) == _mac(name)
+
+    def test_device_ips_stay_in_private_lan_space(self, catalog_names):
+        for name in catalog_names:
+            first, second, third, fourth = _device_ip(name)
+            assert (first, second) == (192, 168)
+            assert 8 <= third < 40
+            assert 2 <= fourth < 252
+
+    def test_macs_are_locally_administered_unicast(self, catalog_names):
+        for name in catalog_names:
+            mac = _mac(name)
+            assert len(mac) == 6
+            assert mac[0] == 0x02  # locally administered, unicast

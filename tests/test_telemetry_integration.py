@@ -1,0 +1,160 @@
+"""Integration tests: telemetry wired through the pipeline and the CLI."""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.longitudinal import PassiveTraceGenerator
+from repro.telemetry import to_prometheus
+
+
+@pytest.fixture()
+def default_telemetry():
+    """Enable the process-wide runtime for a test, then restore disabled."""
+    runtime = telemetry.configure(enabled=True)
+    yield runtime
+    telemetry.configure(enabled=False)
+
+
+#: One Prometheus sample line (non-comment).
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
+)
+
+
+class TestGeneratorTelemetry:
+    def test_handshake_counts_match_capture(self, default_telemetry, testbed):
+        capture = PassiveTraceGenerator(testbed, scale=2).generate()
+        registry = default_telemetry.registry
+
+        handshakes = registry.get("iotls_handshakes_total")
+        assert handshakes.total() == len(capture.records)
+        connections = registry.get("iotls_capture_connections_total")
+        assert connections.total() == sum(record.count for record in capture.records)
+        assert registry.get("iotls_trace_devices_total").total() == len(capture.devices())
+
+    def test_spans_and_events_emitted(self, default_telemetry, testbed):
+        PassiveTraceGenerator(testbed, scale=1).generate()
+        tracer = default_telemetry.tracer
+        roots = tracer.roots()
+        assert [span.name for span in roots] == ["trace.generate"]
+        assert len(roots[0].children) == 40  # one child span per device
+        complete = default_telemetry.events.find("trace.complete")
+        assert len(complete) == 1
+        assert complete[0]["devices"] == 40
+
+    def test_disabled_runtime_records_nothing(self, testbed):
+        telemetry.configure(enabled=False)
+        PassiveTraceGenerator(testbed, scale=1).generate()
+        handshakes = telemetry.get_registry().get("iotls_handshakes_total")
+        # Registrations may linger from earlier enabled runs; values must not.
+        assert handshakes is None or handshakes.total() == 0
+        assert len(telemetry.get_tracer().finished) == 0
+
+
+class TestCliTelemetry:
+    def test_trace_telemetry_snapshot(self, capsys, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "--scale",
+                    "2",
+                    "--telemetry",
+                    "--metrics-out",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "telemetry summary:" in out
+        assert "iotls_handshakes_total" in out
+
+        # The snapshot's per-state handshake counts must sum to the number
+        # of handshake attempts actually performed -- which, for a trace
+        # run, is exactly the flow-record count of an identical capture.
+        snapshot = json.loads(metrics_path.read_text())
+        handshakes = snapshot["counters"]["iotls_handshakes_total"]
+        capture = PassiveTraceGenerator(scale=2).generate()
+        assert sum(entry["value"] for entry in handshakes["series"]) == len(capture.records)
+        assert handshakes["total"] == len(capture.records)
+        weighted = snapshot["counters"]["iotls_capture_connections_total"]["total"]
+        assert weighted == sum(record.count for record in capture.records)
+
+        # And the same registry renders valid Prometheus line protocol.
+        text = to_prometheus(telemetry.get_registry())
+        assert "# TYPE iotls_handshakes_total counter" in text
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert _SAMPLE_RE.match(line), line
+        telemetry.configure(enabled=False)
+
+    def test_metrics_out_implies_telemetry(self, capsys, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        assert main(["trace", "--scale", "1", "--metrics-out", str(metrics_path)]) == 0
+        assert metrics_path.exists()
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["meta"]["command"] == "trace"
+        assert snapshot["counters"]["iotls_handshakes_total"]["total"] > 0
+        telemetry.configure(enabled=False)
+
+    def test_trace_seed_threaded_into_export(self, capsys, tmp_path):
+        json_path = tmp_path / "trace.json"
+        assert (
+            main(["trace", "--scale", "1", "--seed", "custom-seed", "--json", str(json_path)])
+            == 0
+        )
+        payload = json.loads(json_path.read_text())
+        assert payload["metadata"]["seed"] == "custom-seed"
+        assert payload["metadata"]["scale"] == 1
+        assert payload["metadata"]["flow_records"] == len(payload["records"])
+
+        from repro.analysis.export import capture_from_records
+
+        capture = capture_from_records(payload)
+        assert len(capture.records) == len(payload["records"])
+
+    def test_trace_seed_changes_flow_counts(self, capsys, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for seed, path in zip(["seed-a", "seed-b"], paths):
+            assert main(["trace", "--scale", "1", "--seed", seed, "--json", str(path)]) == 0
+        first, second = (json.loads(path.read_text()) for path in paths)
+        counts = lambda payload: [entry["count"] for entry in payload["records"]]
+        assert counts(first) != counts(second)
+
+    def test_telemetry_demo_smoke(self, capsys):
+        assert main(["telemetry-demo"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry demo:" in out
+        assert "prometheus sample" in out
+        assert "# TYPE" in out
+        telemetry.configure(enabled=False)
+
+    def test_default_run_leaves_telemetry_disabled(self, capsys):
+        assert main(["devices"]) == 0
+        assert not telemetry.enabled()
+        assert "telemetry summary:" not in capsys.readouterr().out
+
+
+class TestProbeTelemetry:
+    def test_probe_iterations_counted(self, default_telemetry, testbed):
+        from repro.core import RootStoreProber
+
+        device = testbed.device("Wink Hub 2")
+        report = RootStoreProber(testbed).probe_device(device)
+        registry = default_telemetry.registry
+        iterations = registry.get("iotls_probe_iterations_total")
+        total_probes = len(report.common_results) + len(report.deprecated_results)
+        assert iterations.total() == total_probes
+        conclusive = iterations.value(outcome="present") + iterations.value(outcome="absent")
+        assert conclusive == report.common_tally[1] + report.deprecated_tally[1]
+        assert [span.name for span in default_telemetry.tracer.roots()] == ["probe.device"]
