@@ -42,6 +42,15 @@ def pytest_addoption(parser):
         metavar="DIR",
         help="write one metrics snapshot per benchmark into DIR (implies --telemetry)",
     )
+    parallel = parser.getgroup("parallel")
+    parallel.addoption(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the trace/campaign fixtures (default 1; "
+        "results are identical for any N)",
+    )
 
 
 @pytest.fixture(autouse=True)
@@ -74,10 +83,17 @@ def testbed(universe):
 
 
 @pytest.fixture(scope="session")
-def passive_capture(testbed):
-    return PassiveTraceGenerator(testbed, scale=40).generate()
+def workers(request):
+    return request.config.getoption("--workers")
 
 
 @pytest.fixture(scope="session")
-def campaign_results(testbed):
-    return ActiveExperimentCampaign(testbed).run(include_passthrough=True)
+def passive_capture(testbed, workers):
+    return PassiveTraceGenerator(testbed, scale=40).generate(workers=workers)
+
+
+@pytest.fixture(scope="session")
+def campaign_results(testbed, workers):
+    return ActiveExperimentCampaign(testbed).run(
+        include_passthrough=True, workers=workers
+    )

@@ -16,6 +16,9 @@ results alongside the printed report, and ``--telemetry`` to enable the
 observability subsystem (:mod:`repro.telemetry`); ``audit``, ``trace``,
 ``probe``, and ``report`` additionally accept ``--metrics-out PATH`` to
 write the run's metrics snapshot as JSON (implies ``--telemetry``).
+``audit``, ``trace``, ``report``, and ``pcap`` accept ``--workers N`` to
+shard device work across processes (:mod:`repro.parallel`); output is
+identical for any ``N``.
 """
 
 from __future__ import annotations
@@ -61,12 +64,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the run's metrics snapshot as JSON (implies --telemetry)",
     )
+    workers_flags = argparse.ArgumentParser(add_help=False)
+    workers_flags.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for device sharding (default 1 = in-process); "
+        "output is identical for any N",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     audit = subparsers.add_parser(
         "audit",
         help="run the full active-experiment campaign",
-        parents=[telemetry_flags, metrics_flags],
+        parents=[telemetry_flags, metrics_flags, workers_flags],
     )
     audit.add_argument("--no-passthrough", action="store_true", help="skip the passthrough pass")
     audit.add_argument("--json", metavar="PATH", help="export full results as JSON")
@@ -88,7 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = subparsers.add_parser(
         "trace",
         help="generate the 27-month passive capture",
-        parents=[telemetry_flags, metrics_flags],
+        parents=[telemetry_flags, metrics_flags, workers_flags],
     )
     trace.add_argument("--scale", type=int, default=40, help="connections per weight-unit-month")
     trace.add_argument(
@@ -111,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = subparsers.add_parser(
         "report",
         help="run everything and write a full markdown report",
-        parents=[telemetry_flags, metrics_flags],
+        parents=[telemetry_flags, metrics_flags, workers_flags],
     )
     report.add_argument("--out", default="REPORT.md", help="output path (default REPORT.md)")
     report.add_argument("--scale", type=int, default=40, help="passive-trace scale")
@@ -119,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     pcap = subparsers.add_parser(
         "pcap",
         help="export the passive capture's ClientHellos as a pcap file",
-        parents=[telemetry_flags],
+        parents=[telemetry_flags, workers_flags],
     )
     pcap.add_argument("--out", default="iotls.pcap", help="output path (default iotls.pcap)")
     pcap.add_argument("--scale", type=int, default=10, help="passive-trace scale")
@@ -138,7 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_audit(args) -> int:
     from .core import ActiveExperimentCampaign
 
-    results = ActiveExperimentCampaign().run(include_passthrough=not args.no_passthrough)
+    results = ActiveExperimentCampaign().run(
+        include_passthrough=not args.no_passthrough, workers=args.workers
+    )
     rows = [
         report.table7_row()
         for report in results.interception
@@ -230,7 +244,9 @@ def _cmd_trace(args) -> int:
         detect_adoption_events,
     )
 
-    capture = PassiveTraceGenerator(scale=args.scale, seed=args.seed).generate()
+    capture = PassiveTraceGenerator(scale=args.scale, seed=args.seed).generate(
+        workers=args.workers
+    )
     total = sum(record.count for record in capture.records)
     print(f"generated {total:,} connections ({len(capture)} flow records, "
           f"{len(capture.devices())} devices)")
@@ -301,9 +317,9 @@ def _cmd_report(args) -> int:
 
     testbed = Testbed()
     print("running active campaign...")
-    results = ActiveExperimentCampaign(testbed).run()
+    results = ActiveExperimentCampaign(testbed).run(workers=args.workers)
     print("generating passive trace...")
-    capture = PassiveTraceGenerator(testbed, scale=args.scale).generate()
+    capture = PassiveTraceGenerator(testbed, scale=args.scale).generate(workers=args.workers)
     path = write_report(testbed, results, capture, args.out)
     print(f"wrote {path}")
     return 0
@@ -313,7 +329,7 @@ def _cmd_pcap(args) -> int:
     from .longitudinal import PassiveTraceGenerator
     from .testbed.pcap import write_pcap
 
-    capture = PassiveTraceGenerator(scale=args.scale).generate()
+    capture = PassiveTraceGenerator(scale=args.scale).generate(workers=args.workers)
     path = write_pcap(capture, args.out, limit=args.limit)
     packets = args.limit if args.limit is not None else len(capture)
     print(f"wrote {min(packets, len(capture))} packets to {path} "

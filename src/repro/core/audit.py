@@ -99,7 +99,38 @@ class ActiveExperimentCampaign:
     def __init__(self, testbed: Testbed | None = None) -> None:
         self.testbed = testbed or Testbed()
 
-    def run(self, *, include_passthrough: bool = True) -> CampaignResults:
+    def run(
+        self, *, include_passthrough: bool = True, workers: int = 1
+    ) -> CampaignResults:
+        """Run every phase, optionally sharded across worker processes.
+
+        ``workers=1`` (the default) runs the serial phase-major loop
+        in-process.  ``workers>1`` shards the active roster across that
+        many processes, each running all phases device-major, and
+        reassembles the phase-major result lists in catalog order.  The
+        two orders are equivalent because every phase's state is
+        per-device.  Workers rebuild the default testbed, so a campaign
+        over a custom testbed must run serially.  Phase wall-time gauges
+        (``iotls_campaign_phase_seconds``) only exist in serial runs;
+        counters, probe results, and headline numbers are identical.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers == 1:
+            results = self._run_serial(include_passthrough)
+        else:
+            results = self._run_parallel(include_passthrough, workers)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.events.info(
+                "campaign.complete",
+                vulnerable=results.vulnerable_device_count,
+                downgrading=results.downgrading_device_count,
+                probe_eligible=len(results.probe_eligible),
+                amenable=len(results.amenable_probe_reports),
+            )
+        return results
+
+    def _run_serial(self, include_passthrough: bool) -> CampaignResults:
         results = CampaignResults()
         interception_auditor = InterceptionAuditor(self.testbed)
         downgrade_auditor = DowngradeAuditor(self.testbed)
@@ -146,12 +177,41 @@ class ActiveExperimentCampaign:
                     baseline = results.interception_report(profile.name)
                     results.passthrough.append(experiment.run_device(device, baseline))
 
-        if _TELEMETRY.enabled:
-            _TELEMETRY.events.info(
-                "campaign.complete",
-                vulnerable=results.vulnerable_device_count,
-                downgrading=results.downgrading_device_count,
-                probe_eligible=len(results.probe_eligible),
-                amenable=len(results.amenable_probe_reports),
+        return results
+
+    def _run_parallel(self, include_passthrough: bool, workers: int) -> CampaignResults:
+        """Shard the roster across worker processes, merge in catalog order."""
+        from ..parallel import CampaignShardTask, ShardedExecutor, run_campaign_shard
+
+        order = [profile.name for profile in active_devices()]
+        executor = ShardedExecutor(workers)
+        tasks = [
+            CampaignShardTask(
+                worker_id=worker_id,
+                device_names=tuple(shard),
+                include_passthrough=include_passthrough,
+                telemetry=_TELEMETRY.enabled,
+                event_level=_TELEMETRY.events.level,
             )
+            for worker_id, shard in enumerate(executor.shard(order))
+        ]
+        shard_results = executor.map_tasks(run_campaign_shard, tasks)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.merge_worker_states([result.telemetry for result in shard_results])
+        outcomes = {
+            outcome.device: outcome
+            for result in shard_results
+            for outcome in result.devices
+        }
+        results = CampaignResults()
+        for name in order:
+            outcome = outcomes[name]
+            results.interception.append(outcome.interception)
+            results.downgrade.append(outcome.downgrade)
+            results.old_versions.append(outcome.old_versions)
+            if outcome.probe_eligible:
+                results.probe_eligible.append(name)
+                results.probes.append(outcome.probe)
+            if include_passthrough:
+                results.passthrough.append(outcome.passthrough)
         return results

@@ -51,6 +51,16 @@ __all__ = [
 _TELEMETRY = _telemetry.get()
 
 
+def _percent_half_up(numerator: int, denominator: int) -> int:
+    """``100 * numerator / denominator`` rounded half away from zero.
+
+    Exact integer arithmetic, so 62.5% renders as 63% the way the
+    paper's tables do -- Python's ``round`` would banker's-round it
+    down to 62%.
+    """
+    return (200 * numerator + denominator) // (2 * denominator)
+
+
 class ProbeOutcome(Enum):
     PRESENT = "present"
     ABSENT = "absent"
@@ -111,8 +121,8 @@ class DeviceProbeReport:
     def table9_row(self) -> tuple[str, str, str]:
         cp, cc = self.common_tally
         dp, dc = self.deprecated_tally
-        common_pct = f"{round(100 * cp / cc)}%" if cc else "n/a"
-        dep_pct = f"{round(100 * dp / dc)}%" if dc else "n/a"
+        common_pct = f"{_percent_half_up(cp, cc)}%" if cc else "n/a"
+        dep_pct = f"{_percent_half_up(dp, dc)}%" if dc else "n/a"
         return (self.device, f"{common_pct} ({cp}/{cc})", f"{dep_pct} ({dp}/{dc})")
 
 
@@ -198,6 +208,17 @@ class RootStoreProber:
             return AmenabilityCalibration(
                 amenable=False, reason="device sends no alerts on connection failures"
             )
+        # Amenability requires *both* alerts to exist (§4.2): a device
+        # silent on one failure class leaves that class aliased with the
+        # no-traffic case, so its probes could never be classified.
+        if unknown_alert is None or known_alert is None:
+            silent = "unknown-CA" if unknown_alert is None else "bad-signature"
+            return AmenabilityCalibration(
+                amenable=False,
+                unknown_ca_alert=unknown_alert,
+                known_ca_alert=known_alert,
+                reason=f"device is silent on {silent} failures",
+            )
         if unknown_alert == known_alert:
             return AmenabilityCalibration(
                 amenable=False,
@@ -240,7 +261,13 @@ class RootStoreProber:
                     certificate_name=name, outcome=ProbeOutcome.INCONCLUSIVE, observed_alert=None
                 )
             )
-        if alert == calibration.known_ca_alert:
+        if alert is None and not (
+            calibration.known_ca_alert is None or calibration.unknown_ca_alert is None
+        ):
+            # Silence is only a signal when calibration established it as
+            # one; against two real calibration alerts it is noise.
+            outcome = ProbeOutcome.INCONCLUSIVE
+        elif alert == calibration.known_ca_alert:
             outcome = ProbeOutcome.PRESENT
         elif alert == calibration.unknown_ca_alert:
             outcome = ProbeOutcome.ABSENT

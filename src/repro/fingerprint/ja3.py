@@ -24,13 +24,26 @@ from ..tls.messages import ClientHello
 __all__ = ["ja3_string", "fingerprint"]
 
 
+def _extension_code(ext) -> int:
+    """An extension's wire codepoint; GREASE types are raw ints rather
+    than :class:`ExtensionType` members."""
+    extension_type = ext.extension_type
+    if isinstance(extension_type, ExtensionType):
+        return extension_type.value
+    return int(extension_type)
+
+
 def ja3_string(hello: ClientHello) -> str:
     """The canonical pre-hash JA3 string for a ClientHello."""
     version = hello.legacy_version.wire[0] * 256 + hello.legacy_version.wire[1]
     ciphers = "-".join(
         str(code) for code in hello.cipher_codes if code not in GREASE_CODEPOINTS
     )
-    extensions = "-".join(str(ext.extension_type.value) for ext in hello.extensions)
+    extensions = "-".join(
+        str(code)
+        for code in (_extension_code(ext) for ext in hello.extensions)
+        if code not in GREASE_CODEPOINTS
+    )
 
     groups = ""
     formats = ""

@@ -133,14 +133,49 @@ class PassiveTraceGenerator:
                 )
             )
 
-    # ------------------------------------------------------------------
-    def generate(self) -> GatewayCapture:
-        """The full 27-month capture for all 40 devices."""
-        capture = GatewayCapture()
+    def generate_device_instrumented(
+        self, profile: DeviceProfile, capture: GatewayCapture
+    ) -> None:
+        """:meth:`generate_device` inside the per-device telemetry envelope.
+
+        The serial loop and the parallel workers both route through this
+        method, so the span, counter, and event a device produces are
+        identical whichever process replays it -- the property that makes
+        merged parallel counter totals equal the serial ones.
+        """
         if not _TELEMETRY.enabled:
-            for profile in passive_devices():
-                self.generate_device(profile, capture)
-            return capture
+            self.generate_device(profile, capture)
+            return
+        before = len(capture.records)
+        with _TELEMETRY.tracer.span("trace.device", device=profile.name) as span:
+            self.generate_device(profile, capture)
+            span.annotate(flow_records=len(capture.records) - before)
+        _TELEMETRY.registry.counter(
+            "iotls_trace_devices_total", "Devices replayed by the trace generator."
+        ).inc()
+        _TELEMETRY.events.debug(
+            "trace.device_complete",
+            device=profile.name,
+            flow_records=len(capture.records) - before,
+        )
+
+    # ------------------------------------------------------------------
+    def generate(self, *, workers: int = 1) -> GatewayCapture:
+        """The full 27-month capture for all 40 devices.
+
+        ``workers=1`` (the default) replays every device in-process,
+        exactly as before.  ``workers>1`` shards the catalog across that
+        many worker processes via :class:`repro.parallel.ShardedExecutor`
+        and merges the per-device captures in catalog order; because
+        every flow's RNG is keyed by ``(seed, device, hostname, month)``,
+        the merged capture is byte-identical to the serial one.  Parallel
+        workers rebuild the *default* testbed, so a generator constructed
+        over a custom universe must run serially.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if not _TELEMETRY.enabled:
+            return self._generate(workers)
 
         tracer, registry, events = (
             _TELEMETRY.tracer,
@@ -148,20 +183,10 @@ class PassiveTraceGenerator:
             _TELEMETRY.events,
         )
         started = perf_counter()
-        with tracer.span("trace.generate", scale=self.scale, seed=self.seed) as root:
-            for profile in passive_devices():
-                before = len(capture.records)
-                with tracer.span("trace.device", device=profile.name) as span:
-                    self.generate_device(profile, capture)
-                    span.annotate(flow_records=len(capture.records) - before)
-                registry.counter(
-                    "iotls_trace_devices_total", "Devices replayed by the trace generator."
-                ).inc()
-                events.debug(
-                    "trace.device_complete",
-                    device=profile.name,
-                    flow_records=len(capture.records) - before,
-                )
+        with tracer.span(
+            "trace.generate", scale=self.scale, seed=self.seed, workers=workers
+        ) as root:
+            capture = self._generate(workers)
             root.annotate(flow_records=len(capture.records))
         elapsed = perf_counter() - started
         connections = sum(record.count for record in capture.records)
@@ -182,3 +207,36 @@ class PassiveTraceGenerator:
             records_per_second=round(throughput, 1),
         )
         return capture
+
+    def _generate(self, workers: int) -> GatewayCapture:
+        if workers == 1:
+            capture = GatewayCapture()
+            for profile in passive_devices():
+                self.generate_device_instrumented(profile, capture)
+            return capture
+        return self._generate_parallel(workers)
+
+    def _generate_parallel(self, workers: int) -> GatewayCapture:
+        """Shard the catalog across worker processes and merge in order."""
+        from ..parallel import ShardedExecutor, TraceShardTask, run_trace_shard
+
+        order = [profile.name for profile in passive_devices()]
+        executor = ShardedExecutor(workers)
+        tasks = [
+            TraceShardTask(
+                worker_id=worker_id,
+                device_names=tuple(shard),
+                seed=self.seed,
+                scale=self.scale,
+                telemetry=_TELEMETRY.enabled,
+                event_level=_TELEMETRY.events.level,
+            )
+            for worker_id, shard in enumerate(executor.shard(order))
+        ]
+        results = executor.map_tasks(run_trace_shard, tasks)
+        if _TELEMETRY.enabled:
+            _TELEMETRY.merge_worker_states([result.telemetry for result in results])
+        shards = {
+            device: capture for result in results for device, capture in result.captures
+        }
+        return GatewayCapture.merged(shards, order)

@@ -40,6 +40,20 @@ __all__ = [
 #: Threshold for "vast majority" when filtering devices out of a figure.
 _VAST_MAJORITY = 0.95
 
+#: Exact residual fraction at which a device becomes "shown": computing
+#: it as ``1 - _VAST_MAJORITY`` leaves a float residue
+#: (0.05000000000000004) that silently excludes exact-boundary devices.
+_SHOWN_RESIDUAL = 0.05
+
+
+def _crosses(value: float, threshold: float, *, from_below: bool = True) -> bool:
+    """The shared, *inclusive* shown-side comparison for figure filters.
+
+    Every figure hides devices that stay strictly on the "good" side of
+    its threshold; a device sitting exactly on the threshold is shown.
+    """
+    return value >= threshold if from_below else value <= threshold
+
 
 @dataclass
 class DeviceMonthSeries:
@@ -124,7 +138,7 @@ class VersionHeatmap:
                     series = table[band].get(device)
                     if series is not None:
                         non12 = max(non12, series.max_fraction())
-            if non12 > 1 - _VAST_MAJORITY:
+            if _crosses(non12, _SHOWN_RESIDUAL):
                 shown.append(device)
         return shown
 
@@ -186,12 +200,9 @@ class FractionHeatmap:
             active = series.active_values()
             if not active:
                 continue
-            if self.hide_when_low:
-                if max(active) >= self.threshold:
-                    shown.append(device)
-            else:
-                if min(active) <= self.threshold:
-                    shown.append(device)
+            extreme = max(active) if self.hide_when_low else min(active)
+            if _crosses(extreme, self.threshold, from_below=self.hide_when_low):
+                shown.append(device)
         return shown
 
     def hidden_devices(self) -> list[str]:

@@ -1,0 +1,30 @@
+"""Deterministic parallel execution for the heavy pipelines.
+
+``repro.parallel`` shards device-keyed workloads across worker
+processes and merges the results in catalog order, so a ``workers=N``
+run produces byte-identical artifacts to the serial one (see
+``docs/architecture.md`` for the sharding/merge model and the
+determinism argument).
+"""
+
+from .executor import ShardedExecutor
+from .workers import (
+    CampaignDeviceOutcome,
+    CampaignShardResult,
+    CampaignShardTask,
+    TraceShardResult,
+    TraceShardTask,
+    run_campaign_shard,
+    run_trace_shard,
+)
+
+__all__ = [
+    "ShardedExecutor",
+    "CampaignDeviceOutcome",
+    "CampaignShardResult",
+    "CampaignShardTask",
+    "TraceShardResult",
+    "TraceShardTask",
+    "run_campaign_shard",
+    "run_trace_shard",
+]

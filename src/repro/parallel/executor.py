@@ -1,0 +1,76 @@
+"""Deterministic sharded execution across worker processes.
+
+The two heaviest workloads -- the 27-month passive-trace generation and
+the active-experiment campaign -- are embarrassingly parallel at device
+granularity: every flow's RNG is keyed by ``(seed, device, hostname,
+month)`` and every audit is keyed by the device profile, so no work item
+ever reads another's state.  :class:`ShardedExecutor` exploits exactly
+that structure:
+
+1. **Shard.**  The device list is split round-robin into at most
+   ``workers`` shards (:meth:`ShardedExecutor.shard`), so long-running
+   devices spread evenly instead of clustering in one contiguous chunk.
+2. **Execute.**  One task per shard runs in a worker process.  Workers
+   use the ``spawn`` start method -- the only one that is safe on every
+   platform and under every threading configuration -- so worker
+   functions must be importable module-level callables with picklable
+   task payloads (see :mod:`repro.parallel.workers`).
+3. **Merge deterministically.**  Results come back in *task order*
+   (never completion order), and the callers reassemble outputs in
+   catalog order.  Combined with the per-device seeding, a merged
+   parallel run is byte-identical to the serial one.
+
+``workers=1`` bypasses multiprocessing entirely: tasks run in-process,
+preserving today's serial path exactly (same telemetry runtime, same
+object identity, zero process overhead).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["ShardedExecutor"]
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+
+class ShardedExecutor:
+    """Runs per-shard tasks in worker processes with ordered results."""
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    # ------------------------------------------------------------------
+    def shard(self, items: Sequence) -> list[list]:
+        """Partition ``items`` round-robin into at most ``workers`` shards.
+
+        Shard ``i`` holds ``items[i::n]``; within a shard the original
+        order is preserved, which keeps per-shard processing order
+        deterministic.  Empty shards are never produced.
+        """
+        count = max(1, min(self.workers, len(items)))
+        return [list(items[index::count]) for index in range(count)]
+
+    # ------------------------------------------------------------------
+    def map_tasks(
+        self, worker_fn: Callable[[Task], Result], tasks: Sequence[Task]
+    ) -> list[Result]:
+        """Run one task per worker process; results in **task order**.
+
+        With one task (or ``workers=1`` the callers never get here), the
+        task runs in-process.  ``multiprocessing.Pool.map`` already
+        guarantees result order matches input order regardless of which
+        worker finishes first -- the first half of the determinism
+        contract; the callers' catalog-order reassembly is the second.
+        """
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            return [worker_fn(tasks[0])]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=len(tasks)) as pool:
+            return pool.map(worker_fn, tasks)

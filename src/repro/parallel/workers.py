@@ -1,0 +1,190 @@
+"""Spawn-safe worker entry points for the sharded execution layer.
+
+Everything in this module crosses a process boundary: task payloads go
+out, result payloads come back, and both must pickle under the ``spawn``
+start method (which re-imports :mod:`repro` in a fresh interpreter, so
+the worker functions must be importable module-level callables).
+
+Each worker rebuilds its own default :class:`~repro.testbed.Testbed`.
+That is safe because the testbed is a pure function of the default CA
+universe -- anchors, intermediates, servers, and device stores are all
+derived from fixed seeds -- so a worker's handshakes are bit-identical
+to the ones the parent process would have performed.  Telemetry runs in
+the worker's own runtime (enabled to mirror the parent) and is exported
+as plain data for the parent to merge, keyed by worker id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import telemetry as _telemetry
+
+__all__ = [
+    "TraceShardTask",
+    "TraceShardResult",
+    "CampaignShardTask",
+    "CampaignDeviceOutcome",
+    "CampaignShardResult",
+    "run_trace_shard",
+    "run_campaign_shard",
+]
+
+
+def _configure_worker_telemetry(enabled: bool, event_level: str) -> None:
+    """Mirror the parent's telemetry switch inside a fresh interpreter."""
+    if enabled:
+        _telemetry.configure(enabled=True, level=event_level)
+
+
+def _export_worker_telemetry(enabled: bool, worker_id: int) -> dict | None:
+    if not enabled:
+        return None
+    return _telemetry.get().export_worker_state(worker_id)
+
+
+# ----------------------------------------------------------------------
+# Passive-trace generation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceShardTask:
+    """One worker's slice of the passive-trace workload."""
+
+    worker_id: int
+    device_names: tuple[str, ...]
+    seed: str
+    scale: int
+    telemetry: bool
+    event_level: str = "info"
+
+
+@dataclass(frozen=True)
+class TraceShardResult:
+    """Per-device captures (in shard order) plus exported telemetry."""
+
+    worker_id: int
+    captures: tuple[tuple[str, object], ...]  # (device name, GatewayCapture)
+    telemetry: dict | None
+
+
+def run_trace_shard(task: TraceShardTask) -> TraceShardResult:
+    """Generate one shard of the 27-month capture in a worker process."""
+    from ..devices.catalog import passive_devices
+    from ..longitudinal.generator import PassiveTraceGenerator
+    from ..testbed.capture import GatewayCapture
+    from ..testbed.infrastructure import Testbed
+
+    _configure_worker_telemetry(task.telemetry, task.event_level)
+    profiles = {profile.name: profile for profile in passive_devices()}
+    generator = PassiveTraceGenerator(Testbed(), scale=task.scale, seed=task.seed)
+    captures = []
+    for name in task.device_names:
+        capture = GatewayCapture()
+        generator.generate_device_instrumented(profiles[name], capture)
+        captures.append((name, capture))
+    return TraceShardResult(
+        worker_id=task.worker_id,
+        captures=tuple(captures),
+        telemetry=_export_worker_telemetry(task.telemetry, task.worker_id),
+    )
+
+
+# ----------------------------------------------------------------------
+# Active-experiment campaign
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignShardTask:
+    """One worker's slice of the active-device roster."""
+
+    worker_id: int
+    device_names: tuple[str, ...]
+    include_passthrough: bool
+    telemetry: bool
+    event_level: str = "info"
+
+
+@dataclass(frozen=True)
+class CampaignDeviceOutcome:
+    """Everything the campaign produced for one device.
+
+    The serial campaign iterates phase-by-phase over all devices; a
+    worker iterates device-by-device over all phases.  The two orders
+    are equivalent because every phase's state is per-device -- the
+    parent reassembles the serial phase-major lists from these
+    device-major bundles.
+    """
+
+    device: str
+    interception: object  # DeviceInterceptionReport
+    downgrade: object  # DeviceDowngradeReport
+    old_versions: object  # OldVersionSupport
+    probe_eligible: bool
+    probe: object | None  # DeviceProbeReport
+    passthrough: object | None  # PassthroughOutcome
+
+
+@dataclass(frozen=True)
+class CampaignShardResult:
+    worker_id: int
+    devices: tuple[CampaignDeviceOutcome, ...]
+    telemetry: dict | None
+
+
+def run_campaign_shard(task: CampaignShardTask) -> CampaignShardResult:
+    """Run every campaign phase for one shard of active devices."""
+    from ..core.downgrade import DowngradeAuditor
+    from ..core.interception import InterceptionAuditor
+    from ..core.passthrough import PassthroughExperiment
+    from ..core.prober import RootStoreProber
+    from ..devices.catalog import active_devices
+    from ..mitm.proxy import AttackMode
+    from ..testbed.infrastructure import Testbed
+
+    _configure_worker_telemetry(task.telemetry, task.event_level)
+    runtime = _telemetry.get()
+    testbed = Testbed()
+    profiles = {profile.name: profile for profile in active_devices()}
+    interception_auditor = InterceptionAuditor(testbed)
+    downgrade_auditor = DowngradeAuditor(testbed)
+    prober = RootStoreProber(testbed)
+    experiment = PassthroughExperiment(testbed) if task.include_passthrough else None
+
+    outcomes = []
+    for name in task.device_names:
+        profile = profiles[name]
+        device = testbed.device(profile)
+        interception = interception_auditor.audit_device(device)
+        downgrade = downgrade_auditor.audit_device_downgrade(device)
+        old_versions = downgrade_auditor.audit_device_old_versions(device)
+        if runtime.enabled:
+            runtime.registry.counter(
+                "iotls_campaign_devices_total",
+                "Devices processed by the active campaign's audit phase.",
+            ).inc()
+
+        # Probe eligibility per §5.2, evaluated exactly as the serial
+        # campaign does -- it only reads this device's own audit.
+        eligible = profile.rebootable and not all(
+            destination.intercepted_by(AttackMode.NO_VALIDATION)
+            for destination in interception.destinations
+        )
+        probe = prober.probe_device(device) if eligible else None
+        passthrough = (
+            experiment.run_device(device, interception) if experiment is not None else None
+        )
+        outcomes.append(
+            CampaignDeviceOutcome(
+                device=name,
+                interception=interception,
+                downgrade=downgrade,
+                old_versions=old_versions,
+                probe_eligible=eligible,
+                probe=probe,
+                passthrough=passthrough,
+            )
+        )
+    return CampaignShardResult(
+        worker_id=task.worker_id,
+        devices=tuple(outcomes),
+        telemetry=_export_worker_telemetry(task.telemetry, task.worker_id),
+    )

@@ -107,6 +107,26 @@ class EventLog:
         self.log("error", event, **fields)
 
     # ------------------------------------------------------------------
+    # Worker merging
+    # ------------------------------------------------------------------
+    def merge(self, entries: list[dict[str, object]], *, worker: int) -> None:
+        """Interleave a worker process's exported event tail into this log.
+
+        Each entry is re-emitted here with a ``worker`` field and a fresh
+        sequence number, preserving the worker's internal order.  Callers
+        merge workers in ascending worker-id order, so the interleaving
+        is deterministic regardless of process completion order.
+        """
+        for entry in entries:
+            fields = {
+                key: value
+                for key, value in entry.items()
+                if key not in ("seq", "level", "event")
+            }
+            fields["worker"] = worker
+            self.log(str(entry["level"]), str(entry["event"]), **fields)
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     def tail(self, n: int | None = None) -> list[dict[str, object]]:

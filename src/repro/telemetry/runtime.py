@@ -79,6 +79,39 @@ class TelemetryRuntime:
         self.tracer.reset()
         self.events.reset()
 
+    # ------------------------------------------------------------------
+    # Parallel-worker state transfer
+    # ------------------------------------------------------------------
+    def export_worker_state(self, worker: int) -> dict:
+        """Everything a worker process ships back to its parent.
+
+        Metrics travel as a :func:`~repro.telemetry.export.metrics_snapshot`
+        document and events as the plain tail list -- both pure data, so
+        the payload pickles across the ``spawn`` process boundary.
+        """
+        from .export import metrics_snapshot
+
+        return {
+            "worker": worker,
+            "metrics": metrics_snapshot(self.registry),
+            "events": self.events.tail(),
+        }
+
+    def merge_worker_states(self, states: list[dict]) -> None:
+        """Fold worker telemetry into this runtime, keyed by worker id.
+
+        States are merged in ascending worker-id order -- never arrival
+        order -- so counter totals, event interleaving, and therefore
+        exported snapshots are identical run-to-run.  ``None`` entries
+        (workers that ran without telemetry) are skipped.
+        """
+        for state in sorted(
+            (state for state in states if state is not None),
+            key=lambda state: state["worker"],
+        ):
+            self.registry.merge_snapshot(state["metrics"])
+            self.events.merge(state["events"], worker=state["worker"])
+
 
 #: The singleton every instrumented module shares.  Mutated in place,
 #: never rebound -- caching ``telemetry.get()`` at import time is safe.

@@ -107,3 +107,24 @@ class GatewayCapture:
     def extend(self, other: "GatewayCapture") -> None:
         self.records.extend(other.records)
         self.revocation_events.extend(other.revocation_events)
+
+    @classmethod
+    def merged(
+        cls,
+        shards: dict[str, "GatewayCapture"],
+        order: list[str],
+    ) -> "GatewayCapture":
+        """Concatenate per-device shard captures in catalog ``order``.
+
+        The deterministic-merge half of the parallel contract: whatever
+        order worker processes finish in, records and revocation events
+        land exactly where a serial device-by-device run would put them.
+        Appends via :meth:`extend`, not :meth:`add` -- the worker that
+        produced each shard already counted its records into its own
+        telemetry registry, so re-counting here would double ingest
+        totals after the registries merge.
+        """
+        capture = cls()
+        for device in order:
+            capture.extend(shards[device])
+        return capture

@@ -5,8 +5,68 @@ from __future__ import annotations
 import pytest
 
 from repro.core import ProbeOutcome, RootStoreProber
+from repro.core.prober import (
+    AmenabilityCalibration,
+    CertificateProbeResult,
+    DeviceProbeReport,
+)
+from repro.devices import (
+    DestinationSpec,
+    Device,
+    DeviceCategory,
+    DeviceProfile,
+    ServerEpoch,
+    ServerSpec,
+    TLSInstanceSpec,
+)
 from repro.devices import device_by_name
+from repro.devices.configs import FS_MODERN, RSA_PLAIN
+from repro.devices.instance import InstanceConfigSpec
+from repro.pki import RootStore
 from repro.testbed import SmartPlug
+from repro.tls import ProtocolVersion
+from repro.tls.alerts import AlertDescription
+from repro.tlslib.library import AlertPolicy, TLSLibrary
+
+#: A library that closes silently on unknown-CA chains but alerts on
+#: bad signatures -- the one-sided-silence case of the §4.2 rule.
+SILENT_ON_UNKNOWN_CA = TLSLibrary(
+    name="SilentOnUnknownCA",
+    version="0.1",
+    alert_policy=AlertPolicy(
+        on_unknown_ca=None,
+        on_bad_signature=AlertDescription.DECRYPT_ERROR,
+    ),
+)
+
+
+def _custom_library_device(testbed, library, name: str) -> Device:
+    """A single-instance device using ``library``, trusting the anchors."""
+    anchors = [testbed.anchor(index).certificate for index in range(2)]
+    store = RootStore.from_certificates(f"{name} store", anchors)
+    config = InstanceConfigSpec(
+        versions=(ProtocolVersion.TLS_1_2,), cipher_codes=FS_MODERN + RSA_PLAIN
+    )
+    profile = DeviceProfile(
+        name=name,
+        category=DeviceCategory.HOME_AUTOMATION,
+        manufacturer="Synthetic",
+        active=True,
+        instances=(TLSInstanceSpec.static("main", library, config),),
+        destinations=(
+            DestinationSpec(
+                hostname=f"{name.lower().replace(' ', '-')}.example.com",
+                instance="main",
+                server=ServerSpec.static(
+                    ServerEpoch(
+                        versions=(ProtocolVersion.TLS_1_2,),
+                        cipher_codes=FS_MODERN + RSA_PLAIN,
+                    )
+                ),
+            ),
+        ),
+    )
+    return Device(profile, universe=testbed.universe, root_store=store)
 
 
 @pytest.fixture(scope="module")
@@ -50,6 +110,36 @@ class TestCalibration:
         """Fire TV boots through the android-sdk (Java) instance."""
         plug = SmartPlug(testbed.device("Fire TV"))
         assert not prober.calibrate(plug).amenable
+
+    def test_silent_on_unknown_ca_not_amenable(self, prober, testbed):
+        """Regression: a device silent on *one* failure class must fail
+        calibration -- §4.2 requires both alerts to exist and differ.
+        Previously only both-silent devices were rejected, so this
+        device calibrated with ``unknown_ca_alert=None`` and silent
+        probe reboots aliased to ABSENT."""
+        device = _custom_library_device(testbed, SILENT_ON_UNKNOWN_CA, "Half Silent Cam")
+        calibration = prober.calibrate(SmartPlug(device))
+        assert not calibration.amenable
+        assert calibration.unknown_ca_alert is None
+        assert calibration.known_ca_alert == "decrypt_error"
+        assert "silent on unknown-CA" in calibration.reason
+
+    def test_silent_probe_is_inconclusive_not_absent(self, prober, testbed, universe):
+        """Regression: against a calibration with two real alerts, a
+        reboot that produces *no* alert is INCONCLUSIVE -- silence must
+        never alias to the absent-classification."""
+        device = _custom_library_device(testbed, SILENT_ON_UNKNOWN_CA, "Half Silent Cam 2")
+        calibration = AmenabilityCalibration(
+            amenable=True, unknown_ca_alert="unknown_ca", known_ca_alert="decrypt_error"
+        )
+        # Any candidate outside the store: the device stays silent on the
+        # resulting unknown-CA failure.
+        record = universe.deprecated_records()[0]
+        result = prober.probe_certificate(
+            SmartPlug(device), calibration, record.certificate, conclusive_rate=1.0
+        )
+        assert result.observed_alert is None
+        assert result.outcome is ProbeOutcome.INCONCLUSIVE
 
 
 class TestCertificateProbing:
@@ -114,6 +204,32 @@ class TestDeviceReports:
         assert device == "Google Home Mini"
         assert "%" in common and "/" in common
         assert "%" in deprecated
+
+    def test_table9_rounds_half_up(self):
+        """Regression: percentages ending in .5 round up (62.5% -> 63%),
+        matching the paper's tables; ``round()`` banker's-rounds them to
+        the nearest even digit (62.5% -> 62%, 12.5% -> 12%)."""
+
+        def results(present: int, conclusive: int) -> list[CertificateProbeResult]:
+            outcomes = [ProbeOutcome.PRESENT] * present + [ProbeOutcome.ABSENT] * (
+                conclusive - present
+            )
+            return [
+                CertificateProbeResult(certificate_name=f"CA {i}", outcome=outcome)
+                for i, outcome in enumerate(outcomes)
+            ]
+
+        report = DeviceProbeReport(
+            device="Rounding Device",
+            calibration=AmenabilityCalibration(
+                amenable=True, unknown_ca_alert="unknown_ca", known_ca_alert="bad_certificate"
+            ),
+            common_results=results(5, 8),  # 62.5%
+            deprecated_results=results(1, 8),  # 12.5%
+        )
+        _, common, deprecated = report.table9_row()
+        assert common == "63% (5/8)"
+        assert deprecated == "13% (1/8)"
 
     def test_present_deprecated_names_feed_fig4(self, prober, testbed, universe):
         report = prober.probe_device(testbed.device("LG TV"))

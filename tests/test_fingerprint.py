@@ -56,6 +56,32 @@ class TestJA3:
         without = _hello()
         assert fingerprint(with_grease) == fingerprint(without)
 
+    def test_grease_extension_types_ignored(self):
+        """Regression: a GREASE-injecting client (RFC 8701) must produce
+        the canonical fingerprint -- GREASE was stripped from the cipher
+        and group lists but not from the extension-type list."""
+        from repro.tls import Extension
+
+        clean = _hello(
+            extensions=(
+                sni("h.example.com"),
+                supported_groups_ext((NamedGroup.X25519,)),
+                ec_point_formats_ext(),
+            )
+        )
+        greased = _hello(
+            ciphers=(0x2A2A,) + FS_MODERN,
+            extensions=(
+                Extension(0x0A0A),
+                sni("h.example.com"),
+                Extension(0x1A1A, (0x3A3A,)),
+                supported_groups_ext((NamedGroup.X25519,)),
+                ec_point_formats_ext(),
+            ),
+        )
+        assert fingerprint(greased) == fingerprint(clean)
+        assert ja3_string(greased) == ja3_string(clean)
+
     def test_cipher_order_matters(self):
         forward = _hello(ciphers=FS_MODERN)
         reversed_ = _hello(ciphers=tuple(reversed(FS_MODERN)))

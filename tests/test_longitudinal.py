@@ -98,6 +98,40 @@ class TestFigure1:
         blink_row = heatmap.devices.index("Blink Camera")
         assert np.isnan(matrix[blink_row, 20])  # after Blink Camera died
 
+    def test_exact_five_percent_non_tls12_is_shown(self):
+        """Regression: a device with exactly 5% non-TLS-1.2 traffic sits
+        on the figure's threshold and must be shown.  Comparing against
+        the float residue ``1 - 0.95`` (0.05000000000000004) with a
+        strict ``>`` wrongly hid it."""
+        from datetime import datetime, timezone
+
+        from repro.devices.profile import Party
+        from repro.testbed.capture import GatewayCapture, TrafficRecord
+        from repro.tls import ClientHello, ProtocolVersion
+
+        def record(version: ProtocolVersion, count: int) -> TrafficRecord:
+            return TrafficRecord(
+                device="Boundary Device",
+                hostname="boundary.example.com",
+                party=Party.FIRST,
+                month=0,
+                when=datetime(2018, 1, 15, tzinfo=timezone.utc),
+                client_hello=ClientHello(legacy_version=version, cipher_codes=(0x002F,)),
+                established=True,
+                established_version=ProtocolVersion.TLS_1_2,
+                established_cipher_code=0x002F,
+                client_alert=None,
+                count=count,
+            )
+
+        capture = GatewayCapture()
+        capture.add(record(ProtocolVersion.TLS_1_2, 19))
+        capture.add(record(ProtocolVersion.TLS_1_3, 1))
+        heatmap = build_version_heatmap(capture)
+        advertised_13 = heatmap.advertised[VersionBand.TLS_1_3]["Boundary Device"]
+        assert advertised_13.max_fraction() == 0.05
+        assert heatmap.shown_devices() == ["Boundary Device"]
+
 
 class TestFigure2:
     @pytest.fixture(scope="class")

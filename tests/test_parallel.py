@@ -1,0 +1,206 @@
+"""Parallel execution layer: sharding, merging, and serial equivalence.
+
+The contract under test: for any worker count, a parallel run produces
+*identical* artifacts to the serial one -- same capture JSON, same
+campaign headline numbers, same merged telemetry counter totals.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.export import capture_to_document
+from repro.core.audit import ActiveExperimentCampaign
+from repro.longitudinal.generator import PassiveTraceGenerator
+from repro.parallel import ShardedExecutor
+from repro.telemetry.events import EventLog
+from repro.telemetry.export import metrics_snapshot
+from repro.telemetry.metrics import MetricsRegistry
+
+SEED = "parallel-equivalence"
+SCALE = 2
+
+
+# ----------------------------------------------------------------------
+# ShardedExecutor unit behaviour
+# ----------------------------------------------------------------------
+class TestShardedExecutor:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(0)
+
+    def test_round_robin_sharding(self):
+        shards = ShardedExecutor(3).shard(["a", "b", "c", "d", "e", "f", "g"])
+        assert shards == [["a", "d", "g"], ["b", "e"], ["c", "f"]]
+
+    def test_never_more_shards_than_items(self):
+        shards = ShardedExecutor(8).shard(["a", "b"])
+        assert shards == [["a"], ["b"]]
+
+    def test_shards_cover_all_items_exactly_once(self):
+        items = [f"item-{i}" for i in range(17)]
+        shards = ShardedExecutor(4).shard(items)
+        flattened = [item for shard in shards for item in shard]
+        assert sorted(flattened) == sorted(items)
+
+    def test_generator_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            PassiveTraceGenerator(scale=1).generate(workers=0)
+
+    def test_campaign_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ActiveExperimentCampaign().run(workers=0)
+
+
+# ----------------------------------------------------------------------
+# Telemetry merging primitives
+# ----------------------------------------------------------------------
+class TestMergeSnapshot:
+    def _snapshot_of(self, build) -> dict:
+        registry = MetricsRegistry(enabled=True)
+        build(registry)
+        return metrics_snapshot(registry)
+
+    def test_counters_add(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("requests_total").inc(3, route="a")
+        snapshot = self._snapshot_of(
+            lambda r: (r.counter("requests_total").inc(2, route="a"),
+                       r.counter("requests_total").inc(5, route="b"))
+        )
+        parent.merge_snapshot(snapshot)
+        series = parent.get("requests_total").series()
+        assert series[(("route", "a"),)] == 5
+        assert series[(("route", "b"),)] == 5
+
+    def test_gauges_adopt_last_value(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.gauge("wall_seconds").set(1.0)
+        snapshot = self._snapshot_of(lambda r: r.gauge("wall_seconds").set(9.0))
+        parent.merge_snapshot(snapshot)
+        assert parent.get("wall_seconds").series()[()] == 9.0
+
+    def test_histograms_add_buckets_sum_count(self):
+        buckets = (0.1, 1.0)
+
+        def build(registry):
+            h = registry.histogram("latency_seconds", buckets=buckets)
+            h.observe(0.05)
+            h.observe(0.5)
+            h.observe(5.0)
+
+        parent = MetricsRegistry(enabled=True)
+        parent.histogram("latency_seconds", buckets=buckets).observe(0.5)
+        parent.merge_snapshot(self._snapshot_of(build))
+        state = parent.get("latency_seconds").series()[()]
+        assert state.count == 4
+        assert state.sum == pytest.approx(6.05)
+        assert state.cumulative() == [1, 3, 4]
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.histogram("latency_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        snapshot = self._snapshot_of(
+            lambda r: r.histogram("latency_seconds", buckets=(0.5,)).observe(0.2)
+        )
+        with pytest.raises(ValueError):
+            parent.merge_snapshot(snapshot)
+
+    def test_merge_applies_to_disabled_registry(self):
+        parent = MetricsRegistry(enabled=False)
+        snapshot = self._snapshot_of(lambda r: r.counter("requests_total").inc(7))
+        parent.merge_snapshot(snapshot)
+        assert parent.get("requests_total").total() == 7
+
+
+class TestEventLogMerge:
+    def test_entries_tagged_with_worker_and_resequenced(self):
+        worker_log = EventLog(enabled=True, level="debug")
+        worker_log.debug("first", device="A")
+        worker_log.info("second", device="B")
+
+        parent = EventLog(enabled=True, level="debug")
+        parent.info("before")
+        parent.merge(worker_log.tail(), worker=3)
+        entries = parent.tail()
+        assert [entry["event"] for entry in entries] == ["before", "first", "second"]
+        assert entries[1]["worker"] == 3
+        assert entries[2]["worker"] == 3
+        assert [entry["seq"] for entry in entries] == [1, 2, 3]
+
+    def test_merge_respects_parent_level(self):
+        worker_log = EventLog(enabled=True, level="debug")
+        worker_log.debug("noise")
+        worker_log.warning("signal")
+        parent = EventLog(enabled=True, level="info")
+        parent.merge(worker_log.tail(), worker=0)
+        assert [entry["event"] for entry in parent.tail()] == ["signal"]
+
+
+# ----------------------------------------------------------------------
+# Serial-vs-parallel equivalence (the tentpole guarantee)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serial_capture_json() -> str:
+    capture = PassiveTraceGenerator(scale=SCALE, seed=SEED).generate()
+    return json.dumps(capture_to_document(capture), indent=2, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_campaign():
+    return ActiveExperimentCampaign().run()
+
+
+def _headline(results) -> tuple:
+    return (
+        results.vulnerable_device_count,
+        results.sensitive_leak_count,
+        results.downgrading_device_count,
+        results.old_version_device_count,
+        tuple(results.probe_eligible),
+        len(results.probes),
+        len(results.passthrough),
+    )
+
+
+def _counter_totals() -> dict[str, object]:
+    snapshot = metrics_snapshot(telemetry.get_registry())
+    return {
+        name: sorted(
+            (json.dumps(series["labels"], sort_keys=True), series["value"])
+            for series in payload["series"]
+        )
+        for name, payload in snapshot["counters"].items()
+    }
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_trace_capture_json_identical(workers, serial_capture_json):
+    capture = PassiveTraceGenerator(scale=SCALE, seed=SEED).generate(workers=workers)
+    exported = json.dumps(capture_to_document(capture), indent=2, sort_keys=True)
+    assert exported == serial_capture_json
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_campaign_headline_counts_identical(workers, serial_campaign):
+    results = ActiveExperimentCampaign().run(workers=workers)
+    assert _headline(results) == _headline(serial_campaign)
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_merged_telemetry_counters_identical(workers):
+    try:
+        telemetry.configure(enabled=True, level="debug")
+        PassiveTraceGenerator(scale=SCALE, seed=SEED).generate()
+        serial_totals = _counter_totals()
+
+        telemetry.configure(enabled=True, level="debug")
+        PassiveTraceGenerator(scale=SCALE, seed=SEED).generate(workers=workers)
+        parallel_totals = _counter_totals()
+    finally:
+        telemetry.disable()
+    assert parallel_totals == serial_totals
+    assert parallel_totals["iotls_trace_devices_total"] == [("{}", 40)]

@@ -1,0 +1,87 @@
+"""Record serial-vs-parallel trace-generation timings in BENCH_parallel.json.
+
+Runs the passive-trace generator at a benchmark scale once serially and
+once per requested worker count, verifies every parallel capture is
+record-identical to the serial one, and writes the timings, speedups,
+and host core count to ``BENCH_parallel.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_parallel.py [--scale 200] \
+        [--workers 2 4] [--out BENCH_parallel.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from datetime import date
+from pathlib import Path
+from time import perf_counter
+
+from repro.longitudinal import PassiveTraceGenerator
+
+DEFAULT_SCALE = 200
+SEED = "iotls-bench-parallel"
+
+
+def _timed_generate(scale: int, workers: int):
+    started = perf_counter()
+    capture = PassiveTraceGenerator(scale=scale, seed=SEED).generate(workers=workers)
+    return capture, perf_counter() - started
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args()
+
+    serial_capture, serial_seconds = _timed_generate(args.scale, workers=1)
+    print(f"serial: {serial_seconds:.2f}s ({len(serial_capture)} flow records)")
+
+    runs = {}
+    for workers in args.workers:
+        capture, seconds = _timed_generate(args.scale, workers=workers)
+        identical = (
+            capture.records == serial_capture.records
+            and capture.revocation_events == serial_capture.revocation_events
+        )
+        speedup = serial_seconds / seconds if seconds > 0 else 0.0
+        print(
+            f"workers={workers}: {seconds:.2f}s -- {speedup:.2f}x, "
+            f"identical={identical}"
+        )
+        runs[str(workers)] = {
+            "seconds": round(seconds, 4),
+            "speedup_vs_serial": round(speedup, 4),
+            "identical_to_serial": identical,
+        }
+
+    document = {
+        "benchmark": "tools/bench_parallel.py (passive-trace generation)",
+        "date": date.today().isoformat(),
+        "command": {
+            "serial": f"iotls trace --scale {args.scale} --seed {SEED}",
+            "parallel": f"iotls trace --scale {args.scale} --seed {SEED} --workers N",
+        },
+        "units": f"seconds per full 27-month generation at scale={args.scale}",
+        "host_cpu_count": os.cpu_count(),
+        "serial": {"seconds": round(serial_seconds, 4)},
+        "parallel": runs,
+        "acceptance": (
+            "every parallel capture must be record-identical to the serial one; "
+            ">=1.8x speedup expected at 4 workers on a host with >=4 cores "
+            "(CPU-bound workload: speedup is bounded by host_cpu_count)"
+        ),
+    }
+    path = Path(args.out)
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {path}")
+    return 0 if all(run["identical_to_serial"] for run in runs.values()) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
