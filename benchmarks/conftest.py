@@ -10,7 +10,11 @@ Telemetry integration: ``--telemetry`` enables the observability
 subsystem (:mod:`repro.telemetry`) around every benchmark, and
 ``--metrics-out DIR`` writes one metrics snapshot per benchmark
 alongside its timing -- the registry is reset at each test's start, so
-a snapshot covers exactly that benchmark's work.  Without the flag,
+a snapshot covers exactly that benchmark's work.  ``--profile-out DIR``
+additionally wraps each benchmark in a ``bench.run`` span and writes
+its span profile (the same :class:`repro.telemetry.Profiler` document
+``iotls trace --profile-out`` produces), so benchmark timings flow
+through the same profiling path as CLI runs.  Without the flags,
 benchmarks run with telemetry disabled, measuring the guarded
 (fast-path) overhead only.
 """
@@ -42,6 +46,12 @@ def pytest_addoption(parser):
         metavar="DIR",
         help="write one metrics snapshot per benchmark into DIR (implies --telemetry)",
     )
+    group.addoption(
+        "--profile-out",
+        default=None,
+        metavar="DIR",
+        help="write one span profile per benchmark into DIR (implies --telemetry)",
+    )
     parallel = parser.getgroup("parallel")
     parallel.addoption(
         "--workers",
@@ -56,19 +66,35 @@ def pytest_addoption(parser):
 @pytest.fixture(autouse=True)
 def _benchmark_telemetry(request):
     """Per-benchmark telemetry window: reset, run, snapshot, disable."""
+    import json
+
     metrics_dir = request.config.getoption("--metrics-out")
-    enabled = request.config.getoption("--telemetry") or metrics_dir is not None
+    profile_dir = request.config.getoption("--profile-out")
+    enabled = (
+        request.config.getoption("--telemetry")
+        or metrics_dir is not None
+        or profile_dir is not None
+    )
     if not enabled:
         yield
         return
-    telemetry.configure(enabled=True)
-    yield
+    runtime = telemetry.configure(enabled=True)
+    with runtime.tracer.span("bench.run", benchmark=request.node.name):
+        yield
     if metrics_dir is not None:
         telemetry.write_snapshot(
             telemetry.get_registry(),
             Path(metrics_dir) / f"{request.node.name}.metrics.json",
             extra={"benchmark": request.node.nodeid},
         )
+    if profile_dir is not None:
+        from repro.telemetry import Profiler
+
+        path = Path(profile_dir) / f"{request.node.name}.profile.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = Profiler.from_runtime(runtime).to_dict()
+        payload["benchmark"] = request.node.nodeid
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     telemetry.configure(enabled=False)
 
 

@@ -8,6 +8,15 @@ from .attack_scaling import (
 )
 from .comparison import PriorWorkComparison, compare_with_prior_work
 from .datasets import DatasetStatistics, dataset_statistics
+from .drift import (
+    DriftReport,
+    Expectation,
+    audit_capture,
+    audit_fresh_run,
+    load_expectations,
+    measure_all,
+    measure_capture,
+)
 from .export import (
     campaign_to_dict,
     capture_from_records,
@@ -32,6 +41,13 @@ test_party_bias.__test__ = False  # type: ignore[attr-defined]
 __all__ = [
     "DatasetStatistics",
     "DeviceStaleness",
+    "DriftReport",
+    "Expectation",
+    "audit_capture",
+    "audit_fresh_run",
+    "load_expectations",
+    "measure_all",
+    "measure_capture",
     "FingerprintTargetedAttacker",
     "SharedRiskFinding",
     "TargetingOutcome",

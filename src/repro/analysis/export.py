@@ -78,11 +78,25 @@ def capture_to_document(
     """A capture export with provenance: ``{"metadata": ..., "records": ...}``.
 
     ``metadata`` carries run parameters (generator seed, scale, ...) so a
-    published artifact records how it was produced.  Consumed by
+    published artifact records how it was produced.  ``revocation_events``
+    carries the side-channel CRL/OCSP traffic Table 8's analysis scans,
+    which lives outside the flow-record list.  Consumed by
     :func:`capture_from_records`, which accepts both this shape and the
     bare record list.
     """
-    return {"metadata": dict(metadata or {}), "records": capture_to_records(capture)}
+    return {
+        "metadata": dict(metadata or {}),
+        "records": capture_to_records(capture),
+        "revocation_events": [
+            {
+                "device": event.device,
+                "method": event.method.value,
+                "url": event.url,
+                "month": event.month,
+            }
+            for event in capture.revocation_events
+        ],
+    }
 
 
 def probe_report_to_dict(report: DeviceProbeReport) -> dict[str, Any]:
@@ -192,13 +206,16 @@ def capture_from_records(
     """
     from datetime import datetime
 
+    revocation_events: list[dict[str, Any]] = []
     if isinstance(records, dict):
+        revocation_events = records.get("revocation_events", [])
         records = records["records"]
 
     from ..devices.profile import Party
+    from ..pki.revocation import RevocationMethod
     from ..tls.codec import decode_client_hello
     from ..tls.versions import ProtocolVersion
-    from ..testbed.capture import TrafficRecord
+    from ..testbed.capture import RevocationEvent, TrafficRecord
 
     by_label = {version.label: version for version in ProtocolVersion}
     capture = GatewayCapture()
@@ -224,6 +241,15 @@ def capture_from_records(
                 client_alert=entry["client_alert"],
                 downgraded=entry["downgraded"],
                 count=entry["count"],
+            )
+        )
+    for entry in revocation_events:
+        capture.add_revocation_event(
+            RevocationEvent(
+                device=entry["device"],
+                method=RevocationMethod(entry["method"]),
+                url=entry["url"],
+                month=entry["month"],
             )
         )
     return capture

@@ -9,6 +9,8 @@ Subcommands map one-to-one onto the paper's experiments:
                       Figures 1-3, adoption events, Table 8
 * ``fingerprint``  -- the Figure 5 shared-fingerprint analysis
 * ``devices``      -- list the Table 1 catalog
+* ``check``        -- audit a run against the paper's published values
+                      (drift report; non-zero exit on drift)
 * ``telemetry-demo`` -- exercise the telemetry subsystem end-to-end
 
 Every subcommand accepts ``--json PATH`` to export machine-readable
@@ -18,7 +20,12 @@ observability subsystem (:mod:`repro.telemetry`); ``audit``, ``trace``,
 write the run's metrics snapshot as JSON (implies ``--telemetry``).
 ``audit``, ``trace``, ``report``, and ``pcap`` accept ``--workers N`` to
 shard device work across processes (:mod:`repro.parallel`); output is
-identical for any ``N``.
+identical for any ``N``.  The same four commands always print a run
+manifest digest (:mod:`repro.telemetry.provenance`) and write the full
+manifest with ``--manifest PATH``; ``audit``, ``trace``, and ``report``
+accept ``--profile`` to print a hot-span table after the run
+(``--profile-out`` / ``--profile-stacks`` export the JSON profile and
+flamegraph-ready collapsed stacks).
 """
 
 from __future__ import annotations
@@ -73,12 +80,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for device sharding (default 1 = in-process); "
         "output is identical for any N",
     )
+    manifest_flags = argparse.ArgumentParser(add_help=False)
+    manifest_flags.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write the run manifest (provenance document) as canonical JSON; "
+        "the manifest digest is always printed",
+    )
+    profile_flags = argparse.ArgumentParser(add_help=False)
+    profile_flags.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a hot-span profile after the run (implies --telemetry)",
+    )
+    profile_flags.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        help="write the profile as JSON (implies --profile)",
+    )
+    profile_flags.add_argument(
+        "--profile-stacks",
+        metavar="PATH",
+        help="write flamegraph-ready collapsed stacks (implies --profile)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     audit = subparsers.add_parser(
         "audit",
         help="run the full active-experiment campaign",
-        parents=[telemetry_flags, metrics_flags, workers_flags],
+        parents=[telemetry_flags, metrics_flags, workers_flags, manifest_flags, profile_flags],
     )
     audit.add_argument("--no-passthrough", action="store_true", help="skip the passthrough pass")
     audit.add_argument("--json", metavar="PATH", help="export full results as JSON")
@@ -100,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace = subparsers.add_parser(
         "trace",
         help="generate the 27-month passive capture",
-        parents=[telemetry_flags, metrics_flags, workers_flags],
+        parents=[telemetry_flags, metrics_flags, workers_flags, manifest_flags, profile_flags],
     )
     trace.add_argument("--scale", type=int, default=40, help="connections per weight-unit-month")
     trace.add_argument(
@@ -123,7 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = subparsers.add_parser(
         "report",
         help="run everything and write a full markdown report",
-        parents=[telemetry_flags, metrics_flags, workers_flags],
+        parents=[telemetry_flags, metrics_flags, workers_flags, manifest_flags, profile_flags],
     )
     report.add_argument("--out", default="REPORT.md", help="output path (default REPORT.md)")
     report.add_argument("--scale", type=int, default=40, help="passive-trace scale")
@@ -131,11 +161,41 @@ def build_parser() -> argparse.ArgumentParser:
     pcap = subparsers.add_parser(
         "pcap",
         help="export the passive capture's ClientHellos as a pcap file",
-        parents=[telemetry_flags, workers_flags],
+        parents=[telemetry_flags, workers_flags, manifest_flags],
     )
     pcap.add_argument("--out", default="iotls.pcap", help="output path (default iotls.pcap)")
     pcap.add_argument("--scale", type=int, default=10, help="passive-trace scale")
     pcap.add_argument("--limit", type=int, default=None, help="max packets")
+
+    check = subparsers.add_parser(
+        "check",
+        help="audit the reproduction against the paper's published values",
+        parents=[telemetry_flags, workers_flags],
+    )
+    check.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="passive-trace scale for the fresh audit run (default 1)",
+    )
+    check.add_argument(
+        "--seed", default="iotls-passive", help="trace seed (default iotls-passive)"
+    )
+    check.add_argument(
+        "--expected",
+        metavar="PATH",
+        help="expectations file (default: the packaged expected/paper.json)",
+    )
+    check.add_argument(
+        "--artifact",
+        metavar="PATH",
+        help="audit a previously exported `iotls trace --json` artifact instead "
+        "of running fresh experiments (capture-derived cells only; the rest "
+        "are reported as skipped)",
+    )
+    check.add_argument(
+        "--json", metavar="PATH", help="export the drift report as JSON"
+    )
 
     demo = subparsers.add_parser(
         "telemetry-demo",
@@ -185,9 +245,11 @@ def _cmd_audit(args) -> int:
         extra = statistics.mean(outcome.extra_fraction for outcome in results.passthrough)
         print(f"passthrough: {extra:.1%} extra destinations, "
               f"{sum(o.new_validation_failures for o in results.passthrough)} new failures")
+    args._manifest_params = {"include_passthrough": not args.no_passthrough}
     if args.json:
         path = write_json(campaign_to_dict(results), args.json)
         print(f"\nwrote {path}")
+        args._manifest_artifacts = {"campaign_json": path}
     return 0
 
 
@@ -266,6 +328,7 @@ def _cmd_trace(args) -> int:
           f"stapling {len(summary.stapling_devices)}, "
           f"never {len(summary.non_checking_devices)}")
     print(compare_with_prior_work(capture).summary())
+    args._manifest_params = {"scale": args.scale, "seed": args.seed}
     if args.json:
         document = capture_to_document(
             capture,
@@ -279,6 +342,7 @@ def _cmd_trace(args) -> int:
         )
         path = write_json(document, args.json)
         print(f"wrote {path}")
+        args._manifest_artifacts = {"records_json": path}
     return 0
 
 
@@ -322,6 +386,8 @@ def _cmd_report(args) -> int:
     capture = PassiveTraceGenerator(testbed, scale=args.scale).generate(workers=args.workers)
     path = write_report(testbed, results, capture, args.out)
     print(f"wrote {path}")
+    args._manifest_params = {"scale": args.scale}
+    args._manifest_artifacts = {"report_md": path}
     return 0
 
 
@@ -334,6 +400,53 @@ def _cmd_pcap(args) -> int:
     packets = args.limit if args.limit is not None else len(capture)
     print(f"wrote {min(packets, len(capture))} packets to {path} "
           f"({path.stat().st_size:,} bytes)")
+    args._manifest_params = {"scale": args.scale, "limit": args.limit}
+    args._manifest_artifacts = {"pcap": path}
+    return 0
+
+
+def _cmd_check(args) -> int:
+    """Audit the reproduction against the paper's published values.
+
+    Exit codes: 0 = no drift, 1 = drift detected, 2 = usage error
+    (unreadable artifact or expectations file).
+    """
+    import json as _json
+    from pathlib import Path
+
+    from .analysis.drift import audit_capture, audit_fresh_run
+
+    try:
+        if args.artifact:
+            from .analysis.export import capture_from_records
+
+            document = _json.loads(Path(args.artifact).read_text())
+            capture = capture_from_records(document)
+            print(f"auditing artifact {args.artifact} (capture-derived cells only)\n")
+            report = audit_capture(capture, expectations_path=args.expected)
+        else:
+            print(
+                f"auditing fresh run (scale {args.scale}, seed {args.seed!r}, "
+                f"workers {args.workers})...\n"
+            )
+            report = audit_fresh_run(
+                scale=args.scale,
+                seed=args.seed,
+                workers=args.workers,
+                expectations_path=args.expected,
+            )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.json:
+        path = write_json(report.to_dict(), args.json)
+        print(f"\nwrote drift report {path}")
+    if not report.ok:
+        cells = ", ".join(cell.expectation.id for cell in report.drifted)
+        print(f"\nDRIFT: {len(report.drifted)} cell(s) deviate: {cells}", file=sys.stderr)
+        return 1
+    print("\npaper reproduction healthy: no drift detected")
     return 0
 
 
@@ -370,21 +483,67 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "fingerprint": _cmd_fingerprint,
     "devices": _cmd_devices,
+    "check": _cmd_check,
     "telemetry-demo": _cmd_telemetry_demo,
 }
+
+#: Commands whose runs always emit a provenance manifest digest.
+_MANIFEST_COMMANDS = frozenset({"audit", "trace", "report", "pcap"})
+
+
+def _emit_manifest(args) -> None:
+    """Print the run's manifest digest; write the document with --manifest."""
+    manifest = telemetry.build_manifest(
+        args.command,
+        params=getattr(args, "_manifest_params", {}),
+        artifacts=getattr(args, "_manifest_artifacts", None),
+        registry=telemetry.get_registry() if telemetry.enabled() else None,
+    )
+    print(f"\nrun manifest digest: {telemetry.manifest_digest(manifest)}")
+    if args.manifest:
+        path = telemetry.write_manifest(manifest, args.manifest)
+        print(f"wrote run manifest {path}")
+
+
+def _emit_profile(args) -> int:
+    """Render/export the run's span profile.  Returns 1 if no spans."""
+    from pathlib import Path
+
+    from .telemetry import Profiler, render_hot_table
+
+    profiler = Profiler.from_runtime(telemetry.get())
+    print("\nhot spans:")
+    print(render_hot_table(profiler))
+    if args.profile_out:
+        path = write_json(profiler.to_dict(), args.profile_out)
+        print(f"wrote profile {path}")
+    if args.profile_stacks:
+        path = Path(args.profile_stacks)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(profiler.collapsed_stacks())
+        print(f"wrote collapsed stacks {path}")
+    return 0 if len(profiler) else 1
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     metrics_out = getattr(args, "metrics_out", None)
+    profile_on = bool(
+        getattr(args, "profile", False)
+        or getattr(args, "profile_out", None)
+        or getattr(args, "profile_stacks", None)
+    )
     telemetry_on = (
         bool(getattr(args, "telemetry", False))
         or metrics_out is not None
+        or profile_on
         or args.command == "telemetry-demo"
     )
     if telemetry_on:
         telemetry.configure(enabled=True)
     status = _COMMANDS[args.command](args)
+    if status == 0 and args.command in _MANIFEST_COMMANDS:
+        _emit_manifest(args)
     if telemetry_on:
         registry = telemetry.get_registry()
         if metrics_out is not None:
@@ -395,6 +554,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.command != "telemetry-demo":
             print("\ntelemetry summary:")
             print(telemetry.summary_table(registry))
+    if status == 0 and profile_on:
+        status = _emit_profile(args)
     return status
 
 

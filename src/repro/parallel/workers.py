@@ -78,10 +78,15 @@ def run_trace_shard(task: TraceShardTask) -> TraceShardResult:
     profiles = {profile.name: profile for profile in passive_devices()}
     generator = PassiveTraceGenerator(Testbed(), scale=task.scale, seed=task.seed)
     captures = []
-    for name in task.device_names:
-        capture = GatewayCapture()
-        generator.generate_device_instrumented(profiles[name], capture)
-        captures.append((name, capture))
+    # The shard.run span times the whole shard; its wall time travels
+    # home inside the profile payload as the shard's per-worker reading.
+    with _telemetry.get().tracer.span(
+        "shard.run", worker=task.worker_id, devices=len(task.device_names)
+    ):
+        for name in task.device_names:
+            capture = GatewayCapture()
+            generator.generate_device_instrumented(profiles[name], capture)
+            captures.append((name, capture))
     return TraceShardResult(
         worker_id=task.worker_id,
         captures=tuple(captures),
@@ -137,7 +142,6 @@ def run_campaign_shard(task: CampaignShardTask) -> CampaignShardResult:
     from ..core.passthrough import PassthroughExperiment
     from ..core.prober import RootStoreProber
     from ..devices.catalog import active_devices
-    from ..mitm.proxy import AttackMode
     from ..testbed.infrastructure import Testbed
 
     _configure_worker_telemetry(task.telemetry, task.event_level)
@@ -150,41 +154,60 @@ def run_campaign_shard(task: CampaignShardTask) -> CampaignShardResult:
     experiment = PassthroughExperiment(testbed) if task.include_passthrough else None
 
     outcomes = []
-    for name in task.device_names:
-        profile = profiles[name]
-        device = testbed.device(profile)
-        interception = interception_auditor.audit_device(device)
-        downgrade = downgrade_auditor.audit_device_downgrade(device)
-        old_versions = downgrade_auditor.audit_device_old_versions(device)
-        if runtime.enabled:
-            runtime.registry.counter(
-                "iotls_campaign_devices_total",
-                "Devices processed by the active campaign's audit phase.",
-            ).inc()
-
-        # Probe eligibility per §5.2, evaluated exactly as the serial
-        # campaign does -- it only reads this device's own audit.
-        eligible = profile.rebootable and not all(
-            destination.intercepted_by(AttackMode.NO_VALIDATION)
-            for destination in interception.destinations
-        )
-        probe = prober.probe_device(device) if eligible else None
-        passthrough = (
-            experiment.run_device(device, interception) if experiment is not None else None
-        )
-        outcomes.append(
-            CampaignDeviceOutcome(
-                device=name,
-                interception=interception,
-                downgrade=downgrade,
-                old_versions=old_versions,
-                probe_eligible=eligible,
-                probe=probe,
-                passthrough=passthrough,
+    with runtime.tracer.span(
+        "shard.run", worker=task.worker_id, devices=len(task.device_names)
+    ):
+        outcomes.extend(
+            _campaign_device_outcome(
+                profiles[name],
+                testbed,
+                runtime,
+                interception_auditor,
+                downgrade_auditor,
+                prober,
+                experiment,
             )
+            for name in task.device_names
         )
     return CampaignShardResult(
         worker_id=task.worker_id,
         devices=tuple(outcomes),
         telemetry=_export_worker_telemetry(task.telemetry, task.worker_id),
+    )
+
+
+def _campaign_device_outcome(
+    profile, testbed, runtime, interception_auditor, downgrade_auditor, prober, experiment
+) -> CampaignDeviceOutcome:
+    """All campaign phases for one device (the body of a shard's loop)."""
+    from ..mitm.proxy import AttackMode
+
+    device = testbed.device(profile)
+    interception = interception_auditor.audit_device(device)
+    downgrade = downgrade_auditor.audit_device_downgrade(device)
+    old_versions = downgrade_auditor.audit_device_old_versions(device)
+    if runtime.enabled:
+        runtime.registry.counter(
+            "iotls_campaign_devices_total",
+            "Devices processed by the active campaign's audit phase.",
+        ).inc()
+
+    # Probe eligibility per §5.2, evaluated exactly as the serial
+    # campaign does -- it only reads this device's own audit.
+    eligible = profile.rebootable and not all(
+        destination.intercepted_by(AttackMode.NO_VALIDATION)
+        for destination in interception.destinations
+    )
+    probe = prober.probe_device(device) if eligible else None
+    passthrough = (
+        experiment.run_device(device, interception) if experiment is not None else None
+    )
+    return CampaignDeviceOutcome(
+        device=profile.name,
+        interception=interception,
+        downgrade=downgrade,
+        old_versions=old_versions,
+        probe_eligible=eligible,
+        probe=probe,
+        passthrough=passthrough,
     )

@@ -35,6 +35,15 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .profiling import PathStat, Profiler, render_hot_table
+from .provenance import (
+    MANIFEST_SCHEMA,
+    artifact_digest,
+    build_manifest,
+    deterministic_metrics,
+    manifest_digest,
+    write_manifest,
+)
 from .runtime import (
     TelemetryRuntime,
     configure,
@@ -56,13 +65,22 @@ __all__ = [
     "Gauge",
     "Histogram",
     "LEVELS",
+    "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PathStat",
+    "Profiler",
     "SNAPSHOT_SCHEMA",
     "Span",
     "TelemetryRuntime",
     "Tracer",
+    "artifact_digest",
+    "build_manifest",
     "configure",
+    "deterministic_metrics",
+    "manifest_digest",
+    "render_hot_table",
+    "write_manifest",
     "disable",
     "enable",
     "enabled",

@@ -16,6 +16,7 @@ Three render targets for one :class:`~repro.telemetry.metrics.MetricsRegistry`:
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
 from typing import Any
 
@@ -58,6 +59,10 @@ def _format_value(value: int | float) -> str:
 
 
 def _format_bound(bound: float) -> str:
+    # Prometheus spells the overflow bound "+Inf"; repr(inf) would
+    # render "inf", which scrapers reject.
+    if math.isinf(bound):
+        return "+Inf" if bound > 0 else "-Inf"
     return _format_value(bound)
 
 
@@ -69,9 +74,13 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         lines.append(f"# HELP {metric.name} {help_text}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, Histogram):
+            # An explicit +Inf bound in the bucket layout would collide
+            # with the implicit overflow line; render finite bounds only
+            # and let the overflow line carry the total.
+            finite_bounds = [b for b in metric.buckets if not math.isinf(b)]
             for key, state in sorted(metric.series().items()):
                 cumulative = state.cumulative()
-                for bound, count in zip(metric.buckets, cumulative):
+                for bound, count in zip(finite_bounds, cumulative):
                     labels = _format_labels(key, (("le", _format_bound(bound)),))
                     lines.append(f"{metric.name}_bucket{labels} {count}")
                 inf_labels = _format_labels(key, (("le", "+Inf"),))

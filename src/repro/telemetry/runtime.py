@@ -41,13 +41,17 @@ __all__ = [
 class TelemetryRuntime:
     """A registry + tracer + event log behind one enable switch."""
 
-    __slots__ = ("enabled", "registry", "tracer", "events")
+    __slots__ = ("enabled", "registry", "tracer", "events", "worker_profiles")
 
     def __init__(self, *, enabled: bool = False) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(registry=self.registry, enabled=enabled)
         self.events = EventLog(enabled=enabled)
+        #: Profile payloads merged in from worker processes
+        #: (:meth:`merge_worker_states`), consumed by
+        #: :meth:`repro.telemetry.profiling.Profiler.from_runtime`.
+        self.worker_profiles: list[dict] = []
 
     def configure(
         self,
@@ -78,6 +82,7 @@ class TelemetryRuntime:
         self.registry.reset()
         self.tracer.reset()
         self.events.reset()
+        self.worker_profiles.clear()
 
     # ------------------------------------------------------------------
     # Parallel-worker state transfer
@@ -86,15 +91,19 @@ class TelemetryRuntime:
         """Everything a worker process ships back to its parent.
 
         Metrics travel as a :func:`~repro.telemetry.export.metrics_snapshot`
-        document and events as the plain tail list -- both pure data, so
-        the payload pickles across the ``spawn`` process boundary.
+        document, events as the plain tail list, and the worker's span
+        profile as a :meth:`~repro.telemetry.profiling.Profiler.to_payload`
+        document -- all pure data, so the payload pickles across the
+        ``spawn`` process boundary.
         """
         from .export import metrics_snapshot
+        from .profiling import Profiler
 
         return {
             "worker": worker,
             "metrics": metrics_snapshot(self.registry),
             "events": self.events.tail(),
+            "profile": Profiler.from_tracer(self.tracer).to_payload(worker=worker),
         }
 
     def merge_worker_states(self, states: list[dict]) -> None:
@@ -111,6 +120,8 @@ class TelemetryRuntime:
         ):
             self.registry.merge_snapshot(state["metrics"])
             self.events.merge(state["events"], worker=state["worker"])
+            if state.get("profile") is not None:
+                self.worker_profiles.append(state["profile"])
 
 
 #: The singleton every instrumented module shares.  Mutated in place,

@@ -1,0 +1,182 @@
+"""Paper-drift audit tests: expectations loading, tolerance handling,
+artifact-mode skipping, and the `iotls check` exit-code contract."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis.drift import (
+    EXPECTATIONS_PATH,
+    DriftReport,
+    Expectation,
+    audit,
+    audit_capture,
+    load_expectations,
+    measure_capture,
+)
+from repro.cli import main
+from repro.longitudinal import PassiveTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def scale1_capture():
+    return PassiveTraceGenerator(scale=1).generate()
+
+
+def _cell(id="x", expected=1, tolerance=0.0, kind="count"):
+    return Expectation(
+        id=id, section="s", description="d", kind=kind, expected=expected, tolerance=tolerance
+    )
+
+
+class TestExpectations:
+    def test_packaged_file_loads(self):
+        cells = load_expectations()
+        assert EXPECTATIONS_PATH.exists()
+        assert len(cells) >= 40  # Tables 1-9 + Figures 1-5 coverage
+        ids = [cell.id for cell in cells]
+        assert len(ids) == len(set(ids))
+        # Every fraction cell needs slack; counts must be exact.
+        for cell in cells:
+            if cell.kind == "fraction":
+                assert cell.tolerance > 0, cell.id
+            else:
+                assert cell.tolerance == 0, cell.id
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/9", "cells": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_expectations(path)
+
+    def test_rejects_duplicate_ids(self, tmp_path):
+        cell = {"id": "a", "section": "s", "expected": 1}
+        path = tmp_path / "dup.json"
+        path.write_text(
+            json.dumps({"schema": "iotls-paper-expectations/1", "cells": [cell, cell]})
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            load_expectations(path)
+
+
+class TestTolerance:
+    def test_exact_match_required_without_tolerance(self):
+        assert _cell(expected=5).matches(5)
+        assert not _cell(expected=5).matches(6)
+
+    def test_tolerance_brackets_fractions(self):
+        cell = _cell(expected=0.165, tolerance=0.02, kind="fraction")
+        assert cell.matches(0.165)
+        assert cell.matches(0.184)
+        assert cell.matches(0.146)
+        assert not cell.matches(0.19)
+        assert not cell.matches(0.14)
+
+
+class TestAudit:
+    def test_statuses_and_report_shape(self):
+        cells = [_cell("hit", 1), _cell("miss", 1), _cell("absent", 1)]
+        report = audit(cells, {"hit": 1, "miss": 2})
+        by_id = {cell.expectation.id: cell for cell in report.cells}
+        assert by_id["hit"].status == "match"
+        assert by_id["miss"].status == "drift"
+        assert by_id["miss"].delta == 1
+        assert by_id["absent"].status == "skipped"
+        assert by_id["absent"].actual is None
+        assert not report.ok  # one drift fails the audit
+        document = report.to_dict()
+        assert document["summary"] == {
+            "cells": 3,
+            "matched": 1,
+            "drifted": 1,
+            "skipped": 1,
+        }
+        json.dumps(document)
+
+    def test_skipped_cells_do_not_fail(self):
+        report = audit([_cell("only", 1)], {})
+        assert report.ok
+        assert len(report.skipped) == 1
+
+    def test_render_marks_drift(self):
+        text = audit([_cell("bad", 1)], {"bad": 3}).render()
+        assert "DRIFT" in text
+        assert "1 drifted" in text
+
+
+class TestCaptureAudit:
+    def test_scale1_capture_measures_paper_counts(self, scale1_capture):
+        measured = measure_capture(scale1_capture)
+        assert measured["trace.devices"] == 40
+        assert measured["figure1.shown_devices"] == 12
+        assert measured["table8.never_checking_devices"] == 28
+
+    def test_capture_audit_passes_and_skips_campaign_cells(self, scale1_capture):
+        report = audit_capture(scale1_capture)
+        assert report.ok
+        assert len(report.matched) >= 13
+        skipped = {cell.expectation.id for cell in report.skipped}
+        assert "table7.vulnerable_devices" in skipped  # campaign-only cell
+
+
+class TestCheckCommand:
+    """The CLI exit-code contract on a freshly generated scale-1 run."""
+
+    @pytest.fixture(scope="class")
+    def trace_artifact(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("check") / "trace.json"
+        assert main(["trace", "--scale", "1", "--json", str(path)]) == 0
+        return path
+
+    def test_artifact_check_passes(self, trace_artifact, tmp_path, capsys):
+        drift_json = tmp_path / "drift.json"
+        status = main(
+            ["check", "--artifact", str(trace_artifact), "--json", str(drift_json)]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "no drift detected" in out
+        document = json.loads(drift_json.read_text())
+        assert document["ok"] is True
+        assert document["summary"]["drifted"] == 0
+
+    def test_perturbed_artifact_exits_nonzero_with_cell_report(
+        self, trace_artifact, tmp_path, capsys
+    ):
+        document = json.loads(trace_artifact.read_text())
+        # Silence one device entirely: its records vanish, dragging the
+        # device count and heatmap populations off the paper's values.
+        victim = document["records"][0]["device"]
+        document["records"] = [
+            record for record in document["records"] if record["device"] != victim
+        ]
+        perturbed = tmp_path / "perturbed.json"
+        perturbed.write_text(json.dumps(document))
+        status = main(["check", "--artifact", str(perturbed)])
+        captured = capsys.readouterr()
+        assert status == 1
+        assert "DRIFT" in captured.err
+        assert "trace.devices" in captured.err
+        assert "DRIFT" in captured.out  # per-cell table marks the rows
+
+    def test_fresh_run_check_passes(self, capsys):
+        status = main(["check", "--scale", "1"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "no drift detected" in out
+        assert "0 drifted, 0 skipped" in out  # fresh runs measure every cell
+
+    def test_unreadable_inputs_exit_2(self, trace_artifact, tmp_path, capsys):
+        assert main(["check", "--artifact", str(tmp_path / "absent.json")]) == 2
+        bad = tmp_path / "bad_expected.json"
+        bad.write_text(json.dumps({"schema": "wrong", "cells": []}))
+        assert (
+            main(
+                ["check", "--artifact", str(trace_artifact), "--expected", str(bad)]
+            )
+            == 2
+        )
+        capsys.readouterr()

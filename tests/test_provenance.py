@@ -1,0 +1,130 @@
+"""Run-manifest tests: digests, the deterministic metrics slice, and the
+worker-invariance guarantee (manifests byte-identical across --workers)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.telemetry import (
+    MANIFEST_SCHEMA,
+    MetricsRegistry,
+    artifact_digest,
+    build_manifest,
+    deterministic_metrics,
+    manifest_digest,
+    write_manifest,
+)
+from repro.telemetry.provenance import canonical_json, config_digest
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.configure(enabled=False)
+    yield
+    telemetry.configure(enabled=False)
+
+
+class TestArtifactDigest:
+    def test_identifies_by_basename_only(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        (tmp_path / "a" / "out.json").write_text("{}")
+        (tmp_path / "b" / "out.json").write_text("{}")
+        first = artifact_digest(tmp_path / "a" / "out.json")
+        second = artifact_digest(tmp_path / "b" / "out.json")
+        assert first == second  # directory must not leak into provenance
+        assert first["name"] == "out.json"
+        assert first["bytes"] == 2
+
+    def test_digest_tracks_content(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("one")
+        before = artifact_digest(path)["blake2s"]
+        path.write_text("two")
+        assert artifact_digest(path)["blake2s"] != before
+
+
+class TestDeterministicMetrics:
+    def test_keeps_counters_and_histogram_counts_only(self):
+        registry = MetricsRegistry()
+        registry.counter("iotls_handshakes_total").inc(3, state="established")
+        registry.gauge("iotls_trace_last_run_seconds").set(0.5)
+        registry.histogram("iotls_handshake_seconds").observe(0.001)
+        slice_ = deterministic_metrics(registry)
+        assert slice_["counters"]["iotls_handshakes_total"]["total"] == 3
+        assert "iotls_trace_last_run_seconds" not in str(slice_)  # gauges excluded
+        series = slice_["histogram_counts"]["iotls_handshake_seconds"]["series"]
+        assert series == [{"labels": {}, "count": 1}]
+        assert "sum" not in str(series)  # latency-dependent fields excluded
+
+    def test_span_duration_histogram_excluded(self):
+        registry = MetricsRegistry()
+        registry.histogram("iotls_span_duration_seconds").observe(0.5, span="x")
+        slice_ = deterministic_metrics(registry)
+        assert slice_["histogram_counts"] == {}
+
+
+class TestManifest:
+    def test_shape_and_digest_stability(self):
+        manifest = build_manifest("trace", params={"scale": 1, "seed": "s"})
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["determinism"]["workers_invariant"] is True
+        assert manifest["catalog"]["devices"] == 40
+        assert manifest_digest(manifest) == manifest_digest(
+            build_manifest("trace", params={"scale": 1, "seed": "s"})
+        )
+
+    def test_params_change_the_digest(self):
+        one = build_manifest("trace", params={"scale": 1, "seed": "s"})
+        two = build_manifest("trace", params={"scale": 2, "seed": "s"})
+        assert manifest_digest(one) != manifest_digest(two)
+        assert one["config"]["digest"] != two["config"]["digest"]
+
+    def test_config_digest_covers_version(self):
+        assert config_digest("trace", {}, "1.0.0") != config_digest("trace", {}, "1.0.1")
+
+    def test_written_bytes_are_the_digested_bytes(self, tmp_path):
+        manifest = build_manifest("pcap", params={"scale": 1, "limit": None})
+        path = write_manifest(manifest, tmp_path / "deep" / "manifest.json")
+        assert path.read_text() == canonical_json(manifest)
+        loaded = json.loads(path.read_text())
+        assert manifest_digest(loaded) == manifest_digest(manifest)
+
+
+class TestWorkerInvariance:
+    """The acceptance criterion: byte-identical manifests for workers 1/2/4."""
+
+    @pytest.mark.parametrize("workers", ["2", "4"])
+    def test_trace_manifest_byte_identical(self, tmp_path, workers, capsys):
+        manifests = {}
+        for n in ("1", workers):
+            out = tmp_path / f"w{n}"
+            status = main(
+                [
+                    "trace",
+                    "--scale",
+                    "1",
+                    "--seed",
+                    "manifest-invariance",
+                    "--workers",
+                    n,
+                    "--telemetry",
+                    "--manifest",
+                    str(out / "manifest.json"),
+                    "--json",
+                    str(out / "trace.json"),
+                ]
+            )
+            assert status == 0
+            manifests[n] = (out / "manifest.json").read_bytes()
+        capsys.readouterr()
+        assert manifests["1"] == manifests[workers]
+
+    def test_digest_always_printed_without_flag(self, capsys):
+        status = main(["trace", "--scale", "1", "--seed", "manifest-print"])
+        assert status == 0
+        assert "run manifest digest: " in capsys.readouterr().out

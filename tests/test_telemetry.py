@@ -284,9 +284,12 @@ def _populated_registry() -> MetricsRegistry:
 
 
 #: One Prometheus sample line: name, optional {labels}, numeric value.
+#: Label values may contain escaped quotes/backslashes/newlines (\" \\ \n).
+_LABEL_VALUE = r"\"(?:\\.|[^\"\\])*\""
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
-    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE
+    + r"(,[a-zA-Z_][a-zA-Z0-9_]*=" + _LABEL_VALUE + r")*\})?"
     r" [-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|Inf|NaN)$"
 )
 
@@ -324,6 +327,56 @@ class TestPrometheusExport:
         registry.counter("c_total").inc(device='Say "hi"\nnow')
         text = to_prometheus(registry)
         assert r'device="Say \"hi\"\nnow"' in text
+
+    def test_backslash_escaped_before_quotes_and_newlines(self):
+        # A literal backslash must become \\ and must not swallow the
+        # escapes of " and \n that follow it.
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(path='C:\\dir\n"x"')
+        text = to_prometheus(registry)
+        assert r'path="C:\\dir\n\"x\""' in text
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert _SAMPLE_RE.match(line), line
+
+    def test_explicit_inf_bucket_renders_single_overflow_line(self):
+        # A bucket layout that names +Inf explicitly must not produce a
+        # second le="+Inf" sample, and the bound must render as "+Inf"
+        # (repr(inf) would give "inf", which scrapers reject).
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.1, float("inf")))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = to_prometheus(registry)
+        assert text.count('le="+Inf"') == 1
+        assert 'le="inf"' not in text
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+        for line in text.strip().splitlines():
+            if not line.startswith("#"):
+                assert _SAMPLE_RE.match(line), line
+
+    def test_snapshot_roundtrip_over_full_catalog(self):
+        # Every metric the pipeline emits must survive
+        # snapshot -> merge_snapshot -> to_prometheus byte-for-byte:
+        # the shape workers use to ship telemetry home.
+        registry = MetricsRegistry()
+        registry.counter("iotls_handshakes_total").inc(3, state="established")
+        registry.counter("iotls_handshakes_total").inc(1, state="client_rejected")
+        registry.counter("iotls_capture_records_total").inc(40)
+        registry.counter("iotls_capture_connections_total").inc(700)
+        registry.counter("iotls_capture_revocation_events_total").inc(2, method="crl")
+        registry.counter("iotls_negotiated_versions_total").inc(5, version="TLS 1.2")
+        registry.counter("iotls_campaign_devices_total").inc(32)
+        registry.counter("iotls_probe_certificates_total").inc(9, outcome="present")
+        registry.gauge("iotls_trace_last_run_seconds").set(0.52)
+        registry.gauge("iotls_trace_records_per_second").set(7432.1)
+        registry.gauge("iotls_campaign_phase_seconds").set(0.2, phase="interception")
+        registry.histogram("iotls_handshake_seconds").observe(0.0001)
+        registry.histogram("iotls_span_duration_seconds").observe(0.5, span="trace.generate")
+        rebuilt = MetricsRegistry()
+        rebuilt.merge_snapshot(metrics_snapshot(registry))
+        assert to_prometheus(rebuilt) == to_prometheus(registry)
 
 
 class TestSnapshot:

@@ -1,21 +1,24 @@
-"""Tests for repository tooling (docs generation)."""
+"""Tests for repository tooling (docs generation, bench trajectory/gate)."""
 
 from __future__ import annotations
 
 import importlib.util
+import json
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
-def _load_generator():
-    spec = importlib.util.spec_from_file_location(
-        "generate_catalog_reference", REPO_ROOT / "tools" / "generate_catalog_reference.py"
-    )
+def _load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(name, REPO_ROOT / "tools" / f"{name}.py")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_generator():
+    return _load_tool("generate_catalog_reference")
 
 
 class TestCatalogReferenceGenerator:
@@ -45,3 +48,80 @@ class TestCatalogReferenceGenerator:
             "docs/catalog-reference.md is stale; rerun "
             "tools/generate_catalog_reference.py"
         )
+
+
+class TestBenchHistory:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        history = _load_tool("bench_history")
+        path = tmp_path / "BENCH_history.jsonl"
+        entry = history.append_history("bench_x", 1.23456, path=path, extra={"scale": 5})
+        assert entry["seconds"] == 1.2346
+        assert entry["scale"] == 5
+        assert isinstance(entry["host_cpu_count"], int)
+        history.append_history("bench_x", 2.0, path=path)
+        loaded = history.load_history(path)
+        assert [e["seconds"] for e in loaded] == [1.2346, 2.0]
+
+    def test_load_skips_torn_lines(self, tmp_path):
+        history = _load_tool("bench_history")
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"benchmark": "a", "seconds": 1.0}\n{"benchm\n\n')
+        assert [e["benchmark"] for e in history.load_history(path)] == ["a"]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        history = _load_tool("bench_history")
+        assert history.load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestBenchGate:
+    def _entries(self, *seconds, benchmark="b", cpus=4):
+        return [
+            {"benchmark": benchmark, "host_cpu_count": cpus, "seconds": s, "git_rev": f"r{i}"}
+            for i, s in enumerate(seconds)
+        ]
+
+    def test_regression_flagged_above_threshold(self):
+        gate = _load_tool("bench_gate").gate
+        verdicts = gate(self._entries(1.0, 1.1, 1.5))
+        assert len(verdicts) == 1
+        assert verdicts[0]["regressed"] is True
+        assert verdicts[0]["ratio"] == 1.5
+
+    def test_within_threshold_passes(self):
+        gate = _load_tool("bench_gate").gate
+        verdicts = gate(self._entries(1.0, 1.2))
+        assert verdicts[0]["regressed"] is False
+
+    def test_compares_against_best_prior_not_latest(self):
+        gate = _load_tool("bench_gate").gate
+        # Best prior is 1.0 (first run), not the slow 2.0 in between.
+        verdicts = gate(self._entries(1.0, 2.0, 1.4))
+        assert verdicts[0]["best_prior_seconds"] == 1.0
+        assert verdicts[0]["regressed"] is True
+
+    def test_different_host_shape_not_compared(self):
+        gate = _load_tool("bench_gate").gate
+        entries = self._entries(1.0, cpus=8) + self._entries(9.0, cpus=1)
+        assert gate(entries) == []
+
+    def test_single_run_yields_no_verdict(self):
+        gate = _load_tool("bench_gate").gate
+        assert gate(self._entries(1.0)) == []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        gate_mod = _load_tool("bench_gate")
+        path = tmp_path / "h.jsonl"
+        with path.open("w") as handle:
+            for entry in self._entries(1.0, 1.6):
+                handle.write(json.dumps(entry) + "\n")
+        argv = sys.argv
+        try:
+            sys.argv = ["bench_gate.py", "--history", str(path)]
+            assert gate_mod.main() == 1
+            sys.argv = ["bench_gate.py", "--history", str(path), "--warn-only"]
+            assert gate_mod.main() == 0
+            sys.argv = ["bench_gate.py", "--history", str(tmp_path / "none.jsonl")]
+            assert gate_mod.main() == 0
+        finally:
+            sys.argv = argv
+        assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Benchmark regression gate over the ``BENCH_history.jsonl`` trajectory.
+
+Compares each benchmark's latest run against the best (fastest) prior
+run recorded on a host with the same core count -- cross-host timings
+are not comparable, so entries from other host shapes are ignored.  A
+latest run slower than ``threshold`` x the best prior time (default
+1.25) is a regression.
+
+Exit codes: 0 = within threshold (or nothing to compare), 1 = at least
+one regression (``--warn-only`` downgrades this to 0 for advisory CI
+steps), 2 = usage error.
+
+Usage::
+
+    python tools/bench_gate.py [--history BENCH_history.jsonl] \
+        [--threshold 1.25] [--warn-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_history import HISTORY_FILENAME, load_history  # noqa: E402
+
+DEFAULT_THRESHOLD = 1.25
+
+
+def gate(entries: list[dict], *, threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
+    """Return one verdict per benchmark with >=2 comparable runs.
+
+    Each verdict carries the benchmark name, the latest and best-prior
+    seconds, the ratio, and ``regressed`` (ratio above ``threshold``).
+    """
+    by_benchmark: dict[str, list[dict]] = {}
+    for entry in entries:
+        if "benchmark" in entry and isinstance(entry.get("seconds"), (int, float)):
+            by_benchmark.setdefault(entry["benchmark"], []).append(entry)
+
+    verdicts = []
+    for benchmark, runs in sorted(by_benchmark.items()):
+        latest = runs[-1]
+        prior = [
+            run
+            for run in runs[:-1]
+            if run.get("host_cpu_count") == latest.get("host_cpu_count")
+        ]
+        if not prior:
+            continue
+        best = min(prior, key=lambda run: run["seconds"])
+        ratio = latest["seconds"] / best["seconds"] if best["seconds"] > 0 else 0.0
+        verdicts.append(
+            {
+                "benchmark": benchmark,
+                "latest_seconds": latest["seconds"],
+                "latest_rev": latest.get("git_rev", "unknown"),
+                "best_prior_seconds": best["seconds"],
+                "best_prior_rev": best.get("git_rev", "unknown"),
+                "ratio": round(ratio, 4),
+                "threshold": threshold,
+                "regressed": ratio > threshold,
+            }
+        )
+    return verdicts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--history",
+        default=str(Path(__file__).resolve().parents[1] / HISTORY_FILENAME),
+        help=f"trajectory file (default: repo-root {HISTORY_FILENAME})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="slowdown ratio above which the latest run regresses (default 1.25)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but exit 0 (advisory CI step)",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        print("error: --threshold must be positive", file=sys.stderr)
+        return 2
+
+    entries = load_history(args.history)
+    if not entries:
+        print(f"no benchmark history at {args.history}; nothing to gate")
+        return 0
+    verdicts = gate(entries, threshold=args.threshold)
+    if not verdicts:
+        print(
+            f"{len(entries)} history entries but no benchmark has a prior "
+            "same-host run; nothing to compare"
+        )
+        return 0
+
+    regressed = [verdict for verdict in verdicts if verdict["regressed"]]
+    for verdict in verdicts:
+        marker = "REGRESSION" if verdict["regressed"] else "ok"
+        print(
+            f"[{marker}] {verdict['benchmark']}: "
+            f"{verdict['latest_seconds']:.3f}s ({verdict['latest_rev']}) vs best "
+            f"{verdict['best_prior_seconds']:.3f}s ({verdict['best_prior_rev']}) "
+            f"-- {verdict['ratio']:.2f}x (threshold {verdict['threshold']:.2f}x)"
+        )
+    if regressed:
+        print(
+            f"\n{len(regressed)} benchmark(s) slower than "
+            f"{args.threshold:.2f}x their best same-host run",
+            file=sys.stderr,
+        )
+        return 0 if args.warn_only else 1
+    print(f"\nall {len(verdicts)} gated benchmark(s) within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

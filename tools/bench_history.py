@@ -1,0 +1,80 @@
+"""Shared benchmark-trajectory helpers: append/load ``BENCH_history.jsonl``.
+
+Every ``tools/bench_*.py`` run appends one JSON line per timing to the
+repo-root ``BENCH_history.jsonl``, so the repository accumulates a
+performance trajectory across commits -- date, git revision, host core
+count, and seconds.  ``tools/bench_gate.py`` reads the trajectory back
+and flags regressions against the best prior same-host run.
+
+The file is JSONL (one self-contained record per line) rather than a
+JSON array so appends are atomic and merge conflicts stay line-local.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from datetime import date
+from pathlib import Path
+from typing import Any
+
+__all__ = ["HISTORY_FILENAME", "append_history", "git_rev", "load_history"]
+
+HISTORY_FILENAME = "BENCH_history.jsonl"
+
+
+def git_rev(repo_root: str | Path | None = None) -> str:
+    """The current short git revision, or ``"unknown"`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=repo_root or Path(__file__).resolve().parents[1],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = completed.stdout.strip()
+    return rev if completed.returncode == 0 and rev else "unknown"
+
+
+def append_history(
+    benchmark: str,
+    seconds: float,
+    *,
+    path: str | Path | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Append one timing record to the trajectory and return it."""
+    entry: dict[str, Any] = {
+        "benchmark": benchmark,
+        "date": date.today().isoformat(),
+        "git_rev": git_rev(),
+        "host_cpu_count": os.cpu_count(),
+        "seconds": round(seconds, 4),
+    }
+    if extra:
+        entry.update(extra)
+    path = Path(path) if path else Path(__file__).resolve().parents[1] / HISTORY_FILENAME
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str | Path | None = None) -> list[dict[str, Any]]:
+    """Read the trajectory; missing file or malformed lines yield/skip."""
+    path = Path(path) if path else Path(__file__).resolve().parents[1] / HISTORY_FILENAME
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # a torn/conflicted line must not poison the gate
+    return entries

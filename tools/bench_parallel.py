@@ -3,7 +3,9 @@
 Runs the passive-trace generator at a benchmark scale once serially and
 once per requested worker count, verifies every parallel capture is
 record-identical to the serial one, and writes the timings, speedups,
-and host core count to ``BENCH_parallel.json`` at the repo root.
+and host core count to ``BENCH_parallel.json`` at the repo root.  Each
+timing is also appended to the ``BENCH_history.jsonl`` trajectory that
+``tools/bench_gate.py`` gates on.
 
 Usage::
 
@@ -16,9 +18,13 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 from datetime import date
 from pathlib import Path
 from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_history import append_history  # noqa: E402
 
 from repro.longitudinal import PassiveTraceGenerator
 
@@ -41,10 +47,18 @@ def main() -> int:
 
     serial_capture, serial_seconds = _timed_generate(args.scale, workers=1)
     print(f"serial: {serial_seconds:.2f}s ({len(serial_capture)} flow records)")
+    append_history(
+        "bench_parallel/serial", serial_seconds, extra={"scale": args.scale}
+    )
 
     runs = {}
     for workers in args.workers:
         capture, seconds = _timed_generate(args.scale, workers=workers)
+        append_history(
+            f"bench_parallel/workers{workers}",
+            seconds,
+            extra={"scale": args.scale},
+        )
         identical = (
             capture.records == serial_capture.records
             and capture.revocation_events == serial_capture.revocation_events
