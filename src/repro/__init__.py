@@ -30,6 +30,12 @@ def __getattr__(name):
         "PassiveTraceGenerator": ("repro.longitudinal", "PassiveTraceGenerator"),
         "build_catalog": ("repro.devices", "build_catalog"),
         "build_default_universe": ("repro.roothistory", "build_default_universe"),
+        "RunConfig": ("repro.api", "RunConfig"),
+        "run_trace": ("repro.api", "run_trace"),
+        "run_audit": ("repro.api", "run_audit"),
+        "run_probe": ("repro.api", "run_probe"),
+        "run_report": ("repro.api", "run_report"),
+        "run_pcap": ("repro.api", "run_pcap"),
     }
     if name in lazy:
         import importlib

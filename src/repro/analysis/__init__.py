@@ -6,24 +6,37 @@ from .attack_scaling import (
     TargetingOutcome,
     shared_risk_analysis,
 )
-from .comparison import PriorWorkComparison, compare_with_prior_work
-from .datasets import DatasetStatistics, dataset_statistics
+from .comparison import PriorWorkAccumulator, PriorWorkComparison, compare_with_prior_work
+from .datasets import (
+    DatasetStatistics,
+    DatasetStatisticsAccumulator,
+    dataset_statistics,
+)
 from .drift import (
     DriftReport,
     Expectation,
+    audit_artifact,
     audit_capture,
     audit_fresh_run,
     load_expectations,
     measure_all,
+    measure_analysis,
     measure_capture,
 )
 from .export import (
+    JsonlStreamWriter,
     campaign_to_dict,
+    campaign_to_document,
     capture_from_records,
+    capture_from_stream,
+    capture_to_document,
     capture_to_records,
+    fold_stream,
     probe_report_to_dict,
+    probe_report_to_document,
     write_json,
 )
+from .streaming import TraceAnalysis, TraceAnalysisPipeline, analyze_capture
 from .party_bias import (
     PartyBiasResult,
     devices_with_multiple_max_versions,
@@ -31,7 +44,7 @@ from .party_bias import (
 )
 from .poodle import PoodleExposure, assess_poodle_exposure
 from .updates import UpdateHygiene, update_vs_store_hygiene
-from .revocation import RevocationSummary, analyze_revocation
+from .revocation import RevocationAccumulator, RevocationSummary, analyze_revocation
 from .staleness import DeviceStaleness, distrusted_trusted_by, staleness_by_device
 from .tables import render_table, table1_rows, table3_rows
 
@@ -40,13 +53,20 @@ test_party_bias.__test__ = False  # type: ignore[attr-defined]
 
 __all__ = [
     "DatasetStatistics",
+    "DatasetStatisticsAccumulator",
     "DeviceStaleness",
     "DriftReport",
     "Expectation",
+    "JsonlStreamWriter",
+    "TraceAnalysis",
+    "TraceAnalysisPipeline",
+    "analyze_capture",
+    "audit_artifact",
     "audit_capture",
     "audit_fresh_run",
     "load_expectations",
     "measure_all",
+    "measure_analysis",
     "measure_capture",
     "FingerprintTargetedAttacker",
     "SharedRiskFinding",
@@ -56,19 +76,26 @@ __all__ = [
     "PoodleExposure",
     "UpdateHygiene",
     "capture_from_records",
+    "capture_from_stream",
+    "capture_to_document",
     "dataset_statistics",
     "devices_with_multiple_max_versions",
+    "fold_stream",
     "test_party_bias",
     "update_vs_store_hygiene",
+    "PriorWorkAccumulator",
     "PriorWorkComparison",
+    "RevocationAccumulator",
     "RevocationSummary",
     "analyze_revocation",
     "assess_poodle_exposure",
     "campaign_to_dict",
+    "campaign_to_document",
     "capture_to_records",
     "compare_with_prior_work",
     "distrusted_trusted_by",
     "probe_report_to_dict",
+    "probe_report_to_document",
     "render_table",
     "staleness_by_device",
     "table1_rows",

@@ -16,11 +16,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..testbed.capture import GatewayCapture
+from ..testbed.capture import GatewayCapture, TrafficRecord
 from ..tls.ciphersuites import BulkCipher
 from ..tls.versions import ProtocolVersion
 
-__all__ = ["PriorWorkComparison", "compare_with_prior_work"]
+__all__ = ["PriorWorkComparison", "PriorWorkAccumulator", "compare_with_prior_work"]
 
 
 @dataclass(frozen=True)
@@ -40,25 +40,42 @@ class PriorWorkComparison:
         )
 
 
+class PriorWorkAccumulator:
+    """Incremental late-window TLS 1.3 / RC4 advertisement tallies."""
+
+    def __init__(self, *, from_month: int = 18) -> None:
+        self.from_month = from_month
+        self._total = 0
+        self._tls13 = 0
+        self._rc4 = 0
+
+    def add(self, record: TrafficRecord) -> None:
+        if record.month < self.from_month:
+            return
+        self._total += record.count
+        if ProtocolVersion.TLS_1_3 in record.client_hello.advertised_versions():
+            self._tls13 += record.count
+        if any(
+            suite.cipher is BulkCipher.RC4_128
+            for suite in record.client_hello.cipher_suites()
+        ):
+            self._rc4 += record.count
+
+    def finalize(self) -> PriorWorkComparison:
+        if self._total == 0:
+            return PriorWorkComparison(tls13_fraction=0.0, rc4_fraction=0.0)
+        return PriorWorkComparison(
+            tls13_fraction=self._tls13 / self._total,
+            rc4_fraction=self._rc4 / self._total,
+        )
+
+
 def compare_with_prior_work(
     capture: GatewayCapture, *, from_month: int = 18
 ) -> PriorWorkComparison:
     """Compute the two aggregates over months >= ``from_month``
     (default 7/2019 onward, bracketing the cited measurement dates)."""
-    total = 0
-    tls13 = 0
-    rc4 = 0
-    for record in capture.records:
-        if record.month < from_month:
-            continue
-        total += record.count
-        versions = record.client_hello.advertised_versions()
-        if ProtocolVersion.TLS_1_3 in versions:
-            tls13 += record.count
-        if any(
-            suite.cipher is BulkCipher.RC4_128 for suite in record.client_hello.cipher_suites()
-        ):
-            rc4 += record.count
-    if total == 0:
-        return PriorWorkComparison(tls13_fraction=0.0, rc4_fraction=0.0)
-    return PriorWorkComparison(tls13_fraction=tls13 / total, rc4_fraction=rc4 / total)
+    accumulator = PriorWorkAccumulator(from_month=from_month)
+    for record in capture.iter_records():
+        accumulator.add(record)
+    return accumulator.finalize()

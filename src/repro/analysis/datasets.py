@@ -12,9 +12,14 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass
 
-from ..testbed.capture import GatewayCapture
+from ..testbed.capture import GatewayCapture, TrafficRecord
 
-__all__ = ["DatasetStatistics", "dataset_statistics", "PAPER_TOTAL_CONNECTIONS"]
+__all__ = [
+    "DatasetStatistics",
+    "DatasetStatisticsAccumulator",
+    "dataset_statistics",
+    "PAPER_TOTAL_CONNECTIONS",
+]
 
 PAPER_TOTAL_CONNECTIONS = 17_000_000
 PAPER_MEAN_PER_DEVICE = 422_000
@@ -56,21 +61,37 @@ class DatasetStatistics:
         )
 
 
-def dataset_statistics(capture: GatewayCapture) -> DatasetStatistics:
-    per_device: dict[str, int] = {}
-    device_months: dict[str, set[int]] = {}
-    for record in capture.records:
-        per_device[record.device] = per_device.get(record.device, 0) + record.count
-        device_months.setdefault(record.device, set()).add(record.month)
+class DatasetStatisticsAccumulator:
+    """Incremental §4.1 corpus statistics (count-weighted tallies)."""
 
-    counts = sorted(per_device.values())
-    month_counts = [len(months) for months in device_months.values()]
-    return DatasetStatistics(
-        total_connections=sum(counts),
-        device_count=len(per_device),
-        months_covered=len(capture.months()),
-        per_device_mean=statistics.mean(counts) if counts else 0.0,
-        per_device_median=statistics.median(counts) if counts else 0.0,
-        min_active_months=min(month_counts) if month_counts else 0,
-        devices_over_12_months=sum(1 for count in month_counts if count > 12),
-    )
+    def __init__(self) -> None:
+        self._per_device: dict[str, int] = {}
+        self._device_months: dict[str, set[int]] = {}
+        self._months: set[int] = set()
+
+    def add(self, record: TrafficRecord) -> None:
+        self._per_device[record.device] = (
+            self._per_device.get(record.device, 0) + record.count
+        )
+        self._device_months.setdefault(record.device, set()).add(record.month)
+        self._months.add(record.month)
+
+    def finalize(self) -> DatasetStatistics:
+        counts = sorted(self._per_device.values())
+        month_counts = [len(months) for months in self._device_months.values()]
+        return DatasetStatistics(
+            total_connections=sum(counts),
+            device_count=len(self._per_device),
+            months_covered=len(self._months),
+            per_device_mean=statistics.mean(counts) if counts else 0.0,
+            per_device_median=statistics.median(counts) if counts else 0.0,
+            min_active_months=min(month_counts) if month_counts else 0,
+            devices_over_12_months=sum(1 for count in month_counts if count > 12),
+        )
+
+
+def dataset_statistics(capture: GatewayCapture) -> DatasetStatistics:
+    accumulator = DatasetStatisticsAccumulator()
+    for record in capture.iter_records():
+        accumulator.add(record)
+    return accumulator.finalize()

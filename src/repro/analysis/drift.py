@@ -39,10 +39,12 @@ __all__ = [
     "Expectation",
     "EXPECTATIONS_PATH",
     "audit",
+    "audit_artifact",
     "audit_capture",
     "audit_fresh_run",
     "load_expectations",
     "measure_all",
+    "measure_analysis",
     "measure_capture",
 ]
 
@@ -208,37 +210,31 @@ def _slug(name: str) -> str:
 # ----------------------------------------------------------------------
 # Measurement
 # ----------------------------------------------------------------------
+def measure_analysis(analysis) -> dict[str, float | int]:
+    """The capture-derived cells, from a finalized
+    :class:`~repro.analysis.streaming.TraceAnalysis`."""
+    return {
+        "trace.devices": analysis.dataset.device_count,
+        "figure1.shown_devices": len(analysis.versions.shown_devices()),
+        "figure1.tls12_exclusive_devices": len(analysis.versions.hidden_devices()),
+        "figure2.insecure_advertisers": len(analysis.insecure.shown_devices()),
+        "figure2.clean_devices": len(analysis.insecure.hidden_devices()),
+        "figure3.always_forward_secret_devices": len(analysis.strong.hidden_devices()),
+        "adoption.events": len(analysis.adoption_events),
+        "table8.crl_devices": len(analysis.revocation.crl_devices),
+        "table8.ocsp_devices": len(analysis.revocation.ocsp_devices),
+        "table8.stapling_devices": len(analysis.revocation.stapling_devices),
+        "table8.never_checking_devices": len(analysis.revocation.non_checking_devices),
+        "comparison.tls13_fraction": analysis.comparison.tls13_fraction,
+        "comparison.rc4_fraction": analysis.comparison.rc4_fraction,
+    }
+
+
 def measure_capture(capture: GatewayCapture) -> dict[str, float | int]:
     """The capture-derived cells (Figures 1-3, Table 8, §5.1, adoption)."""
-    from ..longitudinal import (
-        build_insecure_advertised_heatmap,
-        build_strong_established_heatmap,
-        build_version_heatmap,
-        detect_adoption_events,
-    )
-    from .comparison import compare_with_prior_work
-    from .revocation import analyze_revocation
+    from .streaming import analyze_capture
 
-    versions = build_version_heatmap(capture)
-    insecure = build_insecure_advertised_heatmap(capture)
-    strong = build_strong_established_heatmap(capture)
-    revocation = analyze_revocation(capture)
-    comparison = compare_with_prior_work(capture)
-    return {
-        "trace.devices": len(capture.devices()),
-        "figure1.shown_devices": len(versions.shown_devices()),
-        "figure1.tls12_exclusive_devices": len(versions.hidden_devices()),
-        "figure2.insecure_advertisers": len(insecure.shown_devices()),
-        "figure2.clean_devices": len(insecure.hidden_devices()),
-        "figure3.always_forward_secret_devices": len(strong.hidden_devices()),
-        "adoption.events": len(detect_adoption_events(capture)),
-        "table8.crl_devices": len(revocation.crl_devices),
-        "table8.ocsp_devices": len(revocation.ocsp_devices),
-        "table8.stapling_devices": len(revocation.stapling_devices),
-        "table8.never_checking_devices": len(revocation.non_checking_devices),
-        "comparison.tls13_fraction": comparison.tls13_fraction,
-        "comparison.rc4_fraction": comparison.rc4_fraction,
-    }
+    return measure_analysis(analyze_capture(capture))
 
 
 def _measure_campaign(results, universe) -> dict[str, float | int]:
@@ -371,3 +367,32 @@ def audit_capture(
 ) -> DriftReport:
     """Audit an existing capture (``iotls check --artifact``)."""
     return audit(load_expectations(expectations_path), measure_capture(capture))
+
+
+def audit_artifact(
+    path: str | Path, *, expectations_path: str | Path | None = None
+) -> DriftReport:
+    """Audit an exported trace artifact (``iotls check --artifact``).
+
+    ``.jsonl`` artifacts (``iotls trace --stream-out``) are folded
+    line-by-line through the streaming analysis pipeline without ever
+    materialising the capture; anything else is read as a legacy
+    ``iotls trace --json`` document.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        from .export import fold_stream
+        from .streaming import TraceAnalysisPipeline
+
+        pipeline = TraceAnalysisPipeline()
+        fold_stream(path, pipeline)
+        return audit(
+            load_expectations(expectations_path),
+            measure_analysis(pipeline.finalize()),
+        )
+    from .export import capture_from_records
+
+    document = json.loads(path.read_text())
+    return audit_capture(
+        capture_from_records(document), expectations_path=expectations_path
+    )

@@ -5,71 +5,152 @@ longitudinal handshake data and controlled-experiment results; these
 exporters produce the equivalent machine-readable artifacts from a
 simulation run (capture summaries, audit results, probe reports), ready
 for downstream analysis outside this library.
+
+Two trace shapes are supported:
+
+* the **document** (``capture_to_document`` / ``capture_from_records``):
+  one JSON object holding every record -- simple, but materialises the
+  whole capture on both ends,
+* the **stream** (:class:`JsonlStreamWriter` / :func:`fold_stream`):
+  JSON Lines with one record per line, written incrementally by a
+  capture sink and replayed line-by-line into any other sink, so a
+  paper-scale artifact is produced and audited in bounded memory.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Any
 
 from ..core.audit import CampaignResults
 from ..core.prober import DeviceProbeReport, ProbeOutcome
 from ..mitm.proxy import AttackMode
-from ..testbed.capture import GatewayCapture
+from ..testbed.capture import GatewayCapture, RevocationEvent, TrafficRecord
 
 __all__ = [
+    "STREAM_SCHEMA",
+    "JsonlStreamWriter",
     "capture_from_records",
+    "capture_from_stream",
     "capture_to_document",
     "capture_to_records",
     "campaign_to_dict",
+    "campaign_to_document",
+    "fold_stream",
     "probe_report_to_dict",
+    "probe_report_to_document",
+    "record_from_dict",
+    "record_to_dict",
+    "revocation_event_from_dict",
+    "revocation_event_to_dict",
     "write_json",
 ]
 
+#: Schema tag on the header line of a streamed trace artifact.
+STREAM_SCHEMA = "iotls-trace-stream/1"
 
-def capture_to_records(capture: GatewayCapture) -> list[dict[str, Any]]:
-    """Flatten a capture into per-connection dictionaries (one per flow
-    record; ``count`` carries the batched connection multiplicity).
+
+# ----------------------------------------------------------------------
+# Per-record serialisation (shared by the document and stream shapes)
+# ----------------------------------------------------------------------
+def record_to_dict(record: TrafficRecord) -> dict[str, Any]:
+    """One flow record as a JSON-ready dictionary.
 
     ``client_hello_hex`` embeds the RFC-format encoding of the hello
-    (via :mod:`repro.tls.codec`), so :func:`capture_from_records` can
-    rebuild a byte-faithful capture -- the reproduction's equivalent of
+    (via :mod:`repro.tls.codec`), so :func:`record_from_dict` can
+    rebuild a byte-faithful record -- the reproduction's equivalent of
     the paper's published longitudinal handshake data.
     """
     from ..tls.codec import encode_client_hello
 
-    records = []
-    for record in capture.records:
-        records.append(
-            {
-                "device": record.device,
-                "hostname": record.hostname,
-                "client_hello_hex": encode_client_hello(
-                    record.client_hello,
-                    seed=f"{record.device}:{record.hostname}:{record.month}",
-                ).hex(),
-                "party": record.party.value,
-                "month": record.month,
-                "timestamp": record.when.isoformat(),
-                "advertised_max_version": record.advertised_max_version.label,
-                "advertised_ciphers": [s.name for s in record.client_hello.cipher_suites()],
-                "requests_ocsp_staple": record.requests_ocsp_staple,
-                "established": record.established,
-                "established_version": (
-                    record.established_version.label if record.established_version else None
-                ),
-                "established_cipher": (
-                    hex(record.established_cipher_code)
-                    if record.established_cipher_code is not None
-                    else None
-                ),
-                "client_alert": record.client_alert,
-                "downgraded": record.downgraded,
-                "count": record.count,
-            }
-        )
-    return records
+    return {
+        "device": record.device,
+        "hostname": record.hostname,
+        "client_hello_hex": encode_client_hello(
+            record.client_hello,
+            seed=f"{record.device}:{record.hostname}:{record.month}",
+        ).hex(),
+        "party": record.party.value,
+        "month": record.month,
+        "timestamp": record.when.isoformat(),
+        "advertised_max_version": record.advertised_max_version.label,
+        "advertised_ciphers": [s.name for s in record.client_hello.cipher_suites()],
+        "requests_ocsp_staple": record.requests_ocsp_staple,
+        "established": record.established,
+        "established_version": (
+            record.established_version.label if record.established_version else None
+        ),
+        "established_cipher": (
+            hex(record.established_cipher_code)
+            if record.established_cipher_code is not None
+            else None
+        ),
+        "client_alert": record.client_alert,
+        "downgraded": record.downgraded,
+        "count": record.count,
+    }
+
+
+def record_from_dict(entry: dict[str, Any]) -> TrafficRecord:
+    """Rebuild one flow record (the inverse of :func:`record_to_dict`)."""
+    from datetime import datetime
+
+    from ..devices.profile import Party
+    from ..tls.codec import decode_client_hello
+    from ..tls.versions import ProtocolVersion
+
+    by_label = {version.label: version for version in ProtocolVersion}
+    return TrafficRecord(
+        device=entry["device"],
+        hostname=entry["hostname"],
+        party=Party(entry["party"]),
+        month=entry["month"],
+        when=datetime.fromisoformat(entry["timestamp"]),
+        client_hello=decode_client_hello(bytes.fromhex(entry["client_hello_hex"])),
+        established=entry["established"],
+        established_version=(
+            by_label[entry["established_version"]]
+            if entry["established_version"]
+            else None
+        ),
+        established_cipher_code=(
+            int(entry["established_cipher"], 16) if entry["established_cipher"] else None
+        ),
+        client_alert=entry["client_alert"],
+        downgraded=entry["downgraded"],
+        count=entry["count"],
+    )
+
+
+def revocation_event_to_dict(event: RevocationEvent) -> dict[str, Any]:
+    return {
+        "device": event.device,
+        "method": event.method.value,
+        "url": event.url,
+        "month": event.month,
+    }
+
+
+def revocation_event_from_dict(entry: dict[str, Any]) -> RevocationEvent:
+    from ..pki.revocation import RevocationMethod
+
+    return RevocationEvent(
+        device=entry["device"],
+        method=RevocationMethod(entry["method"]),
+        url=entry["url"],
+        month=entry["month"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Document shape
+# ----------------------------------------------------------------------
+def capture_to_records(capture: GatewayCapture) -> list[dict[str, Any]]:
+    """Flatten a capture into per-connection dictionaries (one per flow
+    record; ``count`` carries the batched connection multiplicity)."""
+    return [record_to_dict(record) for record in capture.iter_records()]
 
 
 def capture_to_document(
@@ -88,18 +169,152 @@ def capture_to_document(
         "metadata": dict(metadata or {}),
         "records": capture_to_records(capture),
         "revocation_events": [
-            {
-                "device": event.device,
-                "method": event.method.value,
-                "url": event.url,
-                "month": event.month,
-            }
-            for event in capture.revocation_events
+            revocation_event_to_dict(event)
+            for event in capture.iter_revocation_events()
         ],
     }
 
 
-def probe_report_to_dict(report: DeviceProbeReport) -> dict[str, Any]:
+def capture_from_records(
+    records: list[dict[str, Any]] | dict[str, Any],
+) -> GatewayCapture:
+    """Rebuild a capture from exported per-connection dictionaries.
+
+    The inverse of :func:`capture_to_records`: hellos are decoded from
+    their embedded wire bytes, so every analysis (heatmaps, adoption
+    events, fingerprints, Table 8 stapling signals) runs identically on
+    a loaded capture.  Accepts either the bare record list or the
+    metadata-bearing document from :func:`capture_to_document`.
+    """
+    revocation_events: list[dict[str, Any]] = []
+    if isinstance(records, dict):
+        revocation_events = records.get("revocation_events", [])
+        records = records["records"]
+
+    capture = GatewayCapture()
+    for entry in records:
+        capture.add(record_from_dict(entry))
+    for entry in revocation_events:
+        capture.add_revocation_event(revocation_event_from_dict(entry))
+    return capture
+
+
+# ----------------------------------------------------------------------
+# Stream shape (JSON Lines)
+# ----------------------------------------------------------------------
+class JsonlStreamWriter:
+    """A capture sink that writes each record straight to a JSONL file.
+
+    Layout: a header line ``{"schema": ..., "metadata": ...}``, then one
+    ``{"record": ...}`` or ``{"revocation_event": ...}`` line per item
+    in arrival order, then a ``{"summary": ...}`` trailer on close.
+    Nothing is buffered beyond the open file handle, so the writer's
+    memory footprint is independent of trace size.
+    """
+
+    def __init__(self, path: str | Path, *, metadata: dict[str, Any] | None = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        self._records_seen = 0
+        self._connections_seen = 0
+        self._revocation_events_seen = 0
+        self._write({"schema": STREAM_SCHEMA, "metadata": dict(metadata or {})})
+
+    def _write(self, payload: dict[str, Any]) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+    # -- CaptureSink protocol ------------------------------------------
+    @property
+    def records_seen(self) -> int:
+        return self._records_seen
+
+    @property
+    def connections_seen(self) -> int:
+        return self._connections_seen
+
+    @property
+    def revocation_events_seen(self) -> int:
+        return self._revocation_events_seen
+
+    def add(self, record: TrafficRecord) -> None:
+        self._records_seen += 1
+        self._connections_seen += record.count
+        self._write({"record": record_to_dict(record)})
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        self._revocation_events_seen += 1
+        self._write({"revocation_event": revocation_event_to_dict(event)})
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._write(
+            {
+                "summary": {
+                    "flow_records": self._records_seen,
+                    "connections": self._connections_seen,
+                    "revocation_events": self._revocation_events_seen,
+                }
+            }
+        )
+        self._handle.close()
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def fold_stream(path: str | Path, sink) -> dict[str, Any]:
+    """Replay a streamed artifact line-by-line into a capture sink.
+
+    Returns the header's metadata.  The artifact is never materialised:
+    each line is decoded, fed to ``sink``, and dropped, so auditing a
+    paper-scale stream is O(1) in the artifact size (plus whatever state
+    the sink itself accumulates).
+    """
+    path = Path(path)
+    metadata: dict[str, Any] = {}
+    with path.open() as handle:
+        header = json.loads(next(handle))
+        if header.get("schema") != STREAM_SCHEMA:
+            raise ValueError(
+                f"unexpected stream schema {header.get('schema')!r}; "
+                f"wanted {STREAM_SCHEMA}"
+            )
+        metadata = header.get("metadata", {})
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            if "record" in payload:
+                sink.add(record_from_dict(payload["record"]))
+            elif "revocation_event" in payload:
+                sink.add_revocation_event(
+                    revocation_event_from_dict(payload["revocation_event"])
+                )
+            elif "summary" in payload:
+                continue
+            else:
+                raise ValueError(f"unrecognised stream line: {line[:80]}")
+    return metadata
+
+
+def capture_from_stream(path: str | Path) -> GatewayCapture:
+    """Materialise a streamed artifact back into a capture."""
+    capture = GatewayCapture()
+    fold_stream(path, capture)
+    return capture
+
+
+# ----------------------------------------------------------------------
+# Campaign / probe documents
+# ----------------------------------------------------------------------
+def probe_report_to_document(report: DeviceProbeReport) -> dict[str, Any]:
     def results(items):
         return [
             {
@@ -135,7 +350,7 @@ def probe_report_to_dict(report: DeviceProbeReport) -> dict[str, Any]:
     return payload
 
 
-def campaign_to_dict(results: CampaignResults) -> dict[str, Any]:
+def campaign_to_document(results: CampaignResults) -> dict[str, Any]:
     """The full active-experiment campaign as one JSON document."""
     return {
         "summary": {
@@ -180,7 +395,7 @@ def campaign_to_dict(results: CampaignResults) -> dict[str, Any]:
             {"device": support.device, "tls10": support.tls10, "tls11": support.tls11}
             for support in results.old_versions
         ],
-        "probes": [probe_report_to_dict(report) for report in results.probes],
+        "probes": [probe_report_to_document(report) for report in results.probes],
         "passthrough": [
             {
                 "device": outcome.device,
@@ -193,66 +408,26 @@ def campaign_to_dict(results: CampaignResults) -> dict[str, Any]:
     }
 
 
-def capture_from_records(
-    records: list[dict[str, Any]] | dict[str, Any],
-) -> GatewayCapture:
-    """Rebuild a capture from exported per-connection dictionaries.
+def probe_report_to_dict(report: DeviceProbeReport) -> dict[str, Any]:
+    """Deprecated alias of :func:`probe_report_to_document`."""
+    warnings.warn(
+        "probe_report_to_dict is deprecated; use probe_report_to_document "
+        "(the alias will be removed in a future release)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return probe_report_to_document(report)
 
-    The inverse of :func:`capture_to_records`: hellos are decoded from
-    their embedded wire bytes, so every analysis (heatmaps, adoption
-    events, fingerprints, Table 8 stapling signals) runs identically on
-    a loaded capture.  Accepts either the bare record list or the
-    metadata-bearing document from :func:`capture_to_document`.
-    """
-    from datetime import datetime
 
-    revocation_events: list[dict[str, Any]] = []
-    if isinstance(records, dict):
-        revocation_events = records.get("revocation_events", [])
-        records = records["records"]
-
-    from ..devices.profile import Party
-    from ..pki.revocation import RevocationMethod
-    from ..tls.codec import decode_client_hello
-    from ..tls.versions import ProtocolVersion
-    from ..testbed.capture import RevocationEvent, TrafficRecord
-
-    by_label = {version.label: version for version in ProtocolVersion}
-    capture = GatewayCapture()
-    for entry in records:
-        established_version = (
-            by_label[entry["established_version"]] if entry["established_version"] else None
-        )
-        capture.add(
-            TrafficRecord(
-                device=entry["device"],
-                hostname=entry["hostname"],
-                party=Party(entry["party"]),
-                month=entry["month"],
-                when=datetime.fromisoformat(entry["timestamp"]),
-                client_hello=decode_client_hello(bytes.fromhex(entry["client_hello_hex"])),
-                established=entry["established"],
-                established_version=established_version,
-                established_cipher_code=(
-                    int(entry["established_cipher"], 16)
-                    if entry["established_cipher"]
-                    else None
-                ),
-                client_alert=entry["client_alert"],
-                downgraded=entry["downgraded"],
-                count=entry["count"],
-            )
-        )
-    for entry in revocation_events:
-        capture.add_revocation_event(
-            RevocationEvent(
-                device=entry["device"],
-                method=RevocationMethod(entry["method"]),
-                url=entry["url"],
-                month=entry["month"],
-            )
-        )
-    return capture
+def campaign_to_dict(results: CampaignResults) -> dict[str, Any]:
+    """Deprecated alias of :func:`campaign_to_document`."""
+    warnings.warn(
+        "campaign_to_dict is deprecated; use campaign_to_document "
+        "(the alias will be removed in a future release)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return campaign_to_document(results)
 
 
 def write_json(payload: Any, path: str | Path) -> Path:

@@ -16,9 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..pki.revocation import RevocationMethod
-from ..testbed.capture import GatewayCapture
+from ..testbed.capture import GatewayCapture, RevocationEvent, TrafficRecord
 
-__all__ = ["RevocationSummary", "analyze_revocation"]
+__all__ = ["RevocationSummary", "RevocationAccumulator", "analyze_revocation"]
 
 
 @dataclass
@@ -51,26 +51,45 @@ class RevocationSummary:
         ]
 
 
+class RevocationAccumulator:
+    """Incremental Table 8 signal scanner (order-independent sets)."""
+
+    def __init__(self) -> None:
+        self._crl: set[str] = set()
+        self._ocsp: set[str] = set()
+        self._stapling: set[str] = set()
+        self._devices: set[str] = set()
+
+    def add(self, record: TrafficRecord) -> None:
+        self._devices.add(record.device)
+        if record.requests_ocsp_staple:
+            self._stapling.add(record.device)
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        if event.method is RevocationMethod.CRL:
+            self._crl.add(event.device)
+        elif event.method is RevocationMethod.OCSP:
+            self._ocsp.add(event.device)
+
+    def finalize(self) -> RevocationSummary:
+        summary = RevocationSummary()
+        summary.crl_devices = sorted(self._crl)
+        summary.ocsp_devices = sorted(self._ocsp)
+        summary.stapling_devices = sorted(self._stapling)
+        # Non-checkers are defined over devices seen in *traffic* --
+        # revocation events always accompany traffic, so this matches
+        # the batch pass over ``capture.devices()``.
+        summary.non_checking_devices = sorted(
+            self._devices - self._crl - self._ocsp - self._stapling
+        )
+        return summary
+
+
 def analyze_revocation(capture: GatewayCapture) -> RevocationSummary:
     """Scan a capture for the Table 8 revocation signals."""
-    summary = RevocationSummary()
-
-    crl: set[str] = set()
-    ocsp: set[str] = set()
-    for event in capture.revocation_events:
-        if event.method is RevocationMethod.CRL:
-            crl.add(event.device)
-        elif event.method is RevocationMethod.OCSP:
-            ocsp.add(event.device)
-
-    stapling: set[str] = set()
-    for record in capture.records:
-        if record.requests_ocsp_staple:
-            stapling.add(record.device)
-
-    all_devices = set(capture.devices())
-    summary.crl_devices = sorted(crl)
-    summary.ocsp_devices = sorted(ocsp)
-    summary.stapling_devices = sorted(stapling)
-    summary.non_checking_devices = sorted(all_devices - crl - ocsp - stapling)
-    return summary
+    accumulator = RevocationAccumulator()
+    for event in capture.iter_revocation_events():
+        accumulator.add_revocation_event(event)
+    for record in capture.iter_records():
+        accumulator.add(record)
+    return accumulator.finalize()

@@ -1,0 +1,122 @@
+"""Single-pass streaming analysis over a trace record stream.
+
+:class:`TraceAnalysisPipeline` is a :class:`~repro.testbed.capture.CaptureSink`
+that feeds every incremental accumulator in the analysis layer at once:
+the Figure 1 version heatmap, the Figure 2/3 fraction heatmaps, the
+Table 8 revocation scanner, the §4.1 dataset statistics and the prior-
+work comparison.  Its state is O(devices x months) integer tallies, so
+a paper-scale run (~17M connections) streams through it in bounded
+memory -- the records themselves are never materialised.
+
+``analyze_capture`` is the batch entry point: a one-pass fold of a
+materialised :class:`~repro.testbed.capture.GatewayCapture` through the
+same pipeline, which is how the legacy path and the streaming path stay
+equivalent by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..longitudinal.adoption import AdoptionEvent, detect_adoption_events_from_heatmaps
+from ..longitudinal.heatmaps import (
+    FractionHeatmap,
+    VersionHeatmap,
+    VersionHeatmapAccumulator,
+    insecure_advertised_accumulator,
+    strong_established_accumulator,
+)
+from ..testbed.capture import GatewayCapture, RevocationEvent, TrafficRecord
+from .comparison import PriorWorkAccumulator, PriorWorkComparison
+from .datasets import DatasetStatistics, DatasetStatisticsAccumulator
+from .revocation import RevocationAccumulator, RevocationSummary
+
+__all__ = ["TraceAnalysis", "TraceAnalysisPipeline", "analyze_capture"]
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """Every passive-trace analysis artifact, computed in one pass."""
+
+    versions: VersionHeatmap
+    insecure: FractionHeatmap
+    strong: FractionHeatmap
+    adoption_events: list[AdoptionEvent]
+    revocation: RevocationSummary
+    dataset: DatasetStatistics
+    comparison: PriorWorkComparison
+    flow_records: int
+    connections: int
+    revocation_event_count: int
+
+
+class TraceAnalysisPipeline:
+    """A CaptureSink folding the record stream into all accumulators."""
+
+    def __init__(self) -> None:
+        self._versions = VersionHeatmapAccumulator()
+        self._insecure = insecure_advertised_accumulator()
+        self._strong = strong_established_accumulator()
+        self._revocation = RevocationAccumulator()
+        self._dataset = DatasetStatisticsAccumulator()
+        self._comparison = PriorWorkAccumulator()
+        self._records_seen = 0
+        self._connections_seen = 0
+        self._revocation_events_seen = 0
+
+    # -- CaptureSink protocol ------------------------------------------
+    @property
+    def records_seen(self) -> int:
+        return self._records_seen
+
+    @property
+    def connections_seen(self) -> int:
+        return self._connections_seen
+
+    @property
+    def revocation_events_seen(self) -> int:
+        return self._revocation_events_seen
+
+    def add(self, record: TrafficRecord) -> None:
+        self._records_seen += 1
+        self._connections_seen += record.count
+        self._versions.add(record)
+        self._insecure.add(record)
+        self._strong.add(record)
+        self._revocation.add(record)
+        self._dataset.add(record)
+        self._comparison.add(record)
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        self._revocation_events_seen += 1
+        self._revocation.add_revocation_event(event)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> TraceAnalysis:
+        versions = self._versions.finalize()
+        insecure = self._insecure.finalize()
+        strong = self._strong.finalize()
+        return TraceAnalysis(
+            versions=versions,
+            insecure=insecure,
+            strong=strong,
+            adoption_events=detect_adoption_events_from_heatmaps(
+                versions, insecure, strong
+            ),
+            revocation=self._revocation.finalize(),
+            dataset=self._dataset.finalize(),
+            comparison=self._comparison.finalize(),
+            flow_records=self._records_seen,
+            connections=self._connections_seen,
+            revocation_event_count=self._revocation_events_seen,
+        )
+
+
+def analyze_capture(capture: GatewayCapture) -> TraceAnalysis:
+    """One-pass batch analysis of a materialised capture."""
+    pipeline = TraceAnalysisPipeline()
+    for record in capture.iter_records():
+        pipeline.add(record)
+    for event in capture.iter_revocation_events():
+        pipeline.add_revocation_event(event)
+    return pipeline.finalize()

@@ -1,0 +1,428 @@
+"""The unified run facade: one typed entry point per experiment.
+
+The CLI's subcommands (``iotls audit`` / ``trace`` / ``probe`` /
+``report`` / ``pcap``) are thin wrappers over this module.  Library
+consumers configure a run once (:class:`RunConfig`), call the matching
+``run_*`` function, and get back a typed result object carrying the
+experiment's artifacts plus the run's provenance manifest -- exactly
+the state the CLI renders, without any printing or process exit codes.
+
+Failure modes that the CLI turns into exit codes are typed exceptions
+here (:class:`UnknownDeviceError`, :class:`DeviceNotProbeableError`),
+so programmatic callers can branch on them.
+
+The passive trace runs in one of two modes:
+
+* **materialised** (the default): records accumulate in a
+  :class:`~repro.testbed.capture.GatewayCapture`, then every analysis
+  folds over it -- and :attr:`TraceResult.capture` holds the capture,
+* **streaming** (``RunConfig(stream=True)`` or a ``stream_path``): the
+  generator feeds each record straight into the incremental analysis
+  pipeline (and optionally a JSONL writer), so peak memory is bounded
+  by the accumulator state, independent of ``scale``.
+
+Both modes produce byte-identical run manifests: the analysis results
+are equal by construction (the batch path folds through the same
+accumulators) and the manifest's metrics slice only keeps deterministic
+series that both modes count identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from . import telemetry
+from .analysis.export import (
+    JsonlStreamWriter,
+    campaign_to_document,
+    capture_to_document,
+    probe_report_to_document,
+    write_json,
+)
+from .analysis.streaming import TraceAnalysis, TraceAnalysisPipeline, analyze_capture
+
+__all__ = [
+    "RunConfig",
+    "RunError",
+    "UnknownDeviceError",
+    "DeviceNotProbeableError",
+    "TraceResult",
+    "AuditResult",
+    "ProbeResult",
+    "ReportResult",
+    "PcapResult",
+    "run_trace",
+    "run_audit",
+    "run_probe",
+    "run_report",
+    "run_pcap",
+]
+
+
+# ----------------------------------------------------------------------
+# Configuration and errors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunConfig:
+    """Shared knobs for every experiment run.
+
+    Fields that a given ``run_*`` function does not use are ignored
+    (e.g. ``scale`` for :func:`run_audit`), so one config can drive a
+    whole session.
+    """
+
+    #: Connections per unit of destination weight per month.
+    scale: int = 40
+    #: Passive-trace generator seed (recorded in export metadata).
+    seed: str = "iotls-passive"
+    #: Worker processes for device sharding; output is identical for any N.
+    workers: int = 1
+    #: Enable the telemetry subsystem for this run.
+    telemetry: bool = False
+    #: Run the passive trace in streaming mode (bounded memory).
+    stream: bool = False
+    #: Maximum connections per emitted flow record (None = classic batching).
+    flow_cap: int | None = None
+    #: Include the audit campaign's passthrough pass.
+    include_passthrough: bool = True
+
+
+class RunError(Exception):
+    """Base class for typed run failures."""
+
+
+class UnknownDeviceError(RunError):
+    """The requested device is not in the Table 1 catalog."""
+
+    def __init__(self, device: str) -> None:
+        super().__init__(f"unknown device {device!r}")
+        self.device = device
+
+
+class DeviceNotProbeableError(RunError):
+    """The device exists but cannot be probed (§5.2 eligibility)."""
+
+    def __init__(self, device: str, reason: str) -> None:
+        super().__init__(f"{device} {reason}")
+        self.device = device
+        self.reason = reason
+
+
+# ----------------------------------------------------------------------
+# Result objects
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceResult:
+    """A passive-trace run: analyses, provenance, and exports."""
+
+    analysis: TraceAnalysis
+    #: The materialised capture; ``None`` for streaming runs.
+    capture: Any | None
+    manifest: dict[str, Any]
+    manifest_digest: str
+    artifacts: dict[str, Path] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """The full active-experiment campaign plus provenance."""
+
+    results: Any  # CampaignResults
+    manifest: dict[str, Any]
+    manifest_digest: str
+    artifacts: dict[str, Path] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One device's root-store probe (a Table 9 row)."""
+
+    device: str
+    report: Any  # DeviceProbeReport
+    #: Explicitly distrusted CAs the device still trusts (amenable runs).
+    distrusted_but_trusted: list[str] = field(default_factory=list)
+    artifacts: dict[str, Path] = field(default_factory=dict)
+
+    @property
+    def amenable(self) -> bool:
+        return self.report.calibration.amenable
+
+
+@dataclass(frozen=True)
+class ReportResult:
+    """A full markdown-report run."""
+
+    path: Path
+    results: Any  # CampaignResults
+    capture: Any  # GatewayCapture
+    manifest: dict[str, Any]
+    manifest_digest: str
+    artifacts: dict[str, Path] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PcapResult:
+    """A pcap export of the passive capture's ClientHellos."""
+
+    path: Path
+    packets_written: int
+    size_bytes: int
+    manifest: dict[str, Any]
+    manifest_digest: str
+    artifacts: dict[str, Path] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _configure_telemetry(config: RunConfig) -> None:
+    if config.telemetry:
+        telemetry.configure(enabled=True)
+
+
+def _build_manifest(
+    command: str, params: dict[str, Any], artifacts: dict[str, Path]
+) -> tuple[dict[str, Any], str]:
+    manifest = telemetry.build_manifest(
+        command,
+        params=params,
+        artifacts=artifacts or None,
+        registry=telemetry.get_registry() if telemetry.enabled() else None,
+    )
+    return manifest, telemetry.manifest_digest(manifest)
+
+
+def _trace_params(config: RunConfig) -> dict[str, Any]:
+    params: dict[str, Any] = {"scale": config.scale, "seed": config.seed}
+    if config.flow_cap is not None:
+        params["flow_cap"] = config.flow_cap
+    return params
+
+
+# ----------------------------------------------------------------------
+# Run functions
+# ----------------------------------------------------------------------
+def run_trace(
+    config: RunConfig = RunConfig(),
+    *,
+    json_path: str | Path | None = None,
+    stream_path: str | Path | None = None,
+) -> TraceResult:
+    """Generate the 27-month passive capture and run every analysis.
+
+    ``json_path`` exports the materialised document artifact;
+    ``stream_path`` exports the JSONL stream artifact (and implies
+    streaming mode, as does ``config.stream``).  The two exports are
+    mutually exclusive: a streaming run never materialises the capture
+    the document shape requires.
+    """
+    from .longitudinal import PassiveTraceGenerator
+    from .testbed.capture import CaptureTee
+
+    _configure_telemetry(config)
+    streaming = config.stream or stream_path is not None
+    if streaming and json_path is not None:
+        raise ValueError(
+            "streaming runs export JSONL via stream_path; "
+            "the JSON document export requires the materialised path"
+        )
+    generator = PassiveTraceGenerator(
+        scale=config.scale, seed=config.seed, flow_cap=config.flow_cap
+    )
+    artifacts: dict[str, Path] = {}
+    if streaming:
+        pipeline = TraceAnalysisPipeline()
+        writer = None
+        sinks: list[Any] = [pipeline]
+        if stream_path is not None:
+            metadata = {"generator": "iotls trace", **_trace_params(config)}
+            writer = JsonlStreamWriter(stream_path, metadata=metadata)
+            sinks.append(writer)
+        # The tee is the single counting stage of the chain: it observes
+        # post-flow-cap records exactly like the materialised path's
+        # terminal capture, which keeps the manifest metrics identical.
+        tee = CaptureTee(*sinks)
+        try:
+            generator.stream_into(tee, workers=config.workers)
+        finally:
+            if writer is not None:
+                writer.close()
+        analysis = pipeline.finalize()
+        capture = None
+        if writer is not None:
+            artifacts["records_jsonl"] = writer.path
+    else:
+        capture = generator.generate(workers=config.workers)
+        analysis = analyze_capture(capture)
+        if json_path is not None:
+            document = capture_to_document(
+                capture,
+                metadata={
+                    "generator": "iotls trace",
+                    "seed": config.seed,
+                    "scale": config.scale,
+                    **(
+                        {"flow_cap": config.flow_cap}
+                        if config.flow_cap is not None
+                        else {}
+                    ),
+                    "flow_records": analysis.flow_records,
+                    "connections": analysis.connections,
+                },
+            )
+            artifacts["records_json"] = write_json(document, json_path)
+    manifest, digest = _build_manifest("trace", _trace_params(config), artifacts)
+    return TraceResult(
+        analysis=analysis,
+        capture=capture,
+        manifest=manifest,
+        manifest_digest=digest,
+        artifacts=artifacts,
+    )
+
+
+def run_audit(
+    config: RunConfig = RunConfig(), *, json_path: str | Path | None = None
+) -> AuditResult:
+    """Run the full active-experiment campaign (Tables 5/6/7/9)."""
+    from .core import ActiveExperimentCampaign
+
+    _configure_telemetry(config)
+    results = ActiveExperimentCampaign().run(
+        include_passthrough=config.include_passthrough, workers=config.workers
+    )
+    artifacts: dict[str, Path] = {}
+    if json_path is not None:
+        artifacts["campaign_json"] = write_json(
+            campaign_to_document(results), json_path
+        )
+    manifest, digest = _build_manifest(
+        "audit", {"include_passthrough": config.include_passthrough}, artifacts
+    )
+    return AuditResult(
+        results=results, manifest=manifest, manifest_digest=digest, artifacts=artifacts
+    )
+
+
+def run_probe(
+    device: str,
+    config: RunConfig = RunConfig(),
+    *,
+    json_path: str | Path | None = None,
+) -> ProbeResult:
+    """Probe one device's root store (a Table 9 row).
+
+    Raises :class:`UnknownDeviceError` for names outside the catalog and
+    :class:`DeviceNotProbeableError` for devices the methodology cannot
+    probe (non-rebootable or passive-only).  A device that *can* be
+    probed but turns out non-amenable is a normal result
+    (``ProbeResult.amenable`` is False).
+    """
+    from .core import RootStoreProber
+    from .devices import device_by_name
+    from .testbed import Testbed
+
+    _configure_telemetry(config)
+    try:
+        profile = device_by_name(device)
+    except KeyError:
+        raise UnknownDeviceError(device) from None
+    if not profile.rebootable:
+        raise DeviceNotProbeableError(
+            profile.name, "is not suitable for repeated reboots"
+        )
+    if not profile.active:
+        raise DeviceNotProbeableError(
+            profile.name, "was passive-only (no active experiments)"
+        )
+    testbed = Testbed()
+    report = RootStoreProber(testbed).probe_device(testbed.device(profile))
+    distrusted: list[str] = []
+    artifacts: dict[str, Path] = {}
+    if report.calibration.amenable:
+        present = set(report.present_deprecated_names())
+        distrusted = [
+            record.name
+            for record in testbed.universe.distrusted_records()
+            if record.name in present
+        ]
+        if json_path is not None:
+            artifacts["probe_json"] = write_json(
+                probe_report_to_document(report), json_path
+            )
+    return ProbeResult(
+        device=profile.name,
+        report=report,
+        distrusted_but_trusted=distrusted,
+        artifacts=artifacts,
+    )
+
+
+def run_report(
+    config: RunConfig = RunConfig(),
+    *,
+    out: str | Path = "REPORT.md",
+    progress: Callable[[str], None] | None = None,
+) -> ReportResult:
+    """Run everything and write the full markdown report.
+
+    ``progress`` receives coarse phase announcements (the CLI prints
+    them); pass ``None`` for a silent run.
+    """
+    from .analysis.report import write_report
+    from .core import ActiveExperimentCampaign
+    from .longitudinal import PassiveTraceGenerator
+    from .testbed import Testbed
+
+    _configure_telemetry(config)
+    notify = progress or (lambda message: None)
+    testbed = Testbed()
+    notify("running active campaign...")
+    results = ActiveExperimentCampaign(testbed).run(workers=config.workers)
+    notify("generating passive trace...")
+    capture = PassiveTraceGenerator(
+        testbed, scale=config.scale, seed=config.seed
+    ).generate(workers=config.workers)
+    path = write_report(testbed, results, capture, out)
+    artifacts = {"report_md": path}
+    manifest, digest = _build_manifest("report", {"scale": config.scale}, artifacts)
+    return ReportResult(
+        path=path,
+        results=results,
+        capture=capture,
+        manifest=manifest,
+        manifest_digest=digest,
+        artifacts=artifacts,
+    )
+
+
+def run_pcap(
+    config: RunConfig = RunConfig(),
+    *,
+    out: str | Path = "iotls.pcap",
+    limit: int | None = None,
+) -> PcapResult:
+    """Export the passive capture's ClientHellos as a pcap file."""
+    from .longitudinal import PassiveTraceGenerator
+    from .testbed.pcap import write_pcap
+
+    _configure_telemetry(config)
+    capture = PassiveTraceGenerator(scale=config.scale, seed=config.seed).generate(
+        workers=config.workers
+    )
+    path = write_pcap(capture, out, limit=limit)
+    packets = limit if limit is not None else len(capture)
+    artifacts = {"pcap": path}
+    manifest, digest = _build_manifest(
+        "pcap", {"scale": config.scale, "limit": limit}, artifacts
+    )
+    return PcapResult(
+        path=path,
+        packets_written=min(packets, len(capture)),
+        size_bytes=path.stat().st_size,
+        manifest=manifest,
+        manifest_digest=digest,
+        artifacts=artifacts,
+    )

@@ -13,19 +13,19 @@ Subcommands map one-to-one onto the paper's experiments:
                       (drift report; non-zero exit on drift)
 * ``telemetry-demo`` -- exercise the telemetry subsystem end-to-end
 
-Every subcommand accepts ``--json PATH`` to export machine-readable
-results alongside the printed report, and ``--telemetry`` to enable the
-observability subsystem (:mod:`repro.telemetry`); ``audit``, ``trace``,
-``probe``, and ``report`` additionally accept ``--metrics-out PATH`` to
-write the run's metrics snapshot as JSON (implies ``--telemetry``).
-``audit``, ``trace``, ``report``, and ``pcap`` accept ``--workers N`` to
-shard device work across processes (:mod:`repro.parallel`); output is
-identical for any ``N``.  The same four commands always print a run
-manifest digest (:mod:`repro.telemetry.provenance`) and write the full
-manifest with ``--manifest PATH``; ``audit``, ``trace``, and ``report``
-accept ``--profile`` to print a hot-span table after the run
-(``--profile-out`` / ``--profile-stacks`` export the JSON profile and
-flamegraph-ready collapsed stacks).
+The experiment subcommands are thin wrappers over :mod:`repro.api`:
+each builds a :class:`repro.api.RunConfig`, calls the matching
+``run_*`` function, and renders the typed result.  Shared run flags
+(``--telemetry`` / ``--metrics-out`` / ``--workers`` / ``--manifest`` /
+``--profile*`` / ``--json``) are declared once by
+:func:`add_run_options` and read back via :func:`resolve_run_options`;
+the :data:`_RUN_OPTIONS` table is the single source of truth for which
+command supports which flag.
+
+``trace`` additionally supports the streaming pipeline: ``--stream``
+runs the analyses in bounded memory without materialising the capture,
+and ``--stream-out PATH`` exports the record stream as JSON Lines
+(consumable by ``iotls check --artifact PATH.jsonl``).
 """
 
 from __future__ import annotations
@@ -33,23 +33,139 @@ from __future__ import annotations
 import argparse
 import statistics
 import sys
+from dataclasses import dataclass
 from typing import Sequence
 
 from . import telemetry
-from .analysis import (
-    analyze_revocation,
-    compare_with_prior_work,
-    render_table,
-    table1_rows,
-)
-from .analysis.export import (
-    campaign_to_dict,
-    capture_to_document,
-    probe_report_to_dict,
-    write_json,
-)
+from .analysis import render_table, table1_rows
+from .analysis.export import write_json
 
-__all__ = ["main", "build_parser"]
+__all__ = [
+    "main",
+    "build_parser",
+    "add_run_options",
+    "resolve_run_options",
+    "RunOptions",
+]
+
+#: Which shared run flags each subcommand supports -- the one table the
+#: parser builder and option resolver both read.
+_RUN_OPTIONS: dict[str, frozenset[str]] = {
+    "audit": frozenset({"telemetry", "metrics", "workers", "manifest", "profile", "json"}),
+    "probe": frozenset({"telemetry", "metrics", "json"}),
+    "amenability": frozenset({"telemetry"}),
+    "trace": frozenset({"telemetry", "metrics", "workers", "manifest", "profile", "json"}),
+    "fingerprint": frozenset({"telemetry"}),
+    "devices": frozenset({"telemetry"}),
+    "report": frozenset({"telemetry", "metrics", "workers", "manifest", "profile"}),
+    "pcap": frozenset({"telemetry", "workers", "manifest"}),
+    "check": frozenset({"telemetry", "workers", "json"}),
+    "telemetry-demo": frozenset({"metrics"}),
+}
+
+#: Per-command ``--json`` help text (the flag means a different artifact
+#: for each command).
+_JSON_HELP = {
+    "audit": "export full results as JSON",
+    "probe": "export the probe report as JSON",
+    "trace": "export per-connection records as JSON",
+    "check": "export the drift report as JSON",
+}
+
+
+def add_run_options(parser: argparse.ArgumentParser, command: str) -> None:
+    """Attach the shared run flags ``command`` supports to ``parser``."""
+    supported = _RUN_OPTIONS[command]
+    if "telemetry" in supported:
+        parser.add_argument(
+            "--telemetry",
+            action="store_true",
+            help="enable the telemetry subsystem (metrics, spans, events)",
+        )
+    if "metrics" in supported:
+        parser.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            help="write the run's metrics snapshot as JSON (implies --telemetry)",
+        )
+    if "workers" in supported:
+        parser.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for device sharding (default 1 = in-process); "
+            "output is identical for any N",
+        )
+    if "manifest" in supported:
+        parser.add_argument(
+            "--manifest",
+            metavar="PATH",
+            help="write the run manifest (provenance document) as canonical JSON; "
+            "the manifest digest is always printed",
+        )
+    if "profile" in supported:
+        parser.add_argument(
+            "--profile",
+            action="store_true",
+            help="print a hot-span profile after the run (implies --telemetry)",
+        )
+        parser.add_argument(
+            "--profile-out",
+            metavar="PATH",
+            help="write the profile as JSON (implies --profile)",
+        )
+        parser.add_argument(
+            "--profile-stacks",
+            metavar="PATH",
+            help="write flamegraph-ready collapsed stacks (implies --profile)",
+        )
+    if "json" in supported:
+        parser.add_argument("--json", metavar="PATH", help=_JSON_HELP[command])
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """The resolved shared run flags for one invocation."""
+
+    command: str
+    telemetry: bool = False
+    metrics_out: str | None = None
+    workers: int = 1
+    manifest: str | None = None
+    profile: bool = False
+    profile_out: str | None = None
+    profile_stacks: str | None = None
+    json: str | None = None
+
+    @property
+    def profile_on(self) -> bool:
+        return bool(self.profile or self.profile_out or self.profile_stacks)
+
+    @property
+    def telemetry_on(self) -> bool:
+        return bool(
+            self.telemetry
+            or self.metrics_out is not None
+            or self.profile_on
+            or self.command == "telemetry-demo"
+        )
+
+
+def resolve_run_options(args: argparse.Namespace) -> RunOptions:
+    """Read the shared flags back off a parsed namespace (defaults for
+    flags the command does not declare)."""
+    return RunOptions(
+        command=args.command,
+        telemetry=bool(getattr(args, "telemetry", False)),
+        metrics_out=getattr(args, "metrics_out", None),
+        workers=getattr(args, "workers", 1),
+        manifest=getattr(args, "manifest", None),
+        profile=bool(getattr(args, "profile", False)),
+        profile_out=getattr(args, "profile_out", None),
+        profile_stacks=getattr(args, "profile_stacks", None),
+        json=getattr(args, "json", None),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,120 +173,75 @@ def build_parser() -> argparse.ArgumentParser:
         prog="iotls",
         description="IoTLS reproduction: TLS measurement experiments for consumer IoT devices",
     )
-    # Global observability flags, attached to every subcommand so they can
-    # appear after it (``iotls trace --telemetry``).
-    telemetry_flags = argparse.ArgumentParser(add_help=False)
-    telemetry_flags.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="enable the telemetry subsystem (metrics, spans, events)",
-    )
-    metrics_flags = argparse.ArgumentParser(add_help=False)
-    metrics_flags.add_argument(
-        "--metrics-out",
-        metavar="PATH",
-        help="write the run's metrics snapshot as JSON (implies --telemetry)",
-    )
-    workers_flags = argparse.ArgumentParser(add_help=False)
-    workers_flags.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes for device sharding (default 1 = in-process); "
-        "output is identical for any N",
-    )
-    manifest_flags = argparse.ArgumentParser(add_help=False)
-    manifest_flags.add_argument(
-        "--manifest",
-        metavar="PATH",
-        help="write the run manifest (provenance document) as canonical JSON; "
-        "the manifest digest is always printed",
-    )
-    profile_flags = argparse.ArgumentParser(add_help=False)
-    profile_flags.add_argument(
-        "--profile",
-        action="store_true",
-        help="print a hot-span profile after the run (implies --telemetry)",
-    )
-    profile_flags.add_argument(
-        "--profile-out",
-        metavar="PATH",
-        help="write the profile as JSON (implies --profile)",
-    )
-    profile_flags.add_argument(
-        "--profile-stacks",
-        metavar="PATH",
-        help="write flamegraph-ready collapsed stacks (implies --profile)",
-    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    audit = subparsers.add_parser(
-        "audit",
-        help="run the full active-experiment campaign",
-        parents=[telemetry_flags, metrics_flags, workers_flags, manifest_flags, profile_flags],
-    )
+    audit = subparsers.add_parser("audit", help="run the full active-experiment campaign")
     audit.add_argument("--no-passthrough", action="store_true", help="skip the passthrough pass")
-    audit.add_argument("--json", metavar="PATH", help="export full results as JSON")
+    add_run_options(audit, "audit")
 
-    probe = subparsers.add_parser(
-        "probe",
-        help="probe one device's root store",
-        parents=[telemetry_flags, metrics_flags],
-    )
+    probe = subparsers.add_parser("probe", help="probe one device's root store")
     probe.add_argument("device", help='device name, e.g. "LG TV"')
-    probe.add_argument("--json", metavar="PATH", help="export the probe report as JSON")
+    add_run_options(probe, "probe")
 
-    subparsers.add_parser(
-        "amenability",
-        help="survey library alert behaviour (Table 4)",
-        parents=[telemetry_flags],
+    amenability = subparsers.add_parser(
+        "amenability", help="survey library alert behaviour (Table 4)"
     )
+    add_run_options(amenability, "amenability")
 
-    trace = subparsers.add_parser(
-        "trace",
-        help="generate the 27-month passive capture",
-        parents=[telemetry_flags, metrics_flags, workers_flags, manifest_flags, profile_flags],
-    )
+    trace = subparsers.add_parser("trace", help="generate the 27-month passive capture")
     trace.add_argument("--scale", type=int, default=40, help="connections per weight-unit-month")
     trace.add_argument(
         "--seed",
         default="iotls-passive",
         help="generator seed (default iotls-passive); recorded in JSON metadata",
     )
-    trace.add_argument("--json", metavar="PATH", help="export per-connection records as JSON")
-
-    subparsers.add_parser(
-        "fingerprint",
-        help="shared-fingerprint analysis (Figure 5)",
-        parents=[telemetry_flags],
+    trace.add_argument(
+        "--stream",
+        action="store_true",
+        help="run the analyses in streaming mode (bounded memory; the capture "
+        "is never materialised, so --json is unavailable)",
     )
-
-    subparsers.add_parser(
-        "devices", help="list the device catalog (Table 1)", parents=[telemetry_flags]
+    trace.add_argument(
+        "--stream-out",
+        metavar="PATH",
+        help="export the record stream as JSON Lines (implies --stream); "
+        "audit it later with `iotls check --artifact PATH`",
     )
+    trace.add_argument(
+        "--flow-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="split batched flow records to at most N connections each "
+        "(record volume then tracks connection volume)",
+    )
+    add_run_options(trace, "trace")
+
+    fingerprint = subparsers.add_parser(
+        "fingerprint", help="shared-fingerprint analysis (Figure 5)"
+    )
+    add_run_options(fingerprint, "fingerprint")
+
+    devices = subparsers.add_parser("devices", help="list the device catalog (Table 1)")
+    add_run_options(devices, "devices")
 
     report = subparsers.add_parser(
-        "report",
-        help="run everything and write a full markdown report",
-        parents=[telemetry_flags, metrics_flags, workers_flags, manifest_flags, profile_flags],
+        "report", help="run everything and write a full markdown report"
     )
     report.add_argument("--out", default="REPORT.md", help="output path (default REPORT.md)")
     report.add_argument("--scale", type=int, default=40, help="passive-trace scale")
+    add_run_options(report, "report")
 
     pcap = subparsers.add_parser(
-        "pcap",
-        help="export the passive capture's ClientHellos as a pcap file",
-        parents=[telemetry_flags, workers_flags, manifest_flags],
+        "pcap", help="export the passive capture's ClientHellos as a pcap file"
     )
     pcap.add_argument("--out", default="iotls.pcap", help="output path (default iotls.pcap)")
     pcap.add_argument("--scale", type=int, default=10, help="passive-trace scale")
     pcap.add_argument("--limit", type=int, default=None, help="max packets")
+    add_run_options(pcap, "pcap")
 
     check = subparsers.add_parser(
-        "check",
-        help="audit the reproduction against the paper's published values",
-        parents=[telemetry_flags, workers_flags],
+        "check", help="audit the reproduction against the paper's published values"
     )
     check.add_argument(
         "--scale",
@@ -189,30 +260,40 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument(
         "--artifact",
         metavar="PATH",
-        help="audit a previously exported `iotls trace --json` artifact instead "
-        "of running fresh experiments (capture-derived cells only; the rest "
-        "are reported as skipped)",
+        help="audit a previously exported trace artifact (`iotls trace --json` "
+        "document or `--stream-out` JSONL stream) instead of running fresh "
+        "experiments (capture-derived cells only; the rest are reported as "
+        "skipped)",
     )
-    check.add_argument(
-        "--json", metavar="PATH", help="export the drift report as JSON"
-    )
+    add_run_options(check, "check")
 
     demo = subparsers.add_parser(
-        "telemetry-demo",
-        help="smoke-test the telemetry subsystem on a small trace",
-        parents=[metrics_flags],
+        "telemetry-demo", help="smoke-test the telemetry subsystem on a small trace"
     )
     demo.add_argument("--scale", type=int, default=2, help="passive-trace scale (default 2)")
+    add_run_options(demo, "telemetry-demo")
 
     return parser
 
 
-def _cmd_audit(args) -> int:
-    from .core import ActiveExperimentCampaign
+def _print_manifest(result, opts: RunOptions) -> None:
+    """Print the run's manifest digest; write the document with --manifest."""
+    print(f"\nrun manifest digest: {result.manifest_digest}")
+    if opts.manifest:
+        path = telemetry.write_manifest(result.manifest, opts.manifest)
+        print(f"wrote run manifest {path}")
 
-    results = ActiveExperimentCampaign().run(
-        include_passthrough=not args.no_passthrough, workers=args.workers
+
+def _cmd_audit(args, opts: RunOptions) -> int:
+    from . import api
+
+    result = api.run_audit(
+        api.RunConfig(
+            workers=opts.workers, include_passthrough=not args.no_passthrough
+        ),
+        json_path=opts.json,
     )
+    results = result.results
     rows = [
         report.table7_row()
         for report in results.interception
@@ -245,51 +326,39 @@ def _cmd_audit(args) -> int:
         extra = statistics.mean(outcome.extra_fraction for outcome in results.passthrough)
         print(f"passthrough: {extra:.1%} extra destinations, "
               f"{sum(o.new_validation_failures for o in results.passthrough)} new failures")
-    args._manifest_params = {"include_passthrough": not args.no_passthrough}
-    if args.json:
-        path = write_json(campaign_to_dict(results), args.json)
-        print(f"\nwrote {path}")
-        args._manifest_artifacts = {"campaign_json": path}
+    if "campaign_json" in result.artifacts:
+        print(f"\nwrote {result.artifacts['campaign_json']}")
+    _print_manifest(result, opts)
     return 0
 
 
-def _cmd_probe(args) -> int:
-    from .core import RootStoreProber
-    from .devices import device_by_name
-    from .testbed import Testbed
+def _cmd_probe(args, opts: RunOptions) -> int:
+    from . import api
 
     try:
-        profile = device_by_name(args.device)
-    except KeyError:
-        print(f"error: unknown device {args.device!r}; try `iotls devices`", file=sys.stderr)
+        result = api.run_probe(args.device, api.RunConfig(), json_path=opts.json)
+    except api.UnknownDeviceError as exc:
+        print(f"error: unknown device {exc.device!r}; try `iotls devices`", file=sys.stderr)
         return 2
-    testbed = Testbed()
-    if not profile.rebootable:
-        print(f"error: {profile.name} is not suitable for repeated reboots", file=sys.stderr)
+    except api.DeviceNotProbeableError as exc:
+        print(f"error: {exc.device} {exc.reason}", file=sys.stderr)
         return 2
-    if not profile.active:
-        print(f"error: {profile.name} was passive-only (no active experiments)", file=sys.stderr)
-        return 2
-    report = RootStoreProber(testbed).probe_device(testbed.device(profile))
-    if not report.calibration.amenable:
-        print(f"{profile.name} is not amenable: {report.calibration.reason}")
+    if not result.amenable:
+        print(f"{result.device} is not amenable: {result.report.calibration.reason}")
         return 1
-    name, common, deprecated = report.table9_row()
+    name, common, deprecated = result.report.table9_row()
     print(f"{name}: common {common}, deprecated {deprecated}")
-    distrusted = [
-        record.name
-        for record in testbed.universe.distrusted_records()
-        if record.name in set(report.present_deprecated_names())
-    ]
-    if distrusted:
-        print(f"explicitly distrusted CAs still trusted: {', '.join(distrusted)}")
-    if args.json:
-        path = write_json(probe_report_to_dict(report), args.json)
-        print(f"wrote {path}")
+    if result.distrusted_but_trusted:
+        print(
+            "explicitly distrusted CAs still trusted: "
+            f"{', '.join(result.distrusted_but_trusted)}"
+        )
+    if "probe_json" in result.artifacts:
+        print(f"wrote {result.artifacts['probe_json']}")
     return 0
 
 
-def _cmd_amenability(_args) -> int:
+def _cmd_amenability(_args, _opts: RunOptions) -> int:
     from .core import survey_all_libraries
 
     rows = [(*row.row(), "yes" if row.amenable else "no") for row in survey_all_libraries()]
@@ -297,56 +366,54 @@ def _cmd_amenability(_args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
-    from .longitudinal import (
-        PassiveTraceGenerator,
-        build_insecure_advertised_heatmap,
-        build_strong_established_heatmap,
-        build_version_heatmap,
-        detect_adoption_events,
-    )
+def _cmd_trace(args, opts: RunOptions) -> int:
+    from . import api
 
-    capture = PassiveTraceGenerator(scale=args.scale, seed=args.seed).generate(
-        workers=args.workers
+    streaming = bool(args.stream or args.stream_out)
+    if streaming and opts.json:
+        print(
+            "error: --stream/--stream-out and --json are mutually exclusive; "
+            "streaming runs export JSON Lines via --stream-out",
+            file=sys.stderr,
+        )
+        return 2
+    result = api.run_trace(
+        api.RunConfig(
+            scale=args.scale,
+            seed=args.seed,
+            workers=opts.workers,
+            stream=streaming,
+            flow_cap=args.flow_cap,
+        ),
+        json_path=opts.json,
+        stream_path=args.stream_out,
     )
-    total = sum(record.count for record in capture.records)
-    print(f"generated {total:,} connections ({len(capture)} flow records, "
-          f"{len(capture.devices())} devices)")
-    versions = build_version_heatmap(capture)
-    insecure = build_insecure_advertised_heatmap(capture)
-    strong = build_strong_established_heatmap(capture)
+    analysis = result.analysis
+    print(f"generated {analysis.connections:,} connections ({analysis.flow_records} flow records, "
+          f"{analysis.dataset.device_count} devices)")
+    versions, insecure, strong = analysis.versions, analysis.insecure, analysis.strong
     print(f"Figure 1: {len(versions.shown_devices())} devices shown, "
           f"{len(versions.hidden_devices())} TLS1.2-exclusive")
     print(f"Figure 2: {len(insecure.shown_devices())} insecure-advertisers, "
           f"{len(insecure.hidden_devices())} clean")
     print(f"Figure 3: {len(strong.hidden_devices())} always-forward-secret devices")
     print("adoption events:")
-    for event in detect_adoption_events(capture):
+    for event in analysis.adoption_events:
         print(f"  {event.describe()}")
-    summary = analyze_revocation(capture)
+    summary = analysis.revocation
     print(f"Table 8: CRL {len(summary.crl_devices)}, OCSP {len(summary.ocsp_devices)}, "
           f"stapling {len(summary.stapling_devices)}, "
           f"never {len(summary.non_checking_devices)}")
-    print(compare_with_prior_work(capture).summary())
-    args._manifest_params = {"scale": args.scale, "seed": args.seed}
-    if args.json:
-        document = capture_to_document(
-            capture,
-            metadata={
-                "generator": "iotls trace",
-                "seed": args.seed,
-                "scale": args.scale,
-                "flow_records": len(capture.records),
-                "connections": total,
-            },
-        )
-        path = write_json(document, args.json)
-        print(f"wrote {path}")
-        args._manifest_artifacts = {"records_json": path}
+    print(analysis.comparison.summary())
+    if "records_json" in result.artifacts:
+        print(f"wrote {result.artifacts['records_json']}")
+    if "records_jsonl" in result.artifacts:
+        print(f"wrote {result.artifacts['records_jsonl']}")
+    _print_manifest(result, opts)
     return 0
 
 
-def _cmd_fingerprint(_args) -> int:
+def _cmd_fingerprint(_args, _opts: RunOptions) -> int:
     from .fingerprint import (
         build_reference_database,
         build_shared_graph,
@@ -368,79 +435,67 @@ def _cmd_fingerprint(_args) -> int:
     return 0
 
 
-def _cmd_devices(_args) -> int:
+def _cmd_devices(_args, _opts: RunOptions) -> int:
     print(render_table(["Category", "Device", "Passive-only"], table1_rows()))
     return 0
 
 
-def _cmd_report(args) -> int:
-    from .analysis.report import write_report
-    from .core import ActiveExperimentCampaign
-    from .longitudinal import PassiveTraceGenerator
-    from .testbed import Testbed
+def _cmd_report(args, opts: RunOptions) -> int:
+    from . import api
 
-    testbed = Testbed()
-    print("running active campaign...")
-    results = ActiveExperimentCampaign(testbed).run(workers=args.workers)
-    print("generating passive trace...")
-    capture = PassiveTraceGenerator(testbed, scale=args.scale).generate(workers=args.workers)
-    path = write_report(testbed, results, capture, args.out)
-    print(f"wrote {path}")
-    args._manifest_params = {"scale": args.scale}
-    args._manifest_artifacts = {"report_md": path}
+    result = api.run_report(
+        api.RunConfig(scale=args.scale, workers=opts.workers),
+        out=args.out,
+        progress=print,
+    )
+    print(f"wrote {result.path}")
+    _print_manifest(result, opts)
     return 0
 
 
-def _cmd_pcap(args) -> int:
-    from .longitudinal import PassiveTraceGenerator
-    from .testbed.pcap import write_pcap
+def _cmd_pcap(args, opts: RunOptions) -> int:
+    from . import api
 
-    capture = PassiveTraceGenerator(scale=args.scale).generate(workers=args.workers)
-    path = write_pcap(capture, args.out, limit=args.limit)
-    packets = args.limit if args.limit is not None else len(capture)
-    print(f"wrote {min(packets, len(capture))} packets to {path} "
-          f"({path.stat().st_size:,} bytes)")
-    args._manifest_params = {"scale": args.scale, "limit": args.limit}
-    args._manifest_artifacts = {"pcap": path}
+    result = api.run_pcap(
+        api.RunConfig(scale=args.scale, workers=opts.workers),
+        out=args.out,
+        limit=args.limit,
+    )
+    print(f"wrote {result.packets_written} packets to {result.path} "
+          f"({result.size_bytes:,} bytes)")
+    _print_manifest(result, opts)
     return 0
 
 
-def _cmd_check(args) -> int:
+def _cmd_check(args, opts: RunOptions) -> int:
     """Audit the reproduction against the paper's published values.
 
     Exit codes: 0 = no drift, 1 = drift detected, 2 = usage error
     (unreadable artifact or expectations file).
     """
-    import json as _json
-    from pathlib import Path
-
-    from .analysis.drift import audit_capture, audit_fresh_run
+    from .analysis.drift import audit_artifact, audit_fresh_run
 
     try:
         if args.artifact:
-            from .analysis.export import capture_from_records
-
-            document = _json.loads(Path(args.artifact).read_text())
-            capture = capture_from_records(document)
             print(f"auditing artifact {args.artifact} (capture-derived cells only)\n")
-            report = audit_capture(capture, expectations_path=args.expected)
+            report = audit_artifact(args.artifact, expectations_path=args.expected)
         else:
             print(
                 f"auditing fresh run (scale {args.scale}, seed {args.seed!r}, "
-                f"workers {args.workers})...\n"
+                f"workers {opts.workers})...\n"
             )
             report = audit_fresh_run(
                 scale=args.scale,
                 seed=args.seed,
-                workers=args.workers,
+                workers=opts.workers,
                 expectations_path=args.expected,
             )
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
-    if args.json:
-        path = write_json(report.to_dict(), args.json)
+    if opts.json:
+        path = write_json(report.to_dict(), opts.json)
         print(f"\nwrote drift report {path}")
     if not report.ok:
         cells = ", ".join(cell.expectation.id for cell in report.drifted)
@@ -450,7 +505,7 @@ def _cmd_check(args) -> int:
     return 0
 
 
-def _cmd_telemetry_demo(args) -> int:
+def _cmd_telemetry_demo(args, _opts: RunOptions) -> int:
     """Exercise metrics, spans, and events end-to-end on a small trace."""
     from .longitudinal import PassiveTraceGenerator
     from .telemetry import to_prometheus
@@ -487,25 +542,8 @@ _COMMANDS = {
     "telemetry-demo": _cmd_telemetry_demo,
 }
 
-#: Commands whose runs always emit a provenance manifest digest.
-_MANIFEST_COMMANDS = frozenset({"audit", "trace", "report", "pcap"})
 
-
-def _emit_manifest(args) -> None:
-    """Print the run's manifest digest; write the document with --manifest."""
-    manifest = telemetry.build_manifest(
-        args.command,
-        params=getattr(args, "_manifest_params", {}),
-        artifacts=getattr(args, "_manifest_artifacts", None),
-        registry=telemetry.get_registry() if telemetry.enabled() else None,
-    )
-    print(f"\nrun manifest digest: {telemetry.manifest_digest(manifest)}")
-    if args.manifest:
-        path = telemetry.write_manifest(manifest, args.manifest)
-        print(f"wrote run manifest {path}")
-
-
-def _emit_profile(args) -> int:
+def _emit_profile(opts: RunOptions) -> int:
     """Render/export the run's span profile.  Returns 1 if no spans."""
     from pathlib import Path
 
@@ -514,11 +552,11 @@ def _emit_profile(args) -> int:
     profiler = Profiler.from_runtime(telemetry.get())
     print("\nhot spans:")
     print(render_hot_table(profiler))
-    if args.profile_out:
-        path = write_json(profiler.to_dict(), args.profile_out)
+    if opts.profile_out:
+        path = write_json(profiler.to_dict(), opts.profile_out)
         print(f"wrote profile {path}")
-    if args.profile_stacks:
-        path = Path(args.profile_stacks)
+    if opts.profile_stacks:
+        path = Path(opts.profile_stacks)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(profiler.collapsed_stacks())
         print(f"wrote collapsed stacks {path}")
@@ -527,35 +565,22 @@ def _emit_profile(args) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    metrics_out = getattr(args, "metrics_out", None)
-    profile_on = bool(
-        getattr(args, "profile", False)
-        or getattr(args, "profile_out", None)
-        or getattr(args, "profile_stacks", None)
-    )
-    telemetry_on = (
-        bool(getattr(args, "telemetry", False))
-        or metrics_out is not None
-        or profile_on
-        or args.command == "telemetry-demo"
-    )
-    if telemetry_on:
+    opts = resolve_run_options(args)
+    if opts.telemetry_on:
         telemetry.configure(enabled=True)
-    status = _COMMANDS[args.command](args)
-    if status == 0 and args.command in _MANIFEST_COMMANDS:
-        _emit_manifest(args)
-    if telemetry_on:
+    status = _COMMANDS[args.command](args, opts)
+    if opts.telemetry_on:
         registry = telemetry.get_registry()
-        if metrics_out is not None:
+        if opts.metrics_out is not None:
             path = telemetry.write_snapshot(
-                registry, metrics_out, extra={"command": args.command}
+                registry, opts.metrics_out, extra={"command": args.command}
             )
             print(f"wrote metrics snapshot {path}")
         if args.command != "telemetry-demo":
             print("\ntelemetry summary:")
             print(telemetry.summary_table(registry))
-    if status == 0 and profile_on:
-        status = _emit_profile(args)
+    if status == 0 and opts.profile_on:
+        status = _emit_profile(opts)
     return status
 
 

@@ -1,14 +1,25 @@
 """Longitudinal passive-trace generation and monthly analyses."""
 
-from .adoption import AdoptionEvent, AdoptionKind, detect_adoption_events, month_label
+from .adoption import (
+    AdoptionEvent,
+    AdoptionKind,
+    detect_adoption_events,
+    detect_adoption_events_from_heatmaps,
+    month_label,
+)
 from .generator import DEFAULT_SCALE, PassiveTraceGenerator
 from .heatmaps import (
     DeviceMonthSeries,
     FractionHeatmap,
+    FractionHeatmapAccumulator,
+    FractionSeriesAccumulator,
     VersionHeatmap,
+    VersionHeatmapAccumulator,
     build_insecure_advertised_heatmap,
     build_strong_established_heatmap,
     build_version_heatmap,
+    insecure_advertised_accumulator,
+    strong_established_accumulator,
 )
 
 __all__ = [
@@ -17,11 +28,17 @@ __all__ = [
     "DEFAULT_SCALE",
     "DeviceMonthSeries",
     "FractionHeatmap",
+    "FractionHeatmapAccumulator",
+    "FractionSeriesAccumulator",
     "PassiveTraceGenerator",
     "VersionHeatmap",
+    "VersionHeatmapAccumulator",
     "build_insecure_advertised_heatmap",
     "build_strong_established_heatmap",
     "build_version_heatmap",
     "detect_adoption_events",
+    "detect_adoption_events_from_heatmaps",
+    "insecure_advertised_accumulator",
     "month_label",
+    "strong_established_accumulator",
 ]

@@ -17,12 +17,20 @@ from ..testbed.capture import GatewayCapture
 from ..tls.versions import VersionBand
 from .heatmaps import (
     DeviceMonthSeries,
+    FractionHeatmap,
+    VersionHeatmap,
     build_insecure_advertised_heatmap,
     build_strong_established_heatmap,
     build_version_heatmap,
 )
 
-__all__ = ["AdoptionKind", "AdoptionEvent", "detect_adoption_events", "month_label"]
+__all__ = [
+    "AdoptionKind",
+    "AdoptionEvent",
+    "detect_adoption_events",
+    "detect_adoption_events_from_heatmaps",
+    "month_label",
+]
 
 _CROSS = 0.5  # a change of majority behaviour
 # Hysteresis: monthly connection mixes jitter, so an adoption event must
@@ -89,9 +97,26 @@ def _sustained_crossing(series: DeviceMonthSeries, *, rising: bool) -> int | Non
 
 def detect_adoption_events(capture: GatewayCapture) -> list[AdoptionEvent]:
     """All sustained majority-behaviour changes in the capture."""
+    return detect_adoption_events_from_heatmaps(
+        build_version_heatmap(capture),
+        build_insecure_advertised_heatmap(capture),
+        build_strong_established_heatmap(capture),
+    )
+
+
+def detect_adoption_events_from_heatmaps(
+    versions: VersionHeatmap,
+    insecure: FractionHeatmap,
+    strong: FractionHeatmap,
+) -> list[AdoptionEvent]:
+    """Detect events from already-built heatmaps.
+
+    The streaming pipeline builds all three heatmaps incrementally and
+    finalizes them once; this entry point lets it share the detection
+    logic without re-materialising the capture.
+    """
     events: list[AdoptionEvent] = []
 
-    versions = build_version_heatmap(capture)
     for device, series in versions.advertised[VersionBand.TLS_1_3].items():
         month = _sustained_crossing(series, rising=True)
         if month is not None:
@@ -103,7 +128,6 @@ def detect_adoption_events(capture: GatewayCapture) -> list[AdoptionEvent]:
         ):
             events.append(AdoptionEvent(device, AdoptionKind.TLS12_ADOPTED, month))
 
-    insecure = build_insecure_advertised_heatmap(capture)
     for device, series in insecure.series.items():
         month = _sustained_crossing(series, rising=False)
         if month is not None:
@@ -112,7 +136,6 @@ def detect_adoption_events(capture: GatewayCapture) -> list[AdoptionEvent]:
         if month_up is not None:
             events.append(AdoptionEvent(device, AdoptionKind.WEAK_CIPHERS_ADDED, month_up))
 
-    strong = build_strong_established_heatmap(capture)
     for device, series in strong.series.items():
         month = _sustained_crossing(series, rising=True)
         if month is not None:

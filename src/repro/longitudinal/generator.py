@@ -24,7 +24,13 @@ from ..devices.device import Device
 from ..devices.profile import STUDY_MONTHS, DestinationSpec, DeviceProfile, month_to_date
 from ..pki.revocation import RevocationMethod
 from ..roothistory.universe import RootStoreUniverse
-from ..testbed.capture import GatewayCapture, RevocationEvent, TrafficRecord
+from ..testbed.capture import (
+    CaptureSink,
+    FlowRecordChunker,
+    GatewayCapture,
+    RevocationEvent,
+    TrafficRecord,
+)
 from ..testbed.infrastructure import Testbed
 
 __all__ = ["PassiveTraceGenerator", "DEFAULT_SCALE"]
@@ -44,10 +50,20 @@ class PassiveTraceGenerator:
         *,
         scale: int = DEFAULT_SCALE,
         seed: str = "iotls-passive",
+        flow_cap: int | None = None,
     ) -> None:
+        if flow_cap is not None and flow_cap < 1:
+            raise ValueError(f"flow_cap must be >= 1 or None, got {flow_cap}")
         self.testbed = testbed or Testbed()
         self.scale = scale
         self.seed = seed
+        #: Maximum connections per emitted flow record.  ``None`` keeps
+        #: the classic batching (one record per device/destination/month
+        #: handshake attempt); a cap splits batched flows via
+        #: :class:`~repro.testbed.capture.FlowRecordChunker` so record
+        #: volume tracks connection volume -- the paper-scale axis the
+        #: streaming path is built for.
+        self.flow_cap = flow_cap
 
     # ------------------------------------------------------------------
     def _flow_count(self, device: str, hostname: str, month: int, weight: float) -> int:
@@ -62,7 +78,7 @@ class PassiveTraceGenerator:
         return first <= month <= last
 
     # ------------------------------------------------------------------
-    def generate_device(self, profile: DeviceProfile, capture: GatewayCapture) -> None:
+    def generate_device(self, profile: DeviceProfile, capture: CaptureSink) -> None:
         device = self.testbed.device(profile)
         window = profile.longitudinal
         telemetry_on = _TELEMETRY.enabled
@@ -106,7 +122,7 @@ class PassiveTraceGenerator:
             self._emit_revocation_events(profile, month, capture)
 
     def _emit_revocation_events(
-        self, profile: DeviceProfile, month: int, capture: GatewayCapture
+        self, profile: DeviceProfile, month: int, capture: CaptureSink
     ) -> None:
         """CRL fetches / OCSP queries the device's checking produces."""
         behavior = profile.revocation
@@ -134,7 +150,7 @@ class PassiveTraceGenerator:
             )
 
     def generate_device_instrumented(
-        self, profile: DeviceProfile, capture: GatewayCapture
+        self, profile: DeviceProfile, capture: CaptureSink
     ) -> None:
         """:meth:`generate_device` inside the per-device telemetry envelope.
 
@@ -146,17 +162,17 @@ class PassiveTraceGenerator:
         if not _TELEMETRY.enabled:
             self.generate_device(profile, capture)
             return
-        before = len(capture.records)
+        before = capture.records_seen
         with _TELEMETRY.tracer.span("trace.device", device=profile.name) as span:
             self.generate_device(profile, capture)
-            span.annotate(flow_records=len(capture.records) - before)
+            span.annotate(flow_records=capture.records_seen - before)
         _TELEMETRY.registry.counter(
             "iotls_trace_devices_total", "Devices replayed by the trace generator."
         ).inc()
         _TELEMETRY.events.debug(
             "trace.device_complete",
             device=profile.name,
-            flow_records=len(capture.records) - before,
+            flow_records=capture.records_seen - before,
         )
 
     # ------------------------------------------------------------------
@@ -211,8 +227,13 @@ class PassiveTraceGenerator:
     def _generate(self, workers: int) -> GatewayCapture:
         if workers == 1:
             capture = GatewayCapture()
+            target: CaptureSink = (
+                capture
+                if self.flow_cap is None
+                else FlowRecordChunker(capture, self.flow_cap)
+            )
             for profile in passive_devices():
-                self.generate_device_instrumented(profile, capture)
+                self.generate_device_instrumented(profile, target)
             return capture
         return self._generate_parallel(workers)
 
@@ -230,6 +251,9 @@ class PassiveTraceGenerator:
                 scale=self.scale,
                 telemetry=_TELEMETRY.enabled,
                 event_level=_TELEMETRY.events.level,
+                # With a flow cap the parent re-ingests (and counts) the
+                # records post-split; workers must stage uncounted.
+                count_records=self.flow_cap is None,
             )
             for worker_id, shard in enumerate(executor.shard(order))
         ]
@@ -239,4 +263,130 @@ class PassiveTraceGenerator:
         shards = {
             device: capture for result in results for device, capture in result.captures
         }
-        return GatewayCapture.merged(shards, order)
+        if self.flow_cap is None:
+            return GatewayCapture.merged(shards, order)
+        capture = GatewayCapture()
+        chunker = FlowRecordChunker(capture, self.flow_cap)
+        for device in order:
+            shard = shards[device]
+            for record in shard.records:
+                chunker.add(record)
+            for event in shard.revocation_events:
+                capture.add_revocation_event(event)
+        return capture
+
+    # ------------------------------------------------------------------
+    def stream_into(self, sink: CaptureSink, *, workers: int = 1) -> None:
+        """Stream the full capture into ``sink`` record by record.
+
+        The streaming counterpart of :meth:`generate`: nothing is
+        materialised here -- each device's records are staged in a small
+        uncounted capture (so the per-device span/event telemetry stays
+        identical to the materialised path), flushed to ``sink`` in
+        records-then-events order, and dropped.  Peak memory is one
+        device's staging buffer, O(devices x months) cells, independent
+        of ``scale`` and ``flow_cap``.
+
+        ``workers>1`` runs one task per device on a persistent process
+        pool (:meth:`repro.parallel.ShardedExecutor.imap_tasks`) and
+        folds chunks home in catalog order, so the sink observes exactly
+        the serial arrival order -- streaming output and run manifests
+        are invariant under ``workers``, and match the materialised
+        path's byte for byte.
+
+        A ``flow_cap`` splits batched records just before ``sink``, so
+        the sink ingests bounded-``count`` records; the staging buffers
+        hold pre-split records and stay scale-independent either way.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        target: CaptureSink = (
+            sink if self.flow_cap is None else FlowRecordChunker(sink, self.flow_cap)
+        )
+        if not _TELEMETRY.enabled:
+            self._stream(target, workers)
+            return
+
+        tracer, registry, events = (
+            _TELEMETRY.tracer,
+            _TELEMETRY.registry,
+            _TELEMETRY.events,
+        )
+        before = sink.records_seen
+        started = perf_counter()
+        with tracer.span(
+            "trace.stream", scale=self.scale, seed=self.seed, workers=workers
+        ) as root:
+            peak_staged = self._stream(target, workers)
+            root.annotate(flow_records=sink.records_seen - before)
+        elapsed = perf_counter() - started
+        streamed = sink.records_seen - before
+        throughput = streamed / elapsed if elapsed > 0 else 0.0
+        # Streaming instrumentation is gauges only: gauges are excluded
+        # from the manifest's deterministic-metrics slice, which is what
+        # keeps streaming and materialised manifests byte-identical.
+        registry.gauge(
+            "iotls_trace_last_run_seconds", "Wall time of the last full trace generation."
+        ).set(elapsed)
+        registry.gauge(
+            "iotls_stream_records_per_second",
+            "Flow-record throughput of the last streaming trace run.",
+        ).set(throughput)
+        registry.gauge(
+            "iotls_stream_peak_staged_records",
+            "Largest per-device staging buffer of the last streaming run "
+            "(the stream's memory high-water mark, in records).",
+        ).set(float(peak_staged))
+        events.info(
+            "trace.stream_complete",
+            flow_records=streamed,
+            seconds=round(elapsed, 6),
+            records_per_second=round(throughput, 1),
+            peak_staged_records=peak_staged,
+        )
+
+    def _stream(self, target: CaptureSink, workers: int) -> int:
+        """Feed ``target`` device by device; returns the peak staging depth."""
+        if workers > 1:
+            return self._stream_parallel(target, workers)
+        peak = 0
+        for profile in passive_devices():
+            staging = GatewayCapture(counted=False)
+            self.generate_device_instrumented(profile, staging)
+            peak = max(peak, len(staging.records))
+            for record in staging.records:
+                target.add(record)
+            for event in staging.revocation_events:
+                target.add_revocation_event(event)
+        return peak
+
+    def _stream_parallel(self, target: CaptureSink, workers: int) -> int:
+        """One task per device on a persistent pool, folded in catalog order."""
+        from ..parallel import ShardedExecutor, TraceChunkTask, run_trace_chunk
+
+        order = [profile.name for profile in passive_devices()]
+        executor = ShardedExecutor(workers)
+        tasks = [
+            TraceChunkTask(
+                index=index,
+                device_name=name,
+                seed=self.seed,
+                scale=self.scale,
+                telemetry=_TELEMETRY.enabled,
+                event_level=_TELEMETRY.events.level,
+            )
+            for index, name in enumerate(order)
+        ]
+        states = []
+        peak = 0
+        for result in executor.imap_tasks(run_trace_chunk, tasks):
+            peak = max(peak, len(result.records))
+            for record in result.records:
+                target.add(record)
+            for event in result.revocation_events:
+                target.add_revocation_event(event)
+            if result.telemetry is not None:
+                states.append(result.telemetry)
+        if _TELEMETRY.enabled and states:
+            _TELEMETRY.merge_worker_states(states)
+        return peak

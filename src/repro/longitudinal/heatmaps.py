@@ -15,6 +15,13 @@ paper's gray cells).  The "not shown" filters reproduce the figures'
 device-selection rules (e.g. the 28 devices that used TLS 1.2 for the
 vast majority of advertised *and* established connections are omitted
 from Figure 1).
+
+Every heatmap is built by an *incremental accumulator*
+(:class:`FractionSeriesAccumulator` and the figure-specific wrappers):
+state is O(devices x months) integer tallies, fed one record at a time
+in any order.  The batch ``build_*`` entry points are one-pass folds
+over a materialised capture's record stream, so the streaming pipeline
+and the batch API are equivalent by construction.
 """
 
 from __future__ import annotations
@@ -32,6 +39,11 @@ __all__ = [
     "DeviceMonthSeries",
     "VersionHeatmap",
     "FractionHeatmap",
+    "FractionSeriesAccumulator",
+    "VersionHeatmapAccumulator",
+    "FractionHeatmapAccumulator",
+    "insecure_advertised_accumulator",
+    "strong_established_accumulator",
     "build_version_heatmap",
     "build_insecure_advertised_heatmap",
     "build_strong_established_heatmap",
@@ -85,35 +97,45 @@ class DeviceMonthSeries:
         return last
 
 
-def _group_by_device_month(
-    capture: GatewayCapture,
-) -> dict[str, dict[int, list[TrafficRecord]]]:
-    grouped: dict[str, dict[int, list[TrafficRecord]]] = {}
-    for record in capture.records:
-        grouped.setdefault(record.device, {}).setdefault(record.month, []).append(record)
-    return grouped
+class FractionSeriesAccumulator:
+    """Incremental per-device monthly fraction of records satisfying
+    ``predicate``.
 
+    Order-independent: tallies are count-weighted integer sums per
+    (device, month), so feeding records in any order yields the same
+    series.  A device that produced traffic but never passed the
+    ``denominator_predicate`` still appears, with an all-``None``
+    series -- exactly what a grouped pass over a materialised capture
+    produces.
+    """
 
-def _fraction_series(
-    capture: GatewayCapture,
-    predicate,
-    *,
-    denominator_predicate=None,
-) -> dict[str, DeviceMonthSeries]:
-    """Per-device monthly fraction of records satisfying ``predicate``."""
-    series: dict[str, DeviceMonthSeries] = {}
-    for device, months in _group_by_device_month(capture).items():
-        device_series = DeviceMonthSeries(device=device)
-        for month, records in months.items():
-            if denominator_predicate is not None:
-                records = [r for r in records if denominator_predicate(r)]
-            total = sum(r.count for r in records)
-            if total == 0:
-                continue
-            hits = sum(r.count for r in records if predicate(r))
-            device_series.values[month] = hits / total
-        series[device] = device_series
-    return series
+    def __init__(self, predicate, *, denominator_predicate=None) -> None:
+        self._predicate = predicate
+        self._denominator = denominator_predicate
+        self._totals: dict[tuple[str, int], int] = {}
+        self._hits: dict[tuple[str, int], int] = {}
+        self._device_names: set[str] = set()
+
+    def add(self, record: TrafficRecord) -> None:
+        self._device_names.add(record.device)
+        if self._denominator is not None and not self._denominator(record):
+            return
+        key = (record.device, record.month)
+        self._totals[key] = self._totals.get(key, 0) + record.count
+        if self._predicate(record):
+            self._hits[key] = self._hits.get(key, 0) + record.count
+
+    @property
+    def devices(self) -> list[str]:
+        return sorted(self._device_names)
+
+    def series(self) -> dict[str, DeviceMonthSeries]:
+        series = {
+            device: DeviceMonthSeries(device=device) for device in self._device_names
+        }
+        for (device, month), total in self._totals.items():
+            series[device].values[month] = self._hits.get((device, month), 0) / total
+        return series
 
 
 # ---------------------------------------------------------------------------
@@ -157,22 +179,50 @@ class VersionHeatmap:
         return np.array(rows, dtype=float)
 
 
+def _is_established(record: TrafficRecord) -> bool:
+    return record.established
+
+
+class VersionHeatmapAccumulator:
+    """Single-pass incremental builder for Figure 1's version heatmap."""
+
+    def __init__(self) -> None:
+        self._advertised = {
+            band: FractionSeriesAccumulator(
+                lambda r, b=band: r.advertised_max_version.band is b
+            )
+            for band in VersionBand
+        }
+        self._established = {
+            band: FractionSeriesAccumulator(
+                lambda r, b=band: r.established_version is not None
+                and r.established_version.band is b,
+                denominator_predicate=_is_established,
+            )
+            for band in VersionBand
+        }
+        self._device_names: set[str] = set()
+
+    def add(self, record: TrafficRecord) -> None:
+        self._device_names.add(record.device)
+        for accumulator in self._advertised.values():
+            accumulator.add(record)
+        for accumulator in self._established.values():
+            accumulator.add(record)
+
+    def finalize(self) -> VersionHeatmap:
+        return VersionHeatmap(
+            advertised={band: acc.series() for band, acc in self._advertised.items()},
+            established={band: acc.series() for band, acc in self._established.items()},
+            devices=sorted(self._device_names),
+        )
+
+
 def build_version_heatmap(capture: GatewayCapture) -> VersionHeatmap:
-    advertised = {}
-    established = {}
-    for band in VersionBand:
-        advertised[band] = _fraction_series(
-            capture, lambda r, b=band: r.advertised_max_version.band is b
-        )
-        established[band] = _fraction_series(
-            capture,
-            lambda r, b=band: r.established_version is not None
-            and r.established_version.band is b,
-            denominator_predicate=lambda r: r.established,
-        )
-    return VersionHeatmap(
-        advertised=advertised, established=established, devices=capture.devices()
-    )
+    accumulator = VersionHeatmapAccumulator()
+    for record in capture.iter_records():
+        accumulator.add(record)
+    return accumulator.finalize()
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +276,53 @@ def _established_strong(record: TrafficRecord) -> bool:
     return code is not None and REGISTRY[code].forward_secret
 
 
+class FractionHeatmapAccumulator:
+    """Incremental builder for a single-fraction heatmap (Figures 2/3)."""
+
+    def __init__(
+        self, predicate, *, denominator_predicate=None, threshold: float, hide_when_low: bool
+    ) -> None:
+        self._accumulator = FractionSeriesAccumulator(
+            predicate, denominator_predicate=denominator_predicate
+        )
+        self.threshold = threshold
+        self.hide_when_low = hide_when_low
+
+    def add(self, record: TrafficRecord) -> None:
+        self._accumulator.add(record)
+
+    def finalize(self) -> FractionHeatmap:
+        return FractionHeatmap(
+            series=self._accumulator.series(),
+            devices=self._accumulator.devices,
+            threshold=self.threshold,
+            hide_when_low=self.hide_when_low,
+        )
+
+
+def insecure_advertised_accumulator() -> FractionHeatmapAccumulator:
+    """Figure 2's accumulator (see :func:`build_insecure_advertised_heatmap`)."""
+    return FractionHeatmapAccumulator(
+        _advertises_insecure, threshold=0.05, hide_when_low=True
+    )
+
+
+def strong_established_accumulator() -> FractionHeatmapAccumulator:
+    """Figure 3's accumulator (see :func:`build_strong_established_heatmap`)."""
+    return FractionHeatmapAccumulator(
+        _established_strong,
+        denominator_predicate=_is_established,
+        threshold=_VAST_MAJORITY,
+        hide_when_low=False,
+    )
+
+
+def _fold(accumulator, capture: GatewayCapture) -> FractionHeatmap:
+    for record in capture.iter_records():
+        accumulator.add(record)
+    return accumulator.finalize()
+
+
 def build_insecure_advertised_heatmap(capture: GatewayCapture) -> FractionHeatmap:
     """Figure 2: devices *advertising* insecure suites (lower is better).
 
@@ -233,23 +330,11 @@ def build_insecure_advertised_heatmap(capture: GatewayCapture) -> FractionHeatma
     under 5%) are not shown, matching the figure's "6 devices ... not
     shown" rule.
     """
-    return FractionHeatmap(
-        series=_fraction_series(capture, _advertises_insecure),
-        devices=capture.devices(),
-        threshold=0.05,
-        hide_when_low=True,
-    )
+    return _fold(insecure_advertised_accumulator(), capture)
 
 
 def build_strong_established_heatmap(capture: GatewayCapture) -> FractionHeatmap:
     """Figure 3: devices *establishing* forward-secret suites (higher is
     better).  Devices whose connections are virtually always strong are
     not shown ("18 devices ... not shown")."""
-    return FractionHeatmap(
-        series=_fraction_series(
-            capture, _established_strong, denominator_predicate=lambda r: r.established
-        ),
-        devices=capture.devices(),
-        threshold=_VAST_MAJORITY,
-        hide_when_low=False,
-    )
+    return _fold(strong_established_accumulator(), capture)

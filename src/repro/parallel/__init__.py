@@ -12,9 +12,12 @@ from .workers import (
     CampaignDeviceOutcome,
     CampaignShardResult,
     CampaignShardTask,
+    TraceChunkResult,
+    TraceChunkTask,
     TraceShardResult,
     TraceShardTask,
     run_campaign_shard,
+    run_trace_chunk,
     run_trace_shard,
 )
 
@@ -23,8 +26,11 @@ __all__ = [
     "CampaignDeviceOutcome",
     "CampaignShardResult",
     "CampaignShardTask",
+    "TraceChunkResult",
+    "TraceChunkTask",
     "TraceShardResult",
     "TraceShardTask",
     "run_campaign_shard",
+    "run_trace_chunk",
     "run_trace_shard",
 ]

@@ -74,3 +74,32 @@ class ShardedExecutor:
         context = multiprocessing.get_context("spawn")
         with context.Pool(processes=len(tasks)) as pool:
             return pool.map(worker_fn, tasks)
+
+    # ------------------------------------------------------------------
+    def imap_tasks(
+        self, worker_fn: Callable[[Task], Result], tasks: Sequence[Task]
+    ):
+        """Lazily yield task results in **task order** (streaming map).
+
+        The streaming counterpart of :meth:`map_tasks` for many-small-task
+        workloads (one task per device): a pool of at most ``workers``
+        persistent processes consumes the task list and results are
+        yielded as they arrive -- but always in submission order
+        (``Pool.imap``'s guarantee), so the consumer's fold is
+        deterministic regardless of which worker finishes first.  Note
+        that pool processes are *reused* across tasks, so task functions
+        that export per-task telemetry must reset their runtime at task
+        start (see :func:`repro.parallel.workers.run_trace_chunk`).
+
+        With ``workers=1`` or a single task, everything runs in-process
+        and results stream with zero process overhead.
+        """
+        if not tasks:
+            return
+        if self.workers == 1 or len(tasks) == 1:
+            for task in tasks:
+                yield worker_fn(task)
+            return
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=min(self.workers, len(tasks))) as pool:
+            yield from pool.imap(worker_fn, tasks, chunksize=1)

@@ -23,12 +23,21 @@ from .. import telemetry as _telemetry
 __all__ = [
     "TraceShardTask",
     "TraceShardResult",
+    "TraceChunkTask",
+    "TraceChunkResult",
     "CampaignShardTask",
     "CampaignDeviceOutcome",
     "CampaignShardResult",
     "run_trace_shard",
+    "run_trace_chunk",
     "run_campaign_shard",
 ]
+
+#: Per-process cache for the streaming chunk workers.  A pool process
+#: serves many single-device tasks; the default testbed is a pure
+#: function of fixed seeds, so rebuilding it per task would cost time
+#: and change nothing.
+_WORKER_TESTBED = None
 
 
 def _configure_worker_telemetry(enabled: bool, event_level: str) -> None:
@@ -48,7 +57,14 @@ def _export_worker_telemetry(enabled: bool, worker_id: int) -> dict | None:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class TraceShardTask:
-    """One worker's slice of the passive-trace workload."""
+    """One worker's slice of the passive-trace workload.
+
+    ``count_records=False`` builds the shard captures as *staging*
+    captures (no gateway-ingest counting): the parent process will
+    re-ingest the records through a counting sink -- the flow-cap
+    materialised path splits records at the parent, and counting must
+    happen once, after splitting.
+    """
 
     worker_id: int
     device_names: tuple[str, ...]
@@ -56,6 +72,7 @@ class TraceShardTask:
     scale: int
     telemetry: bool
     event_level: str = "info"
+    count_records: bool = True
 
 
 @dataclass(frozen=True)
@@ -84,13 +101,94 @@ def run_trace_shard(task: TraceShardTask) -> TraceShardResult:
         "shard.run", worker=task.worker_id, devices=len(task.device_names)
     ):
         for name in task.device_names:
-            capture = GatewayCapture()
+            capture = GatewayCapture(counted=task.count_records)
             generator.generate_device_instrumented(profiles[name], capture)
             captures.append((name, capture))
     return TraceShardResult(
         worker_id=task.worker_id,
         captures=tuple(captures),
         telemetry=_export_worker_telemetry(task.telemetry, task.worker_id),
+    )
+
+
+# ----------------------------------------------------------------------
+# Streaming passive-trace generation (one task per device)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceChunkTask:
+    """One device's worth of the streaming trace workload.
+
+    ``index`` is the device's catalog position; it doubles as the
+    telemetry worker id, so merged worker payloads sort into catalog
+    order.
+    """
+
+    index: int
+    device_name: str
+    seed: str
+    scale: int
+    telemetry: bool
+    event_level: str = "info"
+
+
+@dataclass(frozen=True)
+class TraceChunkResult:
+    """One device's records, streamed home as plain tuples."""
+
+    index: int
+    device: str
+    records: tuple  # tuple[TrafficRecord, ...]
+    revocation_events: tuple  # tuple[RevocationEvent, ...]
+    telemetry: dict | None
+
+
+def run_trace_chunk(task: TraceChunkTask) -> TraceChunkResult:
+    """Replay one device and ship its chunk of the stream home.
+
+    Unlike :func:`run_trace_shard` (fresh process per shard), chunk
+    tasks run on a *persistent* pool whose processes each serve many
+    tasks, so per-task telemetry is reset at task start -- every
+    exported payload is then a per-chunk increment and the parent's
+    merge sums to exactly the serial totals.  When the task happens to
+    run in the parent process (``workers=1`` fallback), telemetry is
+    neither reset nor exported: metrics accrue directly in the parent
+    runtime, which is already correct.
+
+    The staging capture is never counted: the parent's terminal sink
+    counts gateway ingest after any flow-cap splitting.
+    """
+    import multiprocessing
+
+    from ..devices.catalog import passive_devices
+    from ..longitudinal.generator import PassiveTraceGenerator
+    from ..testbed.capture import GatewayCapture
+    from ..testbed.infrastructure import Testbed
+
+    in_worker = multiprocessing.parent_process() is not None
+    if in_worker and task.telemetry:
+        _telemetry.configure(enabled=True, level=task.event_level)
+
+    global _WORKER_TESTBED
+    if _WORKER_TESTBED is None:
+        _WORKER_TESTBED = Testbed()
+    profiles = {profile.name: profile for profile in passive_devices()}
+    generator = PassiveTraceGenerator(
+        _WORKER_TESTBED, scale=task.scale, seed=task.seed
+    )
+    staging = GatewayCapture(counted=False)
+    with _telemetry.get().tracer.span(
+        "chunk.run", worker=task.index, device=task.device_name
+    ):
+        generator.generate_device_instrumented(profiles[task.device_name], staging)
+    payload = (
+        _export_worker_telemetry(task.telemetry, task.index) if in_worker else None
+    )
+    return TraceChunkResult(
+        index=task.index,
+        device=task.device_name,
+        records=tuple(staging.records),
+        revocation_events=tuple(staging.revocation_events),
+        telemetry=payload,
     )
 
 

@@ -1,6 +1,14 @@
 """Simulated smart-home testbed: servers, gateway capture, smart plugs."""
 
-from .capture import GatewayCapture, RevocationEvent, TrafficRecord
+from .capture import (
+    CaptureSink,
+    CaptureTee,
+    DiscardSink,
+    FlowRecordChunker,
+    GatewayCapture,
+    RevocationEvent,
+    TrafficRecord,
+)
 from .cloud import CloudServer, month_of
 from .dns import DnsQuery, DnsResolver, identify_destinations
 from .infrastructure import Testbed
@@ -8,9 +16,13 @@ from .network import GatewayAttacker, HomeNetwork, LanDeviceAttacker
 from .smartplug import NotRebootableError, SmartPlug
 
 __all__ = [
+    "CaptureSink",
+    "CaptureTee",
     "CloudServer",
+    "DiscardSink",
     "DnsQuery",
     "DnsResolver",
+    "FlowRecordChunker",
     "GatewayAttacker",
     "GatewayCapture",
     "HomeNetwork",

@@ -8,12 +8,34 @@ contents, ServerHello outcome, SNI, alerts) plus capture metadata
 (device attribution by MAC, timestamp).  :class:`RevocationEvent`
 records the side-channel HTTP(S) traffic revocation checking produces
 (CRL fetches, OCSP queries), which Table 8's analysis scans for.
+
+The capture side of the streaming execution core also lives here:
+
+* :class:`CaptureSink` -- the record-stream consumer protocol.  Anything
+  with ``add``/``add_revocation_event``/``records_seen`` can sit at the
+  end of the generator's stream: a :class:`GatewayCapture` (materialise
+  everything), an analysis pipeline (fold incrementally), a JSONL
+  writer, or a :class:`DiscardSink` (benchmarks).
+* :class:`CaptureTee` -- fans one stream out to several sinks while
+  counting gateway ingest exactly once.
+* :class:`FlowRecordChunker` -- splits count-batched flow records into
+  bounded-``count`` chunks before they reach a sink, so downstream
+  memory/IO is proportional to *connections*, not batching luck.
+
+Exactly one stage of a sink chain counts gateway-ingest telemetry
+(``iotls_capture_records_total`` / ``..._connections_total``): a
+:class:`GatewayCapture` counts unless constructed with
+``counted=False``; a tee counts on behalf of its fan-out; staging
+captures inside workers never count because the terminal sink in the
+parent will.  That single-counter rule is what keeps run manifests
+byte-identical across serial/parallel and streaming/materialised modes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from datetime import datetime
+from typing import Iterator, Protocol, runtime_checkable
 
 from .. import telemetry as _telemetry
 from ..devices.profile import Party
@@ -21,7 +43,15 @@ from ..pki.revocation import RevocationMethod
 from ..tls.messages import ClientHello
 from ..tls.versions import ProtocolVersion
 
-__all__ = ["TrafficRecord", "RevocationEvent", "GatewayCapture"]
+__all__ = [
+    "TrafficRecord",
+    "RevocationEvent",
+    "CaptureSink",
+    "GatewayCapture",
+    "CaptureTee",
+    "FlowRecordChunker",
+    "DiscardSink",
+]
 
 _TELEMETRY = _telemetry.get()
 
@@ -65,32 +95,79 @@ class RevocationEvent:
     month: int
 
 
+def _count_record_ingest(record: TrafficRecord) -> None:
+    """Gateway-ingest telemetry for one flow record (post any splitting)."""
+    if _TELEMETRY.enabled:
+        registry = _TELEMETRY.registry
+        registry.counter(
+            "iotls_capture_records_total", "Flow records ingested at the gateway."
+        ).inc()
+        registry.counter(
+            "iotls_capture_connections_total",
+            "Wire connections ingested (flow records weighted by count).",
+        ).inc(record.count)
+
+
+def _count_revocation_ingest(event: RevocationEvent) -> None:
+    if _TELEMETRY.enabled:
+        _TELEMETRY.registry.counter(
+            "iotls_capture_revocation_events_total",
+            "Revocation-infrastructure interactions observed, by method.",
+        ).inc(method=event.method.value)
+
+
+@runtime_checkable
+class CaptureSink(Protocol):
+    """A consumer of the gateway record stream.
+
+    ``records_seen`` is the number of flow records the sink has ingested
+    so far -- the generator reads it to annotate per-device spans and to
+    compute stream throughput without materialising anything.
+    """
+
+    @property
+    def records_seen(self) -> int: ...
+
+    def add(self, record: TrafficRecord) -> None: ...
+
+    def add_revocation_event(self, event: RevocationEvent) -> None: ...
+
+
 @dataclass
 class GatewayCapture:
-    """An append-only capture of testbed traffic."""
+    """An append-only capture of testbed traffic.
+
+    ``counted=False`` makes this a *staging* capture: records still
+    accumulate, but gateway-ingest telemetry is left to a downstream
+    sink (workers and the streaming core stage per-device records this
+    way, so counters never double when the stream reaches its terminal
+    sink).
+    """
 
     records: list[TrafficRecord] = field(default_factory=list)
     revocation_events: list[RevocationEvent] = field(default_factory=list)
+    counted: bool = True
+
+    @property
+    def records_seen(self) -> int:
+        return len(self.records)
 
     def add(self, record: TrafficRecord) -> None:
         self.records.append(record)
-        if _TELEMETRY.enabled:
-            registry = _TELEMETRY.registry
-            registry.counter(
-                "iotls_capture_records_total", "Flow records ingested at the gateway."
-            ).inc()
-            registry.counter(
-                "iotls_capture_connections_total",
-                "Wire connections ingested (flow records weighted by count).",
-            ).inc(record.count)
+        if self.counted:
+            _count_record_ingest(record)
 
     def add_revocation_event(self, event: RevocationEvent) -> None:
         self.revocation_events.append(event)
-        if _TELEMETRY.enabled:
-            _TELEMETRY.registry.counter(
-                "iotls_capture_revocation_events_total",
-                "Revocation-infrastructure interactions observed, by method.",
-            ).inc(method=event.method.value)
+        if self.counted:
+            _count_revocation_ingest(event)
+
+    def iter_records(self) -> Iterator[TrafficRecord]:
+        """The record-stream view of the capture (arrival order)."""
+        yield from self.records
+
+    def iter_revocation_events(self) -> Iterator[RevocationEvent]:
+        yield from self.revocation_events
 
     def by_device(self, device: str) -> list[TrafficRecord]:
         return [record for record in self.records if record.device == device]
@@ -128,3 +205,91 @@ class GatewayCapture:
         for device in order:
             capture.extend(shards[device])
         return capture
+
+
+class CaptureTee:
+    """Fan one record stream out to several sinks, counting ingest once.
+
+    The tee performs the gateway-ingest counting for the whole fan-out
+    (unless ``counted=False``), so attached sinks must not count
+    themselves -- use ``GatewayCapture(counted=False)`` downstream of a
+    tee.
+    """
+
+    def __init__(self, *sinks: CaptureSink, counted: bool = True) -> None:
+        self.sinks = tuple(sinks)
+        self.counted = counted
+        self.records_seen = 0
+        self.connections_seen = 0
+        self.revocation_events_seen = 0
+
+    def add(self, record: TrafficRecord) -> None:
+        self.records_seen += 1
+        self.connections_seen += record.count
+        if self.counted:
+            _count_record_ingest(record)
+        for sink in self.sinks:
+            sink.add(record)
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        self.revocation_events_seen += 1
+        if self.counted:
+            _count_revocation_ingest(event)
+        for sink in self.sinks:
+            sink.add_revocation_event(event)
+
+
+class FlowRecordChunker:
+    """Split count-batched flow records into ``<= cap``-connection chunks.
+
+    The generator batches a (device, destination, month) flow's repeats
+    into one record, so record volume is independent of scale; a chunker
+    in front of a sink re-linearises that batching into bounded chunks
+    (``dataclasses.replace`` on the frozen record), which makes record
+    volume proportional to connections -- the knob that lets streaming
+    runs exercise paper-scale record counts in bounded memory.  Every
+    count-weighted aggregate is preserved exactly.
+
+    ``records_seen`` counts records *emitted* downstream (post-split).
+    Counting is the downstream sink's job, as always.
+    """
+
+    def __init__(self, sink: CaptureSink, cap: int) -> None:
+        if cap < 1:
+            raise ValueError(f"flow cap must be >= 1, got {cap}")
+        self.sink = sink
+        self.cap = cap
+        self.records_seen = 0
+
+    def add(self, record: TrafficRecord) -> None:
+        if record.count <= self.cap:
+            self.records_seen += 1
+            self.sink.add(record)
+            return
+        full, remainder = divmod(record.count, self.cap)
+        capped = replace(record, count=self.cap)
+        for _ in range(full):
+            self.records_seen += 1
+            self.sink.add(capped)
+        if remainder:
+            self.records_seen += 1
+            self.sink.add(replace(record, count=remainder))
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        self.sink.add_revocation_event(event)
+
+
+@dataclass
+class DiscardSink:
+    """Count-only sink for benchmarks and memory experiments."""
+
+    records_seen: int = 0
+    connections_seen: int = 0
+    revocation_events_seen: int = 0
+
+    def add(self, record: TrafficRecord) -> None:
+        self.records_seen += 1
+        self.connections_seen += record.count
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        self.revocation_events_seen += 1

@@ -1,0 +1,139 @@
+"""The ``repro.api`` run facade: typed configs, results, and errors.
+
+These tests pin the facade's contract: the CLI is a thin wrapper, so
+everything a subcommand can do must be reachable (and typed) here --
+including the failure modes the CLI renders as exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.api import (
+    DeviceNotProbeableError,
+    RunConfig,
+    RunError,
+    UnknownDeviceError,
+    run_audit,
+    run_pcap,
+    run_probe,
+    run_trace,
+)
+from repro.analysis.export import (
+    campaign_to_dict,
+    campaign_to_document,
+    probe_report_to_dict,
+    probe_report_to_document,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.configure(enabled=False)
+    yield
+    telemetry.configure(enabled=False)
+
+
+class TestRunTrace:
+    def test_streaming_and_materialised_agree(self):
+        config = RunConfig(scale=1, seed="api-parity", telemetry=True)
+        materialised = run_trace(config)
+        streamed = run_trace(RunConfig(scale=1, seed="api-parity", telemetry=True, stream=True))
+        assert materialised.manifest_digest == streamed.manifest_digest
+        assert materialised.capture is not None
+        assert streamed.capture is None
+        assert streamed.analysis.flow_records == materialised.analysis.flow_records
+        assert streamed.analysis.connections == materialised.analysis.connections
+        assert (
+            streamed.analysis.adoption_events == materialised.analysis.adoption_events
+        )
+
+    def test_rejects_streaming_json_document(self, tmp_path):
+        with pytest.raises(ValueError):
+            run_trace(RunConfig(stream=True), json_path=tmp_path / "trace.json")
+
+    def test_stream_path_writes_jsonl_artifact(self, tmp_path):
+        result = run_trace(
+            RunConfig(scale=1), stream_path=tmp_path / "trace.jsonl"
+        )
+        path = result.artifacts["records_jsonl"]
+        assert path.exists()
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["metadata"]["generator"] == "iotls trace"
+        assert result.analysis.dataset.device_count == 40
+
+    def test_materialised_json_artifact(self, tmp_path):
+        result = run_trace(RunConfig(scale=1), json_path=tmp_path / "trace.json")
+        payload = json.loads(result.artifacts["records_json"].read_text())
+        assert payload["metadata"]["flow_records"] == result.analysis.flow_records
+        assert len(payload["records"]) == result.analysis.flow_records
+
+
+class TestRunProbe:
+    def test_unknown_device(self):
+        with pytest.raises(UnknownDeviceError) as excinfo:
+            run_probe("Nonexistent Toaster")
+        assert excinfo.value.device == "Nonexistent Toaster"
+        assert isinstance(excinfo.value, RunError)
+
+    def test_non_rebootable_device(self):
+        with pytest.raises(DeviceNotProbeableError) as excinfo:
+            run_probe("Samsung Fridge")
+        assert "reboot" in excinfo.value.reason
+
+    def test_passive_only_device(self):
+        with pytest.raises(DeviceNotProbeableError) as excinfo:
+            run_probe("Samsung TV")
+        assert "passive-only" in excinfo.value.reason
+
+    def test_amenable_device_writes_json(self, tmp_path):
+        json_path = tmp_path / "probe.json"
+        result = run_probe("Wink Hub 2", json_path=json_path)
+        assert result.amenable
+        assert result.artifacts["probe_json"] == json_path
+        assert json.loads(json_path.read_text())["device"] == "Wink Hub 2"
+
+    def test_non_amenable_device_skips_json(self, tmp_path):
+        json_path = tmp_path / "probe.json"
+        result = run_probe("Apple TV", json_path=json_path)
+        assert not result.amenable
+        assert result.artifacts == {}
+        assert not json_path.exists()
+
+
+class TestRunAudit:
+    def test_headline_counts_and_manifest(self, tmp_path):
+        json_path = tmp_path / "audit.json"
+        result = run_audit(
+            RunConfig(include_passthrough=False), json_path=json_path
+        )
+        assert result.results.vulnerable_device_count == 11
+        assert len(result.results.amenable_probe_reports) == 8
+        assert result.manifest["config"]["params"] == {"include_passthrough": False}
+        assert len(result.manifest_digest) == 32
+        payload = json.loads(json_path.read_text())
+        assert payload["summary"]["vulnerable_devices"] == 11
+
+
+class TestRunPcap:
+    def test_pcap_export(self, tmp_path):
+        result = run_pcap(RunConfig(scale=1), out=tmp_path / "trace.pcap", limit=10)
+        assert result.packets_written == 10
+        assert result.path.exists()
+        assert result.size_bytes == result.path.stat().st_size
+
+
+class TestDeprecatedExportNames:
+    def test_campaign_to_dict_warns_but_matches(self, campaign_results):
+        with pytest.warns(DeprecationWarning, match="campaign_to_document"):
+            old = campaign_to_dict(campaign_results)
+        assert old == campaign_to_document(campaign_results)
+
+    def test_probe_report_to_dict_warns_but_matches(self, campaign_results):
+        report = campaign_results.probes[0]
+        with pytest.warns(DeprecationWarning, match="probe_report_to_document"):
+            old = probe_report_to_dict(report)
+        assert old == probe_report_to_document(report)

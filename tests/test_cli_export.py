@@ -7,9 +7,9 @@ import json
 import pytest
 
 from repro.analysis.export import (
-    campaign_to_dict,
+    campaign_to_document,
     capture_to_records,
-    probe_report_to_dict,
+    probe_report_to_document,
     write_json,
 )
 from repro.cli import build_parser, main
@@ -26,7 +26,7 @@ class TestExport:
         assert loaded[0]["advertised_max_version"].startswith(("TLS", "SSL"))
 
     def test_campaign_dict_structure(self, campaign_results):
-        payload = campaign_to_dict(campaign_results)
+        payload = campaign_to_document(campaign_results)
         assert payload["summary"]["vulnerable_devices"] == 11
         assert len(payload["interception"]) == 32
         assert len(payload["probes"]) == len(campaign_results.probes)
@@ -37,14 +37,14 @@ class TestExport:
 
     def test_probe_report_dict_amenable_and_not(self, campaign_results):
         amenable = campaign_results.amenable_probe_reports[0]
-        payload = probe_report_to_dict(amenable)
+        payload = probe_report_to_document(amenable)
         assert payload["amenable"]
         assert payload["common"]["conclusive"] > 0
 
         not_amenable = next(
             report for report in campaign_results.probes if not report.calibration.amenable
         )
-        payload = probe_report_to_dict(not_amenable)
+        payload = probe_report_to_document(not_amenable)
         assert not payload["amenable"]
         assert payload["reason"]
 

@@ -1,0 +1,81 @@
+"""Benchmark the streaming trace pipeline at paper scale.
+
+Streams the full 27-month capture into a count-only sink at a large
+``--scale`` (the default, 4000, approximates the study's ~17M-connection
+volume -- 100x the analysis default) with a ``--flow-cap`` so record
+volume tracks connection volume, and reports throughput plus the
+tracemalloc peak.  The point of the measurement: peak memory must stay
+flat while connection volume grows, because nothing is materialised.
+Each run appends a ``stream_trace`` entry to the ``BENCH_history.jsonl``
+trajectory that ``tools/bench_gate.py`` gates on.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_stream.py [--scale 4000] \
+        [--flow-cap 50] [--workers 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tracemalloc
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_history import append_history  # noqa: E402
+
+from repro.longitudinal import PassiveTraceGenerator
+from repro.testbed import DiscardSink
+
+DEFAULT_SCALE = 4000  # ~100x the analysis default; approximates the paper's volume
+SEED = "iotls-bench-stream"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
+    parser.add_argument("--flow-cap", type=int, default=50)
+    parser.add_argument("--workers", type=int, default=1)
+    args = parser.parse_args()
+
+    generator = PassiveTraceGenerator(
+        scale=args.scale, seed=SEED, flow_cap=args.flow_cap
+    )
+    sink = DiscardSink()
+    tracemalloc.start()
+    started = perf_counter()
+    try:
+        generator.stream_into(sink, workers=args.workers)
+        seconds = perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    throughput = sink.records_seen / seconds if seconds > 0 else 0.0
+    peak_mib = peak / (1024 * 1024)
+    print(
+        f"scale={args.scale} flow_cap={args.flow_cap} workers={args.workers}: "
+        f"{seconds:.2f}s -- {sink.records_seen} flow records "
+        f"({sink.connections_seen} connections), "
+        f"{throughput:,.0f} records/s, peak {peak_mib:.1f} MiB"
+    )
+    append_history(
+        "stream_trace",
+        seconds,
+        extra={
+            "scale": args.scale,
+            "flow_cap": args.flow_cap,
+            "workers": args.workers,
+            "flow_records": sink.records_seen,
+            "connections": sink.connections_seen,
+            "records_per_second": round(throughput, 1),
+            "peak_mib": round(peak_mib, 2),
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
