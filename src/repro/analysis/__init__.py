@@ -25,14 +25,12 @@ from .drift import (
 )
 from .export import (
     JsonlStreamWriter,
-    campaign_to_dict,
     campaign_to_document,
     capture_from_records,
     capture_from_stream,
     capture_to_document,
     capture_to_records,
     fold_stream,
-    probe_report_to_dict,
     probe_report_to_document,
     write_json,
 )
@@ -89,12 +87,10 @@ __all__ = [
     "RevocationSummary",
     "analyze_revocation",
     "assess_poodle_exposure",
-    "campaign_to_dict",
     "campaign_to_document",
     "capture_to_records",
     "compare_with_prior_work",
     "distrusted_trusted_by",
-    "probe_report_to_dict",
     "probe_report_to_document",
     "render_table",
     "staleness_by_device",

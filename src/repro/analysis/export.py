@@ -20,7 +20,6 @@ Two trace shapes are supported:
 from __future__ import annotations
 
 import json
-import warnings
 from pathlib import Path
 from typing import Any
 
@@ -36,10 +35,8 @@ __all__ = [
     "capture_from_stream",
     "capture_to_document",
     "capture_to_records",
-    "campaign_to_dict",
     "campaign_to_document",
     "fold_stream",
-    "probe_report_to_dict",
     "probe_report_to_document",
     "record_from_dict",
     "record_to_dict",
@@ -406,28 +403,6 @@ def campaign_to_document(results: CampaignResults) -> dict[str, Any]:
             for outcome in results.passthrough
         ],
     }
-
-
-def probe_report_to_dict(report: DeviceProbeReport) -> dict[str, Any]:
-    """Deprecated alias of :func:`probe_report_to_document`."""
-    warnings.warn(
-        "probe_report_to_dict is deprecated; use probe_report_to_document "
-        "(the alias will be removed in a future release)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return probe_report_to_document(report)
-
-
-def campaign_to_dict(results: CampaignResults) -> dict[str, Any]:
-    """Deprecated alias of :func:`campaign_to_document`."""
-    warnings.warn(
-        "campaign_to_dict is deprecated; use campaign_to_document "
-        "(the alias will be removed in a future release)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return campaign_to_document(results)
 
 
 def write_json(payload: Any, path: str | Path) -> Path:

@@ -11,6 +11,8 @@ Subcommands map one-to-one onto the paper's experiments:
 * ``devices``      -- list the Table 1 catalog
 * ``check``        -- audit a run against the paper's published values
                       (drift report; non-zero exit on drift)
+* ``lint``         -- reprolint: static invariant checks over the
+                      repo's own source (see ``docs/static-analysis.md``)
 * ``telemetry-demo`` -- exercise the telemetry subsystem end-to-end
 
 The experiment subcommands are thin wrappers over :mod:`repro.api`:
@@ -60,6 +62,7 @@ _RUN_OPTIONS: dict[str, frozenset[str]] = {
     "report": frozenset({"telemetry", "metrics", "workers", "manifest", "profile"}),
     "pcap": frozenset({"telemetry", "workers", "manifest"}),
     "check": frozenset({"telemetry", "workers", "json"}),
+    "lint": frozenset(),
     "telemetry-demo": frozenset({"metrics"}),
 }
 
@@ -266,6 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
         "skipped)",
     )
     add_run_options(check, "check")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run reprolint's static invariant checks over the repo source",
+    )
+    from .lint.cli import configure_parser as configure_lint_parser
+
+    configure_lint_parser(lint)
+    add_run_options(lint, "lint")
 
     demo = subparsers.add_parser(
         "telemetry-demo", help="smoke-test the telemetry subsystem on a small trace"
@@ -505,6 +517,13 @@ def _cmd_check(args, opts: RunOptions) -> int:
     return 0
 
 
+def _cmd_lint(args, _opts: RunOptions) -> int:
+    """Run reprolint; exit 0 clean, 1 violations, 2 usage error."""
+    from .lint.cli import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_telemetry_demo(args, _opts: RunOptions) -> int:
     """Exercise metrics, spans, and events end-to-end on a small trace."""
     from .longitudinal import PassiveTraceGenerator
@@ -539,6 +558,7 @@ _COMMANDS = {
     "fingerprint": _cmd_fingerprint,
     "devices": _cmd_devices,
     "check": _cmd_check,
+    "lint": _cmd_lint,
     "telemetry-demo": _cmd_telemetry_demo,
 }
 

@@ -1,0 +1,41 @@
+"""reprolint: AST-based invariant checks for the reproduction.
+
+The headline guarantees -- byte-identical manifests across
+``--workers 1/2/4``, seeded-RNG determinism for every table/figure
+artifact, the single-counter streaming rule -- hold only as long as the
+*source* keeps a handful of disciplines.  This package checks those
+disciplines statically (stdlib :mod:`ast`, no runtime dependencies), so
+a violation fails CI at parse time instead of surfacing as a flaky
+manifest three PRs later.
+
+Entry points: ``iotls lint`` and ``python -m repro.lint``; library
+callers use :func:`run_lint`.  The rule catalog lives in
+``docs/static-analysis.md``; justified suppressions in
+``tools/lint_baseline.json``.
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .cli import build_parser, configure_parser, main, run_from_args
+from .engine import DEFAULT_BASELINE, DEFAULT_PATHS, run_lint
+from .registry import FAMILIES, Rule, Violation, all_rules, select_rules
+from .reporters import FORMATS, LintReport, render
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE",
+    "DEFAULT_PATHS",
+    "FAMILIES",
+    "FORMATS",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "build_parser",
+    "configure_parser",
+    "main",
+    "render",
+    "run_from_args",
+    "run_lint",
+    "select_rules",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` delegates to the CLI entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,151 @@
+"""The lint baseline: justified, content-addressed suppressions.
+
+A violation the team has decided to live with (e.g. the explicit
+``os.urandom`` fallback in simcrypto, reachable only when a caller
+passes ``seed=None``) is recorded here instead of silenced inline, with
+a one-line justification that survives code review.
+
+Entries are keyed by ``(code, path, snippet)`` -- the *stripped source
+line*, not the line number -- so unrelated edits that shift lines never
+invalidate the baseline, while any edit to the offending line itself
+forces the suppression to be re-justified.  ``--update-baseline``
+regenerates entries from the current run, preserving justifications for
+entries that still match and stamping new ones with a TODO marker the
+report nags about.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .registry import Violation
+
+__all__ = ["Baseline", "BaselineEntry", "SCHEMA", "TODO_JUSTIFICATION"]
+
+SCHEMA = "reprolint-baseline/1"
+TODO_JUSTIFICATION = "TODO: justify this suppression"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding plus the reason it is acceptable."""
+
+    code: str
+    path: str
+    snippet: str
+    justification: str
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.snippet)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+def _entry_from_dict(payload: dict) -> BaselineEntry:
+    return BaselineEntry(
+        code=payload["code"],
+        path=payload["path"],
+        snippet=payload["snippet"],
+        justification=payload.get("justification", ""),
+    )
+
+
+@dataclass
+class Baseline:
+    """The loaded suppression set and its match bookkeeping."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.is_file():
+            return cls(entries=[], path=path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unexpected baseline schema {payload.get('schema')!r} in {path}; "
+                f"wanted {SCHEMA}"
+            )
+        return cls(
+            entries=[_entry_from_dict(item) for item in payload.get("entries", [])],
+            path=path,
+        )
+
+    def save(self, path: str | Path | None = None) -> Path:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("baseline has no path to save to")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "schema": SCHEMA,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key())
+            ],
+        }
+        target.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+        return target
+
+    # ------------------------------------------------------------------
+    def partition(
+        self, violations: list[Violation]
+    ) -> tuple[list[Violation], list[Violation], list[BaselineEntry]]:
+        """Split findings into (active, suppressed) and list stale entries.
+
+        A stale entry matches no current violation: the offending code
+        was fixed or rewritten, so the suppression should be deleted
+        (``--update-baseline`` does exactly that).
+        """
+        by_key = {entry.key(): entry for entry in self.entries}
+        active: list[Violation] = []
+        suppressed: list[Violation] = []
+        matched: set[tuple[str, str, str]] = set()
+        for violation in violations:
+            key = (violation.code, violation.path, violation.snippet)
+            if key in by_key:
+                suppressed.append(violation)
+                matched.add(key)
+            else:
+                active.append(violation)
+        stale = [entry for entry in self.entries if entry.key() not in matched]
+        return active, suppressed, stale
+
+    def rebuilt_from(self, violations: list[Violation]) -> "Baseline":
+        """A fresh baseline covering exactly ``violations``.
+
+        Justifications carry over for entries whose key still matches;
+        anything new gets the TODO marker for a human to replace.
+        """
+        by_key = {entry.key(): entry for entry in self.entries}
+        fresh: dict[tuple[str, str, str], BaselineEntry] = {}
+        for violation in violations:
+            key = (violation.code, violation.path, violation.snippet)
+            if key in fresh:
+                continue
+            existing = by_key.get(key)
+            fresh[key] = BaselineEntry(
+                code=violation.code,
+                path=violation.path,
+                snippet=violation.snippet,
+                justification=(
+                    existing.justification if existing else TODO_JUSTIFICATION
+                ),
+            )
+        return Baseline(entries=list(fresh.values()), path=self.path)
+
+    def unjustified(self) -> list[BaselineEntry]:
+        return [
+            entry
+            for entry in self.entries
+            if not entry.justification or entry.justification == TODO_JUSTIFICATION
+        ]

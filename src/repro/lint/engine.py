@@ -1,0 +1,80 @@
+"""The lint driver: discover, parse, check, baseline, report."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .baseline import Baseline
+from .registry import Violation, select_rules
+from .reporters import LintReport
+from .walker import iter_python_files, parse_module
+
+__all__ = ["run_lint", "DEFAULT_PATHS", "DEFAULT_BASELINE"]
+
+#: What `iotls lint` checks when no paths are given: the library source
+#: and the repo tooling (tests deliberately exercise banned constructs).
+DEFAULT_PATHS = ("src", "tools")
+
+#: Repo-root-relative location of the committed suppression file.
+DEFAULT_BASELINE = "tools/lint_baseline.json"
+
+
+def run_lint(
+    paths: list[str | Path] | None = None,
+    *,
+    root: str | Path | None = None,
+    baseline: Baseline | None = None,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+) -> LintReport:
+    """Run every selected rule over every Python file under ``paths``.
+
+    ``root`` anchors repo-relative reporting paths and the project-level
+    inputs some rules read (the API-surface baseline); it defaults to
+    the current directory.  A :class:`SyntaxError` in a checked file is
+    surfaced as an ``RL000`` violation rather than an exception, so one
+    broken file cannot hide findings in the rest of the tree.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    targets = [Path(p) for p in (paths or [root / part for part in DEFAULT_PATHS])]
+    rules = select_rules(select, ignore)
+
+    violations: list[Violation] = []
+    files_checked = 0
+    for path in iter_python_files(targets):
+        files_checked += 1
+        try:
+            module = parse_module(path, root)
+        except SyntaxError as exc:
+            try:
+                relative = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                relative = path.as_posix()
+            violations.append(
+                Violation(
+                    code="RL000",
+                    path=relative,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            violations.extend(rule.run(module))
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    if baseline is None:
+        active, suppressed, stale = violations, [], []
+        unjustified = []
+    else:
+        active, suppressed, stale = baseline.partition(violations)
+        unjustified = baseline.unjustified()
+    return LintReport(
+        violations=active,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        unjustified_baseline=unjustified,
+        rules=rules,
+        files_checked=files_checked,
+    )

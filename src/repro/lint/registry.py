@@ -1,0 +1,123 @@
+"""The rule registry: violation records, rule metadata, selection.
+
+A *rule* is a pure function from a parsed module (:class:`ModuleContext`)
+to violations, registered under a stable code (``RL001``, ...) and a
+*family* that names the invariant class it protects:
+
+* ``determinism``        -- seeded RNGs, no wall-clock reads, ordered
+                            iteration (the byte-identical-manifest
+                            guarantee),
+* ``telemetry``          -- counters only through the registry API and
+                            never in stream paths; spans always close,
+* ``api``                -- no internal callers of deprecated names;
+                            the public surface matches its baseline,
+* ``exceptions``         -- no bare or silently swallowed exceptions.
+
+Rules carry their rationale so reports and ``--list-rules`` can say
+*why* a finding matters, not just where it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .walker import ModuleContext
+
+__all__ = ["Violation", "Rule", "rule", "all_rules", "select_rules", "FAMILIES"]
+
+#: The four invariant classes reprolint enforces.
+FAMILIES = ("determinism", "telemetry", "api", "exceptions")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a specific source location."""
+
+    code: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    #: The stripped source line -- the baseline's content-addressed key,
+    #: stable under unrelated edits that only shift line numbers.
+    snippet: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered invariant check."""
+
+    code: str
+    name: str
+    family: str
+    rationale: str
+    check: Callable[["ModuleContext"], Iterator[Violation]] = field(repr=False)
+
+    def run(self, module: "ModuleContext") -> Iterator[Violation]:
+        return self.check(module)
+
+
+#: Registration order is report order within a file.
+_RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, family: str, rationale: str):
+    """Register ``check`` under ``code``; returns the function unchanged."""
+    if family not in FAMILIES:
+        raise ValueError(f"unknown rule family {family!r} for {code}")
+
+    def decorator(check: Callable[["ModuleContext"], Iterator[Violation]]):
+        if code in _RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        _RULES[code] = Rule(
+            code=code, name=name, family=family, rationale=rationale, check=check
+        )
+        return check
+
+    return decorator
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in code order."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def select_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """Resolve ``--select`` / ``--ignore`` code lists to rule objects.
+
+    Raises :class:`ValueError` on a code that names no registered rule,
+    so typos fail loudly instead of silently checking nothing.
+    """
+    rules = all_rules()
+    known = {r.code for r in rules}
+    for requested in list(select or []) + list(ignore or []):
+        if requested not in known:
+            raise ValueError(
+                f"unknown rule code {requested!r}; known: {', '.join(sorted(known))}"
+            )
+    if select:
+        wanted = set(select)
+        rules = [r for r in rules if r.code in wanted]
+    if ignore:
+        dropped = set(ignore)
+        rules = [r for r in rules if r.code not in dropped]
+    return rules

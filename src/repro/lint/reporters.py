@@ -1,0 +1,126 @@
+"""Render a lint run for humans, machines, and GitHub's annotation UI.
+
+Three formats, one :class:`LintReport` input:
+
+* ``human``  -- ``path:line:col CODE message`` lines plus a summary,
+  the default for terminals,
+* ``json``   -- a stable ``reprolint-report/1`` document for tooling,
+* ``github`` -- ``::error`` workflow commands, so a CI failure
+  annotates the offending lines directly in the diff view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from .baseline import BaselineEntry
+from .registry import Rule, Violation
+
+__all__ = ["LintReport", "render", "FORMATS"]
+
+REPORT_SCHEMA = "reprolint-report/1"
+FORMATS = ("human", "json", "github")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    unjustified_baseline: list[BaselineEntry] = field(default_factory=list)
+    rules: list[Rule] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [violation.to_dict() for violation in self.violations],
+            "suppressed": [violation.to_dict() for violation in self.suppressed],
+            "stale_baseline": [entry.to_dict() for entry in self.stale_baseline],
+            "rules": {
+                rule.code: {
+                    "name": rule.name,
+                    "family": rule.family,
+                    "rationale": rule.rationale,
+                }
+                for rule in self.rules
+            },
+        }
+
+
+def _render_human(report: LintReport) -> str:
+    lines: list[str] = []
+    for violation in report.violations:
+        lines.append(
+            f"{violation.location()}: {violation.code} {violation.message}"
+        )
+        if violation.snippet:
+            lines.append(f"    {violation.snippet}")
+    for entry in report.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.code} {entry.path} "
+            f"({entry.snippet!r} no longer triggers; remove it or run "
+            "--update-baseline)"
+        )
+    for entry in report.unjustified_baseline:
+        lines.append(
+            f"baseline entry without justification: {entry.code} {entry.path} "
+            f"-- replace the TODO with why this is acceptable"
+        )
+    summary = (
+        f"checked {report.files_checked} file(s): "
+        f"{len(report.violations)} violation(s), "
+        f"{len(report.suppressed)} baselined"
+    )
+    if report.ok:
+        lines.append(f"reprolint ok -- {summary}")
+    else:
+        lines.append(f"reprolint FAILED -- {summary}")
+    return "\n".join(lines)
+
+
+def _escape_github(value: str) -> str:
+    """Workflow-command data escaping per GitHub's runner rules."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _render_github(report: LintReport) -> str:
+    lines = []
+    for violation in report.violations:
+        message = _escape_github(violation.message)
+        lines.append(
+            f"::error file={violation.path},line={violation.line},"
+            f"col={violation.col},title=reprolint {violation.code}::{message}"
+        )
+    for entry in report.stale_baseline:
+        lines.append(
+            f"::warning file={entry.path},title=reprolint stale baseline::"
+            f"{_escape_github(f'{entry.code} entry no longer triggers')}"
+        )
+    lines.append(
+        f"::notice title=reprolint::checked {report.files_checked} file(s), "
+        f"{len(report.violations)} violation(s), "
+        f"{len(report.suppressed)} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render(report: LintReport, fmt: str = "human") -> str:
+    if fmt == "human":
+        return _render_human(report)
+    if fmt == "json":
+        return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    if fmt == "github":
+        return _render_github(report)
+    raise ValueError(f"unknown format {fmt!r}; choose from {', '.join(FORMATS)}")

@@ -41,6 +41,7 @@ from .provenance import (
     artifact_digest,
     build_manifest,
     deterministic_metrics,
+    host_date,
     manifest_digest,
     write_manifest,
 )
@@ -76,6 +77,7 @@ __all__ = [
     "Tracer",
     "artifact_digest",
     "build_manifest",
+    "host_date",
     "configure",
     "deterministic_metrics",
     "manifest_digest",

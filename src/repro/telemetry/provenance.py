@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from datetime import date
 from pathlib import Path
 from typing import Any
 
@@ -47,6 +48,7 @@ __all__ = [
     "canonical_json",
     "config_digest",
     "deterministic_metrics",
+    "host_date",
     "manifest_digest",
     "write_manifest",
 ]
@@ -60,6 +62,19 @@ _DIGEST_SIZE = 16
 
 def _blake2s(data: bytes) -> str:
     return hashlib.blake2s(data, digest_size=_DIGEST_SIZE).hexdigest()
+
+
+def host_date() -> str:
+    """Today's calendar date on the host, ISO-formatted.
+
+    The telemetry package is the repo's one sanctioned clock boundary
+    (reprolint rule RL002): code that *deliberately* records wall-clock
+    provenance -- the benchmark trajectory's per-entry date stamp --
+    must read it through this helper rather than calling
+    ``date.today()`` at the call site.  Nothing returned here may feed
+    a run manifest; manifests stay wall-clock-free by design.
+    """
+    return date.today().isoformat()
 
 
 def canonical_json(payload: Any) -> str:

@@ -22,12 +22,7 @@ from repro.api import (
     run_probe,
     run_trace,
 )
-from repro.analysis.export import (
-    campaign_to_dict,
-    campaign_to_document,
-    probe_report_to_dict,
-    probe_report_to_document,
-)
+from repro.analysis import export as analysis_export
 
 
 @pytest.fixture(autouse=True)
@@ -126,14 +121,21 @@ class TestRunPcap:
         assert result.size_bytes == result.path.stat().st_size
 
 
-class TestDeprecatedExportNames:
-    def test_campaign_to_dict_warns_but_matches(self, campaign_results):
-        with pytest.warns(DeprecationWarning, match="campaign_to_document"):
-            old = campaign_to_dict(campaign_results)
-        assert old == campaign_to_document(campaign_results)
+class TestRemovedExportAliases:
+    """The PR-4 deprecation cycle is complete: the aliases are gone."""
 
-    def test_probe_report_to_dict_warns_but_matches(self, campaign_results):
-        report = campaign_results.probes[0]
-        with pytest.warns(DeprecationWarning, match="probe_report_to_document"):
-            old = probe_report_to_dict(report)
-        assert old == probe_report_to_document(report)
+    @pytest.mark.parametrize("name", ["campaign_to_dict", "probe_report_to_dict"])
+    def test_to_dict_aliases_removed(self, name):
+        import repro.analysis
+
+        assert not hasattr(analysis_export, name)
+        assert name not in analysis_export.__all__
+        assert name not in repro.analysis.__all__
+        with pytest.raises(AttributeError):
+            getattr(repro.analysis, name)
+
+    def test_document_names_remain(self, campaign_results):
+        document = analysis_export.campaign_to_document(campaign_results)
+        assert document["summary"]["vulnerable_devices"] == 11
+        probe = analysis_export.probe_report_to_document(campaign_results.probes[0])
+        assert probe["device"] == campaign_results.probes[0].device

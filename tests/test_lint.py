@@ -1,0 +1,507 @@
+"""reprolint: the AST invariant checker (engine, rules, baseline, CLI).
+
+Each rule gets a good/bad fixture pair, so the rule's boundary is
+pinned from both sides: the bad snippet must fire and the good snippet
+-- the idiom the codebase actually uses -- must stay silent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as iotls_main
+from repro.lint import (
+    Baseline,
+    BaselineEntry,
+    LintReport,
+    all_rules,
+    render,
+    run_lint,
+    select_rules,
+)
+from repro.lint.baseline import TODO_JUSTIFICATION
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_source(tmp_path: Path, source: str, **kwargs) -> LintReport:
+    """Lint one snippet as a standalone file rooted at ``tmp_path``."""
+    target = tmp_path / "snippet.py"
+    target.write_text(source)
+    return run_lint([target], root=tmp_path, **kwargs)
+
+
+def codes(report: LintReport) -> list[str]:
+    return [violation.code for violation in report.violations]
+
+
+# ----------------------------------------------------------------------
+# Rule fixtures: determinism family
+# ----------------------------------------------------------------------
+class TestRL001UnseededRng:
+    def test_bad_unseeded_random(self, tmp_path):
+        report = lint_source(tmp_path, "import random\nrng = random.Random()\n")
+        assert codes(report) == ["RL001"]
+
+    def test_bad_global_rng_function(self, tmp_path):
+        report = lint_source(tmp_path, "import random\nx = random.choice([1, 2])\n")
+        assert codes(report) == ["RL001"]
+
+    def test_bad_from_import(self, tmp_path):
+        report = lint_source(tmp_path, "from random import Random\nrng = Random()\n")
+        assert codes(report) == ["RL001"]
+
+    def test_good_keyed_seed(self, tmp_path):
+        source = (
+            "import random\n"
+            "def flow(seed, device, month):\n"
+            '    return random.Random(f"{seed}:{device}:{month}").random()\n'
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_good_instance_methods_not_confused_with_module(self, tmp_path):
+        source = (
+            "import random\n"
+            'rng = random.Random("seeded")\n'
+            "x = rng.random()\n"
+            "y = rng.choice([1, 2])\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+
+class TestRL002WallClock:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import time\nnow = time.time()\n",
+            "from time import time\nnow = time()\n",
+            "from datetime import datetime\nnow = datetime.now()\n",
+            "import datetime\nnow = datetime.datetime.utcnow()\n",
+            "import os\nnoise = os.urandom(8)\n",
+            "import uuid\nrun_id = uuid.uuid4()\n",
+        ],
+    )
+    def test_bad_nondeterministic_sources(self, tmp_path, source):
+        assert codes(lint_source(tmp_path, source)) == ["RL002"]
+
+    def test_good_monotonic_and_simulated_time(self, tmp_path):
+        source = (
+            "from time import perf_counter\n"
+            "from datetime import datetime\n"
+            "started = perf_counter()\n"
+            "when = datetime(2018, 1, 1)\n"
+            "parsed = datetime.fromisoformat('2018-01-01')\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_clock_boundary_module_is_exempt(self, tmp_path):
+        boundary = tmp_path / "src" / "repro" / "telemetry"
+        boundary.mkdir(parents=True)
+        target = boundary / "clock.py"
+        target.write_text("import time\nnow = time.time()\n")
+        report = run_lint([target], root=tmp_path)
+        assert codes(report) == []
+
+
+class TestRL003SetIteration:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "for item in {'b', 'a'}:\n    print(item)\n",
+            "names = list({record for record in []})\n",
+            "out = ','.join(set('abc'))\n",
+            "rows = [x for x in set([1, 2])]\n",
+        ],
+    )
+    def test_bad_hash_order_iteration(self, tmp_path, source):
+        assert codes(lint_source(tmp_path, source)) == ["RL003"]
+
+    def test_good_sorted_wrapping(self, tmp_path):
+        source = (
+            "devices = sorted({r for r in ['b', 'a']})\n"
+            "for name in sorted(set('abc')):\n"
+            "    print(name)\n"
+            "n = len({1, 2})\n"
+            "present = 'a' in {'a', 'b'}\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+
+# ----------------------------------------------------------------------
+# Rule fixtures: telemetry family
+# ----------------------------------------------------------------------
+class TestRL010CounterDiscipline:
+    def test_bad_counter_in_stream_scope(self, tmp_path):
+        source = (
+            "def stream_into(registry):\n"
+            "    registry.counter('iotls_x_total', 'help').inc()\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == ["RL010"]
+
+    def test_bad_direct_counter_construction(self, tmp_path):
+        source = (
+            "from repro.telemetry.metrics import Counter\n"
+            "c = Counter('iotls_x_total', 'help', None)\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == ["RL010"]
+
+    def test_good_gauges_in_stream_scope(self, tmp_path):
+        source = (
+            "def stream_into(registry, throughput):\n"
+            "    registry.gauge('iotls_stream_records_per_second', 'h').set(throughput)\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_good_counter_outside_stream_scope(self, tmp_path):
+        source = (
+            "def generate(registry):\n"
+            "    registry.counter('iotls_handshakes_total', 'h').inc()\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+
+class TestRL011SpanContextManager:
+    def test_bad_span_assigned(self, tmp_path):
+        source = "def run(tracer):\n    span = tracer.span('leaky')\n    return span\n"
+        assert codes(lint_source(tmp_path, source)) == ["RL011"]
+
+    def test_good_span_with_statement(self, tmp_path):
+        source = (
+            "def run(tracer):\n"
+            "    with tracer.span('ok', device='d') as span:\n"
+            "        span.annotate(n=1)\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_good_multiple_with_items(self, tmp_path):
+        source = (
+            "def run(a, b):\n"
+            "    with a.span('one'), b.span('two'):\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+
+# ----------------------------------------------------------------------
+# Rule fixtures: API hygiene family
+# ----------------------------------------------------------------------
+class TestRL020DeprecatedAliases:
+    def test_bad_import_of_removed_alias(self, tmp_path):
+        source = "from repro.analysis.export import campaign_to_dict\n"
+        assert "RL020" in codes(lint_source(tmp_path, source))
+
+    def test_bad_attribute_reference(self, tmp_path):
+        source = (
+            "from repro.analysis import export\n"
+            "payload = export.probe_report_to_dict(None)\n"
+        )
+        assert "RL020" in codes(lint_source(tmp_path, source))
+
+    def test_good_document_names(self, tmp_path):
+        source = (
+            "from repro.analysis.export import campaign_to_document\n"
+            "payload = campaign_to_document(None)\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+
+class TestRL021ApiSurface:
+    def _project(self, tmp_path, exported, recorded) -> Path:
+        (tmp_path / "tools").mkdir()
+        (tmp_path / "tools" / "api_surface.json").write_text(
+            json.dumps({"schema": "iotls-api-surface/1", "modules": {"mypkg": recorded}})
+        )
+        package = tmp_path / "src" / "mypkg"
+        package.mkdir(parents=True)
+        target = package / "__init__.py"
+        names = ", ".join(repr(name) for name in exported)
+        target.write_text(f"__all__ = [{names}]\n")
+        return target
+
+    def test_bad_symbol_missing_from_baseline(self, tmp_path):
+        target = self._project(tmp_path, ["run_lint", "new_thing"], ["run_lint"])
+        report = run_lint([target], root=tmp_path)
+        assert codes(report) == ["RL021"]
+        assert "new_thing" in report.violations[0].message
+
+    def test_good_surface_in_sync(self, tmp_path):
+        target = self._project(tmp_path, ["run_lint"], ["run_lint"])
+        assert codes(run_lint([target], root=tmp_path)) == []
+
+    def test_ungated_module_is_skipped(self, tmp_path):
+        target = self._project(tmp_path, ["anything"], ["anything"])
+        other = tmp_path / "src" / "otherpkg.py"
+        other.write_text("__all__ = ['not_gated']\n")
+        assert codes(run_lint([other], root=tmp_path)) == []
+
+
+# ----------------------------------------------------------------------
+# Rule fixtures: exception hygiene family
+# ----------------------------------------------------------------------
+class TestRL030ExceptionHygiene:
+    def test_bad_bare_except(self, tmp_path):
+        source = "try:\n    x = 1\nexcept:\n    x = 2\n"
+        assert codes(lint_source(tmp_path, source)) == ["RL030"]
+
+    def test_bad_swallowed_exception(self, tmp_path):
+        source = "try:\n    x = 1\nexcept Exception:\n    pass\n"
+        assert codes(lint_source(tmp_path, source)) == ["RL030"]
+
+    def test_good_typed_handler(self, tmp_path):
+        source = (
+            "try:\n    x = 1\n"
+            "except (OSError, ValueError) as exc:\n"
+            "    raise RuntimeError('context') from exc\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_good_broad_handler_that_handles(self, tmp_path):
+        source = (
+            "def run(log):\n"
+            "    try:\n        x = 1\n"
+            "    except Exception as exc:\n"
+            "        log.error('failed', error=str(exc))\n"
+            "        raise\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        report = lint_source(tmp_path, "def broken(:\n")
+        assert codes(report) == ["RL000"]
+
+    def test_select_and_ignore(self, tmp_path):
+        source = "import random, time\nr = random.Random()\nt = time.time()\n"
+        only_rng = lint_source(tmp_path, source, select=["RL001"])
+        assert codes(only_rng) == ["RL001"]
+        no_rng = lint_source(tmp_path, source, ignore=["RL001"])
+        assert codes(no_rng) == ["RL002"]
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(ValueError, match="RL999"):
+            select_rules(select=["RL999"])
+
+    def test_rule_catalog_covers_all_families(self):
+        rules = all_rules()
+        assert {rule.family for rule in rules} == {
+            "determinism", "telemetry", "api", "exceptions"
+        }
+        assert len(rules) >= 8
+
+    def test_repo_is_lint_clean_with_committed_baseline(self):
+        """The acceptance gate: HEAD has no active violations."""
+        baseline = Baseline.load(REPO_ROOT / "tools" / "lint_baseline.json")
+        report = run_lint(
+            [REPO_ROOT / "src", REPO_ROOT / "tools"],
+            root=REPO_ROOT,
+            baseline=baseline,
+        )
+        assert report.ok, [v.to_dict() for v in report.violations]
+        assert not report.stale_baseline, [e.to_dict() for e in report.stale_baseline]
+        assert not report.unjustified_baseline
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def test_suppression_round_trip(self, tmp_path):
+        source = "import time\nnow = time.time()\n"
+        first = lint_source(tmp_path, source)
+        assert codes(first) == ["RL002"]
+
+        baseline = Baseline(entries=[], path=tmp_path / "baseline.json")
+        rebuilt = baseline.rebuilt_from(first.violations)
+        saved = rebuilt.save()
+        loaded = Baseline.load(saved)
+        assert [e.justification for e in loaded.entries] == [TODO_JUSTIFICATION]
+
+        second = lint_source(tmp_path, source, baseline=loaded)
+        assert second.ok
+        assert codes(second) == []
+        assert [v.code for v in second.suppressed] == ["RL002"]
+
+    def test_stale_entry_detected(self, tmp_path):
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    code="RL002",
+                    path="snippet.py",
+                    snippet="now = time.time()",
+                    justification="was needed once",
+                )
+            ]
+        )
+        report = lint_source(tmp_path, "x = 1\n", baseline=baseline)
+        assert report.ok
+        assert [e.snippet for e in report.stale_baseline] == ["now = time.time()"]
+
+    def test_line_shift_does_not_invalidate_suppression(self, tmp_path):
+        source = "import time\nnow = time.time()\n"
+        baseline = Baseline(entries=[], path=tmp_path / "b.json").rebuilt_from(
+            lint_source(tmp_path, source).violations
+        )
+        shifted = "import time\n\n\n# comment\nnow = time.time()\n"
+        report = lint_source(tmp_path, shifted, baseline=baseline)
+        assert report.ok and [v.code for v in report.suppressed] == ["RL002"]
+
+    def test_justification_preserved_on_rebuild(self, tmp_path):
+        source = "import time\nnow = time.time()\n"
+        violations = lint_source(tmp_path, source).violations
+        first = Baseline(entries=[], path=tmp_path / "b.json").rebuilt_from(violations)
+        entry = first.entries[0]
+        first.entries = [
+            BaselineEntry(entry.code, entry.path, entry.snippet, "a real reason")
+        ]
+        again = first.rebuilt_from(violations)
+        assert [e.justification for e in again.entries] == ["a real reason"]
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    @pytest.fixture()
+    def failing_report(self, tmp_path):
+        return lint_source(tmp_path, "import time\nnow = time.time()\n")
+
+    def test_json_schema(self, failing_report):
+        payload = json.loads(render(failing_report, "json"))
+        assert payload["schema"] == "reprolint-report/1"
+        assert payload["ok"] is False
+        assert payload["files_checked"] == 1
+        [violation] = payload["violations"]
+        assert set(violation) == {"code", "path", "line", "col", "message", "snippet"}
+        assert violation["code"] == "RL002"
+        assert violation["line"] == 2
+        assert payload["rules"]["RL002"]["family"] == "determinism"
+        assert payload["suppressed"] == []
+        assert payload["stale_baseline"] == []
+
+    def test_github_annotations(self, failing_report):
+        text = render(failing_report, "github")
+        assert "::error file=snippet.py,line=2," in text
+        assert "title=reprolint RL002::" in text
+        assert "::notice title=reprolint::" in text
+
+    def test_human_summary(self, failing_report):
+        text = render(failing_report, "human")
+        assert "snippet.py:2:" in text
+        assert "reprolint FAILED" in text
+
+    def test_unknown_format_raises(self, failing_report):
+        with pytest.raises(ValueError, match="unknown format"):
+            render(failing_report, "xml")
+
+
+# ----------------------------------------------------------------------
+# CLI (module entry and iotls subcommand)
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        status = lint_main([str(target), "--root", str(tmp_path), "--no-baseline"])
+        assert status == 0
+        assert "reprolint ok" in capsys.readouterr().out
+
+    def test_bad_file_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import time\nnow = time.time()\n")
+        status = lint_main([str(target), "--root", str(tmp_path), "--no-baseline"])
+        assert status == 1
+        assert "RL002" in capsys.readouterr().out
+
+    def test_unknown_rule_code_exits_two(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        status = lint_main([str(target), "--select", "RL999", "--no-baseline"])
+        assert status == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope.py"), "--no-baseline"]) == 2
+
+    def test_update_baseline_writes_and_suppresses(self, tmp_path, capsys):
+        target = tmp_path / "bad.py"
+        target.write_text("import time\nnow = time.time()\n")
+        baseline_path = tmp_path / "baseline.json"
+        assert (
+            lint_main(
+                [
+                    str(target),
+                    "--root", str(tmp_path),
+                    "--baseline", str(baseline_path),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert baseline_path.exists()
+        capsys.readouterr()
+        status = lint_main(
+            [str(target), "--root", str(tmp_path), "--baseline", str(baseline_path)]
+        )
+        assert status == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_iotls_lint_smoke(self, tmp_path, capsys):
+        """The subcommand wiring: `iotls lint <clean file>` exits 0."""
+        target = tmp_path / "ok.py"
+        target.write_text("x = 1\n")
+        status = iotls_main(
+            ["lint", str(target), "--root", str(tmp_path), "--no-baseline"]
+        )
+        assert status == 0
+        assert "reprolint ok" in capsys.readouterr().out
+
+    def test_iotls_lint_list_rules(self, capsys):
+        assert iotls_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RL001", "RL002", "RL003", "RL010", "RL011", "RL020", "RL021", "RL030"):
+            assert code in out
+
+
+# ----------------------------------------------------------------------
+# Regression tests for violations fixed in this PR
+# ----------------------------------------------------------------------
+class TestFixedViolations:
+    def test_host_date_is_the_clock_boundary(self):
+        """Bench date stamps go through repro.telemetry.host_date (RL002)."""
+        from datetime import date
+
+        from repro.telemetry import host_date
+
+        assert host_date() == date.today().isoformat()
+
+    def test_bench_history_stamps_via_host_date(self, tmp_path):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "bench_history_lint_check", REPO_ROOT / "tools" / "bench_history.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        from repro.telemetry import host_date
+
+        entry = module.append_history("bench_lint", 0.5, path=tmp_path / "h.jsonl")
+        assert entry["date"] == host_date()
+
+    def test_bench_tools_have_no_wall_clock_reads(self):
+        report = run_lint(
+            [
+                REPO_ROOT / "tools" / "bench_history.py",
+                REPO_ROOT / "tools" / "bench_parallel.py",
+            ],
+            root=REPO_ROOT,
+            select=["RL002"],
+        )
+        assert report.ok, [v.to_dict() for v in report.violations]

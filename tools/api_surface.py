@@ -33,6 +33,7 @@ MODULES = [
     "repro.core",
     "repro.devices",
     "repro.fingerprint",
+    "repro.lint",
     "repro.longitudinal",
     "repro.mitm",
     "repro.parallel",

@@ -15,7 +15,6 @@ from __future__ import annotations
 import json
 import os
 import subprocess
-from datetime import date
 from pathlib import Path
 from typing import Any
 
@@ -48,9 +47,13 @@ def append_history(
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Append one timing record to the trajectory and return it."""
+    # The telemetry package is the sanctioned clock boundary (RL002);
+    # lazy so read-only consumers (bench_gate) need no repro install.
+    from repro.telemetry import host_date
+
     entry: dict[str, Any] = {
         "benchmark": benchmark,
-        "date": date.today().isoformat(),
+        "date": host_date(),
         "git_rev": git_rev(),
         "host_cpu_count": os.cpu_count(),
         "seconds": round(seconds, 4),

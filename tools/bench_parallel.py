@@ -19,7 +19,6 @@ import argparse
 import json
 import os
 import sys
-from datetime import date
 from pathlib import Path
 from time import perf_counter
 
@@ -27,6 +26,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_history import append_history  # noqa: E402
 
 from repro.longitudinal import PassiveTraceGenerator
+from repro.telemetry import host_date
 
 DEFAULT_SCALE = 200
 SEED = "iotls-bench-parallel"
@@ -76,7 +76,7 @@ def main() -> int:
 
     document = {
         "benchmark": "tools/bench_parallel.py (passive-trace generation)",
-        "date": date.today().isoformat(),
+        "date": host_date(),
         "command": {
             "serial": f"iotls trace --scale {args.scale} --seed {SEED}",
             "parallel": f"iotls trace --scale {args.scale} --seed {SEED} --workers N",
