@@ -29,9 +29,11 @@ series that both modes count identically.
 
 from __future__ import annotations
 
+import sys
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 from . import telemetry
 from .analysis.export import (
@@ -87,6 +89,10 @@ class RunConfig:
     flow_cap: int | None = None
     #: Include the audit campaign's passthrough pass.
     include_passthrough: bool = True
+    #: Emit throttled live-progress lines to stderr (implies telemetry).
+    progress: bool = False
+    #: Seconds between progress heartbeats / resource samples.
+    heartbeat_interval: float = 1.0
 
 
 class RunError(Exception):
@@ -123,6 +129,10 @@ class TraceResult:
     manifest: dict[str, Any]
     manifest_digest: str
     artifacts: dict[str, Path] = field(default_factory=dict)
+    #: Run-health summary (progress + resources); ``None`` unless the
+    #: run had progress/heartbeat reporting enabled.  Never part of the
+    #: manifest -- health is wall-clock-derived by nature.
+    health: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -133,6 +143,8 @@ class AuditResult:
     manifest: dict[str, Any]
     manifest_digest: str
     artifacts: dict[str, Path] = field(default_factory=dict)
+    #: See :attr:`TraceResult.health`.
+    health: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -160,6 +172,8 @@ class ReportResult:
     manifest: dict[str, Any]
     manifest_digest: str
     artifacts: dict[str, Path] = field(default_factory=dict)
+    #: See :attr:`TraceResult.health`.
+    health: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)
@@ -178,8 +192,69 @@ class PcapResult:
 # Internals
 # ----------------------------------------------------------------------
 def _configure_telemetry(config: RunConfig) -> None:
-    if config.telemetry:
+    # Progress reporting rides on the telemetry runtime (events, spans,
+    # resource gauges), so --progress implies telemetry.
+    if config.telemetry or config.progress:
         telemetry.configure(enabled=True)
+
+
+@contextmanager
+def _progress_session(
+    config: RunConfig,
+    heartbeat_path: str | Path | None,
+    *,
+    label: str,
+    total: int | None = None,
+) -> Iterator[Any | None]:
+    """The run-health envelope around one ``run_*`` call.
+
+    When the run asks for progress (``config.progress``) or a heartbeat
+    stream (``heartbeat_path``), this wires up the full chain -- a
+    :class:`~repro.telemetry.health.ResourceSampler` (gauges into the
+    run registry), an optional
+    :class:`~repro.telemetry.progress.HeartbeatWriter`, and a
+    :class:`~repro.telemetry.progress.ProgressReporter` attached as
+    ``runtime.progress`` for hot paths to feed -- and tears it all down
+    on exit, error paths included.  Yields ``None`` (and costs nothing)
+    when neither is requested.
+
+    The heartbeat JSONL is deliberately **not** a manifest artifact:
+    every line is wall-clock-derived, and digesting it would break the
+    on/off manifest parity the telemetry layer guarantees.
+    """
+    if not (config.progress or heartbeat_path is not None):
+        yield None
+        return
+    runtime = telemetry.get()
+    sampler = telemetry.ResourceSampler(
+        interval=config.heartbeat_interval, registry=runtime.registry
+    ).start()
+    writer = (
+        telemetry.HeartbeatWriter(
+            heartbeat_path, metadata={"label": label, "workers": config.workers}
+        )
+        if heartbeat_path is not None
+        else None
+    )
+    reporter = telemetry.ProgressReporter(
+        label=label,
+        total=total,
+        interval=config.heartbeat_interval,
+        stream=(
+            (lambda line: print(line, file=sys.stderr)) if config.progress else None
+        ),
+        heartbeat=writer,
+        events=runtime.events,
+        sampler=sampler,
+    )
+    runtime.progress = reporter
+    try:
+        yield reporter
+    finally:
+        runtime.progress = None
+        # finish() is idempotent and closes the writer + sampler even
+        # when the run body raised.
+        reporter.finish()
 
 
 def _build_manifest(
@@ -209,6 +284,7 @@ def run_trace(
     *,
     json_path: str | Path | None = None,
     stream_path: str | Path | None = None,
+    heartbeat_path: str | Path | None = None,
 ) -> TraceResult:
     """Generate the 27-month passive capture and run every analysis.
 
@@ -216,10 +292,13 @@ def run_trace(
     ``stream_path`` exports the JSONL stream artifact (and implies
     streaming mode, as does ``config.stream``).  The two exports are
     mutually exclusive: a streaming run never materialises the capture
-    the document shape requires.
+    the document shape requires.  ``heartbeat_path`` writes the
+    machine-readable run-health stream (``iotls-health-stream/1``); it
+    is telemetry about the run, not an artifact of it, so it never
+    enters the manifest.
     """
     from .longitudinal import PassiveTraceGenerator
-    from .testbed.capture import CaptureTee
+    from .testbed.capture import CaptureTee, ProgressSink
 
     _configure_telemetry(config)
     streaming = config.stream or stream_path is not None
@@ -232,47 +311,56 @@ def run_trace(
         scale=config.scale, seed=config.seed, flow_cap=config.flow_cap
     )
     artifacts: dict[str, Path] = {}
-    if streaming:
-        pipeline = TraceAnalysisPipeline()
-        writer = None
-        sinks: list[Any] = [pipeline]
-        if stream_path is not None:
-            metadata = {"generator": "iotls trace", **_trace_params(config)}
-            writer = JsonlStreamWriter(stream_path, metadata=metadata)
-            sinks.append(writer)
-        # The tee is the single counting stage of the chain: it observes
-        # post-flow-cap records exactly like the materialised path's
-        # terminal capture, which keeps the manifest metrics identical.
-        tee = CaptureTee(*sinks)
-        try:
-            generator.stream_into(tee, workers=config.workers)
-        finally:
+    with _progress_session(config, heartbeat_path, label="trace") as reporter:
+        if streaming:
+            pipeline = TraceAnalysisPipeline()
+            writer = None
+            progress_sink = None
+            sinks: list[Any] = [pipeline]
+            if stream_path is not None:
+                metadata = {"generator": "iotls trace", **_trace_params(config)}
+                writer = JsonlStreamWriter(stream_path, metadata=metadata)
+                sinks.append(writer)
+            if reporter is not None:
+                # Record-level progress comes from the stream itself; the
+                # sink is uncounted and cannot perturb manifests.
+                progress_sink = ProgressSink(reporter)
+                sinks.append(progress_sink)
+            # The tee is the single counting stage of the chain: it observes
+            # post-flow-cap records exactly like the materialised path's
+            # terminal capture, which keeps the manifest metrics identical.
+            tee = CaptureTee(*sinks)
+            try:
+                generator.stream_into(tee, workers=config.workers)
+            finally:
+                if progress_sink is not None:
+                    progress_sink.flush()
+                if writer is not None:
+                    writer.close()
+            analysis = pipeline.finalize()
+            capture = None
             if writer is not None:
-                writer.close()
-        analysis = pipeline.finalize()
-        capture = None
-        if writer is not None:
-            artifacts["records_jsonl"] = writer.path
-    else:
-        capture = generator.generate(workers=config.workers)
-        analysis = analyze_capture(capture)
-        if json_path is not None:
-            document = capture_to_document(
-                capture,
-                metadata={
-                    "generator": "iotls trace",
-                    "seed": config.seed,
-                    "scale": config.scale,
-                    **(
-                        {"flow_cap": config.flow_cap}
-                        if config.flow_cap is not None
-                        else {}
-                    ),
-                    "flow_records": analysis.flow_records,
-                    "connections": analysis.connections,
-                },
-            )
-            artifacts["records_json"] = write_json(document, json_path)
+                artifacts["records_jsonl"] = writer.path
+        else:
+            capture = generator.generate(workers=config.workers)
+            analysis = analyze_capture(capture)
+            if json_path is not None:
+                document = capture_to_document(
+                    capture,
+                    metadata={
+                        "generator": "iotls trace",
+                        "seed": config.seed,
+                        "scale": config.scale,
+                        **(
+                            {"flow_cap": config.flow_cap}
+                            if config.flow_cap is not None
+                            else {}
+                        ),
+                        "flow_records": analysis.flow_records,
+                        "connections": analysis.connections,
+                    },
+                )
+                artifacts["records_json"] = write_json(document, json_path)
     manifest, digest = _build_manifest("trace", _trace_params(config), artifacts)
     return TraceResult(
         analysis=analysis,
@@ -280,29 +368,38 @@ def run_trace(
         manifest=manifest,
         manifest_digest=digest,
         artifacts=artifacts,
+        health=reporter.summary if reporter is not None else None,
     )
 
 
 def run_audit(
-    config: RunConfig = RunConfig(), *, json_path: str | Path | None = None
+    config: RunConfig = RunConfig(),
+    *,
+    json_path: str | Path | None = None,
+    heartbeat_path: str | Path | None = None,
 ) -> AuditResult:
     """Run the full active-experiment campaign (Tables 5/6/7/9)."""
     from .core import ActiveExperimentCampaign
 
     _configure_telemetry(config)
-    results = ActiveExperimentCampaign().run(
-        include_passthrough=config.include_passthrough, workers=config.workers
-    )
-    artifacts: dict[str, Path] = {}
-    if json_path is not None:
-        artifacts["campaign_json"] = write_json(
-            campaign_to_document(results), json_path
+    with _progress_session(config, heartbeat_path, label="audit") as reporter:
+        results = ActiveExperimentCampaign().run(
+            include_passthrough=config.include_passthrough, workers=config.workers
         )
+        artifacts: dict[str, Path] = {}
+        if json_path is not None:
+            artifacts["campaign_json"] = write_json(
+                campaign_to_document(results), json_path
+            )
     manifest, digest = _build_manifest(
         "audit", {"include_passthrough": config.include_passthrough}, artifacts
     )
     return AuditResult(
-        results=results, manifest=manifest, manifest_digest=digest, artifacts=artifacts
+        results=results,
+        manifest=manifest,
+        manifest_digest=digest,
+        artifacts=artifacts,
+        health=reporter.summary if reporter is not None else None,
     )
 
 
@@ -365,11 +462,14 @@ def run_report(
     *,
     out: str | Path = "REPORT.md",
     progress: Callable[[str], None] | None = None,
+    heartbeat_path: str | Path | None = None,
 ) -> ReportResult:
     """Run everything and write the full markdown report.
 
     ``progress`` receives coarse phase announcements (the CLI prints
-    them); pass ``None`` for a silent run.
+    them); pass ``None`` for a silent run.  Live heartbeats are separate:
+    ``config.progress`` / ``heartbeat_path`` wire the same run-health
+    envelope the other run functions use.
     """
     from .analysis.report import write_report
     from .core import ActiveExperimentCampaign
@@ -379,13 +479,14 @@ def run_report(
     _configure_telemetry(config)
     notify = progress or (lambda message: None)
     testbed = Testbed()
-    notify("running active campaign...")
-    results = ActiveExperimentCampaign(testbed).run(workers=config.workers)
-    notify("generating passive trace...")
-    capture = PassiveTraceGenerator(
-        testbed, scale=config.scale, seed=config.seed
-    ).generate(workers=config.workers)
-    path = write_report(testbed, results, capture, out)
+    with _progress_session(config, heartbeat_path, label="report") as reporter:
+        notify("running active campaign...")
+        results = ActiveExperimentCampaign(testbed).run(workers=config.workers)
+        notify("generating passive trace...")
+        capture = PassiveTraceGenerator(
+            testbed, scale=config.scale, seed=config.seed
+        ).generate(workers=config.workers)
+        path = write_report(testbed, results, capture, out)
     artifacts = {"report_md": path}
     manifest, digest = _build_manifest("report", {"scale": config.scale}, artifacts)
     return ReportResult(
@@ -395,6 +496,7 @@ def run_report(
         manifest=manifest,
         manifest_digest=digest,
         artifacts=artifacts,
+        health=reporter.summary if reporter is not None else None,
     )
 
 

@@ -53,17 +53,24 @@ __all__ = [
 #: Which shared run flags each subcommand supports -- the one table the
 #: parser builder and option resolver both read.
 _RUN_OPTIONS: dict[str, frozenset[str]] = {
-    "audit": frozenset({"telemetry", "metrics", "workers", "manifest", "profile", "json"}),
+    "audit": frozenset(
+        {"telemetry", "metrics", "workers", "manifest", "profile", "json", "progress"}
+    ),
     "probe": frozenset({"telemetry", "metrics", "json"}),
     "amenability": frozenset({"telemetry"}),
-    "trace": frozenset({"telemetry", "metrics", "workers", "manifest", "profile", "json"}),
+    "trace": frozenset(
+        {"telemetry", "metrics", "workers", "manifest", "profile", "json", "progress"}
+    ),
     "fingerprint": frozenset({"telemetry"}),
     "devices": frozenset({"telemetry"}),
-    "report": frozenset({"telemetry", "metrics", "workers", "manifest", "profile"}),
+    "report": frozenset(
+        {"telemetry", "metrics", "workers", "manifest", "profile", "progress"}
+    ),
     "pcap": frozenset({"telemetry", "workers", "manifest"}),
     "check": frozenset({"telemetry", "workers", "json"}),
     "lint": frozenset(),
     "telemetry-demo": frozenset({"metrics"}),
+    "bench-report": frozenset({"json"}),
 }
 
 #: Per-command ``--json`` help text (the flag means a different artifact
@@ -73,6 +80,7 @@ _JSON_HELP = {
     "probe": "export the probe report as JSON",
     "trace": "export per-connection records as JSON",
     "check": "export the drift report as JSON",
+    "bench-report": "export the trend report and SLO verdicts as JSON",
 }
 
 
@@ -123,6 +131,26 @@ def add_run_options(parser: argparse.ArgumentParser, command: str) -> None:
             metavar="PATH",
             help="write flamegraph-ready collapsed stacks (implies --profile)",
         )
+    if "progress" in supported:
+        parser.add_argument(
+            "--progress",
+            action="store_true",
+            help="print throttled live-progress heartbeats to stderr "
+            "(implies --telemetry)",
+        )
+        parser.add_argument(
+            "--heartbeat-out",
+            metavar="PATH",
+            help="write the machine-readable run-health stream as JSONL "
+            "(schema iotls-health-stream/1; implies --telemetry)",
+        )
+        parser.add_argument(
+            "--heartbeat-interval",
+            type=float,
+            default=1.0,
+            metavar="SECONDS",
+            help="seconds between heartbeats / resource samples (default 1.0)",
+        )
     if "json" in supported:
         parser.add_argument("--json", metavar="PATH", help=_JSON_HELP[command])
 
@@ -140,10 +168,17 @@ class RunOptions:
     profile_out: str | None = None
     profile_stacks: str | None = None
     json: str | None = None
+    progress: bool = False
+    heartbeat_out: str | None = None
+    heartbeat_interval: float = 1.0
 
     @property
     def profile_on(self) -> bool:
         return bool(self.profile or self.profile_out or self.profile_stacks)
+
+    @property
+    def progress_on(self) -> bool:
+        return bool(self.progress or self.heartbeat_out)
 
     @property
     def telemetry_on(self) -> bool:
@@ -151,6 +186,7 @@ class RunOptions:
             self.telemetry
             or self.metrics_out is not None
             or self.profile_on
+            or self.progress_on
             or self.command == "telemetry-demo"
         )
 
@@ -168,6 +204,9 @@ def resolve_run_options(args: argparse.Namespace) -> RunOptions:
         profile_out=getattr(args, "profile_out", None),
         profile_stacks=getattr(args, "profile_stacks", None),
         json=getattr(args, "json", None),
+        progress=bool(getattr(args, "progress", False)),
+        heartbeat_out=getattr(args, "heartbeat_out", None),
+        heartbeat_interval=getattr(args, "heartbeat_interval", 1.0),
     )
 
 
@@ -285,6 +324,24 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--scale", type=int, default=2, help="passive-trace scale (default 2)")
     add_run_options(demo, "telemetry-demo")
 
+    bench_report = subparsers.add_parser(
+        "bench-report",
+        help="summarise the benchmark trajectory and evaluate SLOs",
+    )
+    bench_report.add_argument(
+        "--history",
+        default="BENCH_history.jsonl",
+        metavar="PATH",
+        help="benchmark trajectory file (default BENCH_history.jsonl)",
+    )
+    bench_report.add_argument(
+        "--slo",
+        metavar="PATH",
+        help="evaluate the SLO policy file (tools/slo.json schema iotls-slo/1); "
+        "a failing blocking SLO exits 1",
+    )
+    add_run_options(bench_report, "bench-report")
+
     return parser
 
 
@@ -296,14 +353,38 @@ def _print_manifest(result, opts: RunOptions) -> None:
         print(f"wrote run manifest {path}")
 
 
+def _print_health(result, opts: RunOptions) -> None:
+    """One-line run-health summary for progress/heartbeat runs."""
+    health = getattr(result, "health", None)
+    if health is None:
+        return
+    line = (
+        f"\nrun health: {health['done']:,} units in {health['seconds']:.2f}s "
+        f"({health['rate']:,.0f}/s, {health['heartbeats']} heartbeat(s))"
+    )
+    resources = health.get("resources")
+    if resources:
+        line += (
+            f"; peak RSS {resources['peak_rss_kib']:,} KiB, "
+            f"peak traced heap {resources['peak_traced_bytes']:,} B"
+        )
+    print(line)
+    if opts.heartbeat_out:
+        print(f"wrote run-health stream {opts.heartbeat_out}")
+
+
 def _cmd_audit(args, opts: RunOptions) -> int:
     from . import api
 
     result = api.run_audit(
         api.RunConfig(
-            workers=opts.workers, include_passthrough=not args.no_passthrough
+            workers=opts.workers,
+            include_passthrough=not args.no_passthrough,
+            progress=opts.progress,
+            heartbeat_interval=opts.heartbeat_interval,
         ),
         json_path=opts.json,
+        heartbeat_path=opts.heartbeat_out,
     )
     results = result.results
     rows = [
@@ -340,6 +421,7 @@ def _cmd_audit(args, opts: RunOptions) -> int:
               f"{sum(o.new_validation_failures for o in results.passthrough)} new failures")
     if "campaign_json" in result.artifacts:
         print(f"\nwrote {result.artifacts['campaign_json']}")
+    _print_health(result, opts)
     _print_manifest(result, opts)
     return 0
 
@@ -396,9 +478,12 @@ def _cmd_trace(args, opts: RunOptions) -> int:
             workers=opts.workers,
             stream=streaming,
             flow_cap=args.flow_cap,
+            progress=opts.progress,
+            heartbeat_interval=opts.heartbeat_interval,
         ),
         json_path=opts.json,
         stream_path=args.stream_out,
+        heartbeat_path=opts.heartbeat_out,
     )
     analysis = result.analysis
     print(f"generated {analysis.connections:,} connections ({analysis.flow_records} flow records, "
@@ -421,6 +506,7 @@ def _cmd_trace(args, opts: RunOptions) -> int:
         print(f"wrote {result.artifacts['records_json']}")
     if "records_jsonl" in result.artifacts:
         print(f"wrote {result.artifacts['records_jsonl']}")
+    _print_health(result, opts)
     _print_manifest(result, opts)
     return 0
 
@@ -456,11 +542,18 @@ def _cmd_report(args, opts: RunOptions) -> int:
     from . import api
 
     result = api.run_report(
-        api.RunConfig(scale=args.scale, workers=opts.workers),
+        api.RunConfig(
+            scale=args.scale,
+            workers=opts.workers,
+            progress=opts.progress,
+            heartbeat_interval=opts.heartbeat_interval,
+        ),
         out=args.out,
         progress=print,
+        heartbeat_path=opts.heartbeat_out,
     )
     print(f"wrote {result.path}")
+    _print_health(result, opts)
     _print_manifest(result, opts)
     return 0
 
@@ -548,6 +641,67 @@ def _cmd_telemetry_demo(args, _opts: RunOptions) -> int:
     return 0
 
 
+def _cmd_bench_report(args, opts: RunOptions) -> int:
+    """Render the bench trajectory trend report and evaluate SLOs.
+
+    Exit codes: 0 healthy (or advisory-only failures), 1 a blocking SLO
+    failed, 2 the history file is unreadable or the SLO policy is invalid.
+    """
+    import json as _json
+    from pathlib import Path
+
+    from .telemetry import (
+        SloPolicyError,
+        evaluate_slos,
+        load_slo_policy,
+        render_trend_report,
+        render_verdicts,
+        trend_report,
+    )
+
+    history_path = Path(args.history)
+    if not history_path.exists():
+        print(f"no bench history at {history_path}", file=sys.stderr)
+        return 2
+    entries = []
+    for line in history_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(_json.loads(line))
+        except ValueError:
+            continue  # skip malformed lines: history files append-only, may truncate
+    report = trend_report(entries)
+    print(render_trend_report(report))
+
+    verdicts = []
+    if args.slo:
+        try:
+            slos = load_slo_policy(args.slo)
+        except (OSError, SloPolicyError) as exc:
+            print(f"bad SLO policy {args.slo}: {exc}", file=sys.stderr)
+            return 2
+        verdicts = evaluate_slos(entries, slos)
+        print("\nSLO verdicts:")
+        print(render_verdicts(verdicts))
+
+    if opts.json:
+        path = write_json({"trend": report, "slo_verdicts": verdicts}, opts.json)
+        print(f"\nwrote bench report {path}")
+
+    blocking_failures = [v for v in verdicts if v["status"] == "fail" and v["blocking"]]
+    advisory_failures = [v for v in verdicts if v["status"] == "fail" and not v["blocking"]]
+    if advisory_failures:
+        names = ", ".join(v["slo"] for v in advisory_failures)
+        print(f"\nadvisory SLO failure(s): {names}", file=sys.stderr)
+    if blocking_failures:
+        names = ", ".join(v["slo"] for v in blocking_failures)
+        print(f"\nBLOCKING SLO failure(s): {names}", file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "audit": _cmd_audit,
     "pcap": _cmd_pcap,
@@ -560,6 +714,7 @@ _COMMANDS = {
     "check": _cmd_check,
     "lint": _cmd_lint,
     "telemetry-demo": _cmd_telemetry_demo,
+    "bench-report": _cmd_bench_report,
 }
 
 

@@ -136,6 +136,7 @@ class ActiveExperimentCampaign:
         downgrade_auditor = DowngradeAuditor(self.testbed)
         prober = RootStoreProber(self.testbed)
 
+        progress = _TELEMETRY.progress
         with _phase("audit"):
             for profile in active_devices():
                 device = self.testbed.device(profile)
@@ -147,6 +148,8 @@ class ActiveExperimentCampaign:
                         "iotls_campaign_devices_total",
                         "Devices processed by the active campaign's audit phase.",
                     ).inc()
+                if progress is not None:
+                    progress.advance(1, stage="campaign.audit")
 
         # Probe eligibility per §5.2: rebootable devices that validated
         # at least one connection during the interception audit.
@@ -168,6 +171,8 @@ class ActiveExperimentCampaign:
             for name in results.probe_eligible:
                 device = self.testbed.device(name)
                 results.probes.append(prober.probe_device(device))
+                if progress is not None:
+                    progress.advance(1, stage="campaign.probe")
 
         if include_passthrough:
             with _phase("passthrough"):
@@ -176,6 +181,8 @@ class ActiveExperimentCampaign:
                     device = self.testbed.device(profile)
                     baseline = results.interception_report(profile.name)
                     results.passthrough.append(experiment.run_device(device, baseline))
+                    if progress is not None:
+                        progress.advance(1, stage="campaign.passthrough")
 
         return results
 
@@ -185,17 +192,26 @@ class ActiveExperimentCampaign:
 
         order = [profile.name for profile in active_devices()]
         executor = ShardedExecutor(workers)
-        tasks = [
-            CampaignShardTask(
-                worker_id=worker_id,
-                device_names=tuple(shard),
-                include_passthrough=include_passthrough,
-                telemetry=_TELEMETRY.enabled,
-                event_level=_TELEMETRY.events.level,
+        # Stitching anchor for the campaign: workers' shard.run spans
+        # re-parent under this dispatch span on merge.
+        with _TELEMETRY.tracer.span(
+            "parallel.dispatch", workers=workers, devices=len(order)
+        ):
+            context = _TELEMETRY.tracer.propagation_context(
+                "campaign", include_passthrough, workers
             )
-            for worker_id, shard in enumerate(executor.shard(order))
-        ]
-        shard_results = executor.map_tasks(run_campaign_shard, tasks)
+            tasks = [
+                CampaignShardTask(
+                    worker_id=worker_id,
+                    device_names=tuple(shard),
+                    include_passthrough=include_passthrough,
+                    telemetry=_TELEMETRY.enabled,
+                    event_level=_TELEMETRY.events.level,
+                    trace_context=context.to_dict() if context is not None else None,
+                )
+                for worker_id, shard in enumerate(executor.shard(order))
+            ]
+            shard_results = executor.map_tasks(run_campaign_shard, tasks)
         if _TELEMETRY.enabled:
             _TELEMETRY.merge_worker_states([result.telemetry for result in shard_results])
         outcomes = {
@@ -203,9 +219,12 @@ class ActiveExperimentCampaign:
             for result in shard_results
             for outcome in result.devices
         }
+        progress = _TELEMETRY.progress
         results = CampaignResults()
         for name in order:
             outcome = outcomes[name]
+            if progress is not None:
+                progress.advance(1, stage="campaign.device")
             results.interception.append(outcome.interception)
             results.downgrade.append(outcome.downgrade)
             results.old_versions.append(outcome.old_versions)

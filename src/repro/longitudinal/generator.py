@@ -232,8 +232,14 @@ class PassiveTraceGenerator:
                 if self.flow_cap is None
                 else FlowRecordChunker(capture, self.flow_cap)
             )
+            progress = _TELEMETRY.progress
             for profile in passive_devices():
+                before = target.records_seen
                 self.generate_device_instrumented(profile, target)
+                if progress is not None:
+                    progress.advance(
+                        target.records_seen - before, stage="trace.device"
+                    )
             return capture
         return self._generate_parallel(workers)
 
@@ -243,26 +249,40 @@ class PassiveTraceGenerator:
 
         order = [profile.name for profile in passive_devices()]
         executor = ShardedExecutor(workers)
-        tasks = [
-            TraceShardTask(
-                worker_id=worker_id,
-                device_names=tuple(shard),
-                seed=self.seed,
-                scale=self.scale,
-                telemetry=_TELEMETRY.enabled,
-                event_level=_TELEMETRY.events.level,
-                # With a flow cap the parent re-ingests (and counts) the
-                # records post-split; workers must stage uncounted.
-                count_records=self.flow_cap is None,
+        # The dispatch span is the stitching anchor: the propagated
+        # context snapshots the open span path (trace.generate;
+        # parallel.dispatch), and merge re-parents worker spans there.
+        with _TELEMETRY.tracer.span(
+            "parallel.dispatch", workers=workers, devices=len(order)
+        ):
+            context = _TELEMETRY.tracer.propagation_context(
+                "trace.generate", self.seed, self.scale, workers
             )
-            for worker_id, shard in enumerate(executor.shard(order))
-        ]
-        results = executor.map_tasks(run_trace_shard, tasks)
+            tasks = [
+                TraceShardTask(
+                    worker_id=worker_id,
+                    device_names=tuple(shard),
+                    seed=self.seed,
+                    scale=self.scale,
+                    telemetry=_TELEMETRY.enabled,
+                    event_level=_TELEMETRY.events.level,
+                    # With a flow cap the parent re-ingests (and counts) the
+                    # records post-split; workers must stage uncounted.
+                    count_records=self.flow_cap is None,
+                    trace_context=context.to_dict() if context is not None else None,
+                )
+                for worker_id, shard in enumerate(executor.shard(order))
+            ]
+            results = executor.map_tasks(run_trace_shard, tasks)
         if _TELEMETRY.enabled:
             _TELEMETRY.merge_worker_states([result.telemetry for result in results])
         shards = {
             device: capture for result in results for device, capture in result.captures
         }
+        progress = _TELEMETRY.progress
+        if progress is not None:
+            for device in order:
+                progress.advance(len(shards[device].records), stage="trace.device")
         if self.flow_cap is None:
             return GatewayCapture.merged(shards, order)
         capture = GatewayCapture()
@@ -350,6 +370,7 @@ class PassiveTraceGenerator:
         if workers > 1:
             return self._stream_parallel(target, workers)
         peak = 0
+        progress = _TELEMETRY.progress
         for profile in passive_devices():
             staging = GatewayCapture(counted=False)
             self.generate_device_instrumented(profile, staging)
@@ -358,6 +379,10 @@ class PassiveTraceGenerator:
                 target.add(record)
             for event in staging.revocation_events:
                 target.add_revocation_event(event)
+            # Record counts flow through the stream's ProgressSink; here
+            # only the per-device staging stage is tallied.
+            if progress is not None:
+                progress.advance(0, stage="trace.device")
         return peak
 
     def _stream_parallel(self, target: CaptureSink, workers: int) -> int:
@@ -366,27 +391,41 @@ class PassiveTraceGenerator:
 
         order = [profile.name for profile in passive_devices()]
         executor = ShardedExecutor(workers)
-        tasks = [
-            TraceChunkTask(
-                index=index,
-                device_name=name,
-                seed=self.seed,
-                scale=self.scale,
-                telemetry=_TELEMETRY.enabled,
-                event_level=_TELEMETRY.events.level,
-            )
-            for index, name in enumerate(order)
-        ]
         states = []
         peak = 0
-        for result in executor.imap_tasks(run_trace_chunk, tasks):
-            peak = max(peak, len(result.records))
-            for record in result.records:
-                target.add(record)
-            for event in result.revocation_events:
-                target.add_revocation_event(event)
-            if result.telemetry is not None:
-                states.append(result.telemetry)
+        progress = _TELEMETRY.progress
+        # The dispatch span wraps task fan-out *and* the fold loop (the
+        # coordinator streams chunks home as they finish); the context it
+        # anchors re-parents every chunk.run under trace.stream;
+        # parallel.dispatch on merge.
+        with _TELEMETRY.tracer.span(
+            "parallel.dispatch", workers=workers, devices=len(order)
+        ):
+            context = _TELEMETRY.tracer.propagation_context(
+                "trace.stream", self.seed, self.scale, workers
+            )
+            tasks = [
+                TraceChunkTask(
+                    index=index,
+                    device_name=name,
+                    seed=self.seed,
+                    scale=self.scale,
+                    telemetry=_TELEMETRY.enabled,
+                    event_level=_TELEMETRY.events.level,
+                    trace_context=context.to_dict() if context is not None else None,
+                )
+                for index, name in enumerate(order)
+            ]
+            for result in executor.imap_tasks(run_trace_chunk, tasks):
+                peak = max(peak, len(result.records))
+                for record in result.records:
+                    target.add(record)
+                for event in result.revocation_events:
+                    target.add_revocation_event(event)
+                if result.telemetry is not None:
+                    states.append(result.telemetry)
+                if progress is not None:
+                    progress.advance(0, stage="trace.device")
         if _TELEMETRY.enabled and states:
             _TELEMETRY.merge_worker_states(states)
         return peak

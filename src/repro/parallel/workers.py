@@ -46,10 +46,12 @@ def _configure_worker_telemetry(enabled: bool, event_level: str) -> None:
         _telemetry.configure(enabled=True, level=event_level)
 
 
-def _export_worker_telemetry(enabled: bool, worker_id: int) -> dict | None:
+def _export_worker_telemetry(
+    enabled: bool, worker_id: int, context: object | None = None
+) -> dict | None:
     if not enabled:
         return None
-    return _telemetry.get().export_worker_state(worker_id)
+    return _telemetry.get().export_worker_state(worker_id, context=context)
 
 
 # ----------------------------------------------------------------------
@@ -73,6 +75,10 @@ class TraceShardTask:
     telemetry: bool
     event_level: str = "info"
     count_records: bool = True
+    #: The coordinator's propagated trace context (a
+    #: ``TraceContext.to_dict()`` document); rides home in the profile
+    #: payload so merge stitches this shard under the dispatch span.
+    trace_context: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -107,7 +113,9 @@ def run_trace_shard(task: TraceShardTask) -> TraceShardResult:
     return TraceShardResult(
         worker_id=task.worker_id,
         captures=tuple(captures),
-        telemetry=_export_worker_telemetry(task.telemetry, task.worker_id),
+        telemetry=_export_worker_telemetry(
+            task.telemetry, task.worker_id, task.trace_context
+        ),
     )
 
 
@@ -129,6 +137,8 @@ class TraceChunkTask:
     scale: int
     telemetry: bool
     event_level: str = "info"
+    #: See :attr:`TraceShardTask.trace_context`.
+    trace_context: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -181,7 +191,9 @@ def run_trace_chunk(task: TraceChunkTask) -> TraceChunkResult:
     ):
         generator.generate_device_instrumented(profiles[task.device_name], staging)
     payload = (
-        _export_worker_telemetry(task.telemetry, task.index) if in_worker else None
+        _export_worker_telemetry(task.telemetry, task.index, task.trace_context)
+        if in_worker
+        else None
     )
     return TraceChunkResult(
         index=task.index,
@@ -204,6 +216,8 @@ class CampaignShardTask:
     include_passthrough: bool
     telemetry: bool
     event_level: str = "info"
+    #: See :attr:`TraceShardTask.trace_context`.
+    trace_context: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -270,7 +284,9 @@ def run_campaign_shard(task: CampaignShardTask) -> CampaignShardResult:
     return CampaignShardResult(
         worker_id=task.worker_id,
         devices=tuple(outcomes),
-        telemetry=_export_worker_telemetry(task.telemetry, task.worker_id),
+        telemetry=_export_worker_telemetry(
+            task.telemetry, task.worker_id, task.trace_context
+        ),
     )
 
 

@@ -8,10 +8,16 @@ same way, with zero external dependencies:
 
 * :class:`MetricsRegistry` -- named counters, gauges, and fixed-bucket
   histograms (:mod:`repro.telemetry.metrics`),
-* :class:`Tracer` -- nested spans with monotonic timing
+* :class:`Tracer` -- nested spans with monotonic timing and a
+  propagated :class:`TraceContext` for cross-process stitching
   (:mod:`repro.telemetry.tracing`),
 * :class:`EventLog` -- structured JSONL events with a ring-buffer tail
   (:mod:`repro.telemetry.events`),
+* run health -- :class:`ResourceSampler` resource snapshots
+  (:mod:`repro.telemetry.health`) and :class:`ProgressReporter`
+  throttled heartbeats (:mod:`repro.telemetry.progress`),
+* declarative benchmark SLOs over the trajectory
+  (:mod:`repro.telemetry.slo`),
 * exporters -- Prometheus text format, JSON snapshots, and a human
   summary table (:mod:`repro.telemetry.export`),
 * a process-wide opt-in runtime (:mod:`repro.telemetry.runtime`);
@@ -28,6 +34,12 @@ from .export import (
     to_prometheus,
     write_snapshot,
 )
+from .health import (
+    RESOURCE_SUMMARY_SCHEMA,
+    ResourceSampler,
+    ResourceSnapshot,
+    tracemalloc_holds,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -36,12 +48,21 @@ from .metrics import (
     MetricsRegistry,
 )
 from .profiling import PathStat, Profiler, render_hot_table
+from .progress import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    HEALTH_STREAM_SCHEMA,
+    HeartbeatWriter,
+    ProgressReporter,
+    Throttle,
+    render_progress_line,
+)
 from .provenance import (
     MANIFEST_SCHEMA,
     artifact_digest,
     build_manifest,
     deterministic_metrics,
     host_date,
+    host_fingerprint,
     manifest_digest,
     write_manifest,
 )
@@ -57,13 +78,27 @@ from .runtime import (
     get_tracer,
     reset,
 )
-from .tracing import NULL_SPAN, Span, Tracer
+from .slo import (
+    SLO_SCHEMA,
+    TREND_SCHEMA,
+    Slo,
+    SloPolicyError,
+    evaluate_slos,
+    load_slo_policy,
+    render_trend_report,
+    render_verdicts,
+    trend_report,
+)
+from .tracing import NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_HEARTBEAT_INTERVAL",
     "EventLog",
     "Gauge",
+    "HEALTH_STREAM_SCHEMA",
+    "HeartbeatWriter",
     "Histogram",
     "LEVELS",
     "MANIFEST_SCHEMA",
@@ -71,17 +106,35 @@ __all__ = [
     "NULL_SPAN",
     "PathStat",
     "Profiler",
+    "ProgressReporter",
+    "RESOURCE_SUMMARY_SCHEMA",
+    "ResourceSampler",
+    "ResourceSnapshot",
+    "SLO_SCHEMA",
     "SNAPSHOT_SCHEMA",
+    "Slo",
+    "SloPolicyError",
     "Span",
+    "TREND_SCHEMA",
     "TelemetryRuntime",
+    "Throttle",
+    "TraceContext",
     "Tracer",
     "artifact_digest",
     "build_manifest",
     "host_date",
+    "host_fingerprint",
     "configure",
     "deterministic_metrics",
+    "evaluate_slos",
+    "load_slo_policy",
     "manifest_digest",
     "render_hot_table",
+    "render_progress_line",
+    "render_trend_report",
+    "render_verdicts",
+    "tracemalloc_holds",
+    "trend_report",
     "write_manifest",
     "disable",
     "enable",

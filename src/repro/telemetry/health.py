@@ -1,0 +1,258 @@
+"""Resource telemetry: RSS, traced-heap peak, GC, and CPU sampling.
+
+:class:`ResourceSampler` snapshots process resource facts -- max RSS via
+``resource.getrusage``, the Python-heap peak via ``tracemalloc``, GC
+collection counts, and user/system CPU seconds -- at stage boundaries
+and on demand (the progress heartbeat calls :meth:`ResourceSampler.sample`
+per emission).  It is stdlib-only and lives inside the telemetry clock
+boundary, so its monotonic clock reads keep RL002 clean.
+
+Determinism: every fact the sampler produces is wall-clock- or
+host-dependent, so results surface **only** as registry gauges and as
+the ``resources`` summary section -- never as counters.  Gauges are
+excluded from the deterministic metrics slice
+(:func:`repro.telemetry.provenance.deterministic_metrics`), which keeps
+run manifests byte-identical whether sampling is on or off.
+
+``tracemalloc`` is process-global state, so the sampler acquires it
+through a module-level reference count: nested harnesses (the api
+facade calling into a bench harness that also samples) share one
+activation, the last release stops tracing, and tracing that something
+*else* started (e.g. ``PYTHONTRACEMALLOC``) is never stopped by us.
+Release happens in ``finally`` paths so an exception mid-run cannot
+leak a global tracer.
+"""
+
+from __future__ import annotations
+
+import gc
+import resource
+import sys
+import tracemalloc
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "RESOURCE_SUMMARY_SCHEMA",
+    "ResourceSampler",
+    "ResourceSnapshot",
+    "tracemalloc_holds",
+]
+
+#: Schema tag of the ``resources`` section in run summaries.
+RESOURCE_SUMMARY_SCHEMA = "iotls-resources/1"
+
+# ---------------------------------------------------------------------------
+# Reference-counted tracemalloc ownership (process-global state).
+# ---------------------------------------------------------------------------
+_TRACEMALLOC_HOLDS = 0
+_TRACEMALLOC_STARTED_BY_US = False
+
+
+def tracemalloc_holds() -> int:
+    """The current number of sampler holds on tracemalloc (for tests)."""
+    return _TRACEMALLOC_HOLDS
+
+
+def _acquire_tracemalloc() -> None:
+    """Take one hold; start tracing only on the first hold, and only if
+    no one else (e.g. ``PYTHONTRACEMALLOC``) is already tracing."""
+    global _TRACEMALLOC_HOLDS, _TRACEMALLOC_STARTED_BY_US
+    if _TRACEMALLOC_HOLDS == 0:
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            _TRACEMALLOC_STARTED_BY_US = True
+        else:
+            _TRACEMALLOC_STARTED_BY_US = False
+    _TRACEMALLOC_HOLDS += 1
+
+
+def _release_tracemalloc() -> None:
+    """Drop one hold; the last release stops tracing iff we started it."""
+    global _TRACEMALLOC_HOLDS, _TRACEMALLOC_STARTED_BY_US
+    if _TRACEMALLOC_HOLDS == 0:
+        return
+    _TRACEMALLOC_HOLDS -= 1
+    if _TRACEMALLOC_HOLDS == 0 and _TRACEMALLOC_STARTED_BY_US:
+        if tracemalloc.is_tracing():
+            tracemalloc.stop()
+        _TRACEMALLOC_STARTED_BY_US = False
+
+
+def _max_rss_kib() -> int:
+    """Peak resident set size in KiB (``ru_maxrss`` is KiB on Linux but
+    bytes on macOS)."""
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return raw // 1024
+    return raw
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """One resource reading, taken at a stage boundary or heartbeat."""
+
+    stage: str
+    elapsed_seconds: float
+    max_rss_kib: int
+    traced_bytes: int
+    traced_peak_bytes: int
+    gc_collections: int
+    gc_counts: tuple[int, ...]
+    cpu_user_seconds: float
+    cpu_system_seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "max_rss_kib": self.max_rss_kib,
+            "traced_bytes": self.traced_bytes,
+            "traced_peak_bytes": self.traced_peak_bytes,
+            "gc_collections": self.gc_collections,
+            "gc_counts": list(self.gc_counts),
+            "cpu_user_seconds": round(self.cpu_user_seconds, 4),
+            "cpu_system_seconds": round(self.cpu_system_seconds, 4),
+        }
+
+
+@dataclass
+class ResourceSampler:
+    """Samples process resources between :meth:`start` and :meth:`stop`.
+
+    Use as a context manager (the recommended form -- release is then
+    exception-safe)::
+
+        with ResourceSampler() as sampler:
+            ...
+            sampler.stage("parse")      # snapshot at a stage boundary
+            ...
+        summary = sampler.summary()     # schema iotls-resources/1
+
+    ``interval`` rate-limits :meth:`maybe_sample` for use inside loops;
+    explicit :meth:`sample`/:meth:`stage` calls are never throttled.
+    When a ``registry`` is attached, :meth:`stop` folds the peaks into
+    manifest-safe gauges (``iotls_resource_*``).
+    """
+
+    interval: float = 1.0
+    registry: MetricsRegistry | None = None
+    clock: Callable[[], float] = perf_counter
+    snapshots: list[ResourceSnapshot] = field(default_factory=list)
+    _started_at: float | None = field(default=None, repr=False)
+    _stopped_at: float | None = field(default=None, repr=False)
+    _last_sample_at: float = field(default=0.0, repr=False)
+    _holding: bool = field(default=False, repr=False)
+    _gc_base: int = field(default=0, repr=False)
+
+    def start(self) -> "ResourceSampler":
+        if self._started_at is not None:
+            return self
+        _acquire_tracemalloc()
+        self._holding = True
+        self._gc_base = sum(stat["collections"] for stat in gc.get_stats())
+        self._started_at = self.clock()
+        self._last_sample_at = self._started_at
+        self.sample("start")
+        return self
+
+    def _snapshot(self, stage: str, now: float) -> ResourceSnapshot:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        traced, traced_peak = (
+            tracemalloc.get_traced_memory() if tracemalloc.is_tracing() else (0, 0)
+        )
+        collections = sum(stat["collections"] for stat in gc.get_stats())
+        return ResourceSnapshot(
+            stage=stage,
+            elapsed_seconds=now - (self._started_at or now),
+            max_rss_kib=_max_rss_kib(),
+            traced_bytes=traced,
+            traced_peak_bytes=traced_peak,
+            gc_collections=collections - self._gc_base,
+            gc_counts=tuple(gc.get_count()),
+            cpu_user_seconds=usage.ru_utime,
+            cpu_system_seconds=usage.ru_stime,
+        )
+
+    def sample(self, stage: str = "sample") -> ResourceSnapshot:
+        """Take one snapshot unconditionally and record it."""
+        if self._started_at is None:
+            self.start()
+        now = self.clock()
+        self._last_sample_at = now
+        snapshot = self._snapshot(stage, now)
+        self.snapshots.append(snapshot)
+        return snapshot
+
+    def maybe_sample(self, stage: str = "interval") -> ResourceSnapshot | None:
+        """Snapshot only if ``interval`` seconds have passed (loop-safe)."""
+        if self._started_at is None:
+            self.start()
+        if (self.clock() - self._last_sample_at) < self.interval:
+            return None
+        return self.sample(stage)
+
+    def stage(self, name: str) -> ResourceSnapshot:
+        """Snapshot at a named stage boundary (never throttled)."""
+        return self.sample(name)
+
+    def stop(self) -> None:
+        """Final snapshot, release the tracemalloc hold, fold gauges.
+        Idempotent; safe on error paths (also called by ``__exit__``)."""
+        if self._started_at is None or self._stopped_at is not None:
+            return
+        self._stopped_at = self.clock()
+        self.snapshots.append(self._snapshot("stop", self._stopped_at))
+        if self._holding:
+            _release_tracemalloc()
+            self._holding = False
+        if self.registry is not None:
+            self._fold_gauges()
+
+    def _fold_gauges(self) -> None:
+        assert self.registry is not None
+        last = self.snapshots[-1]
+        self.registry.gauge(
+            "iotls_resource_peak_rss_kib", "Peak resident set size (KiB)"
+        ).set(max(snap.max_rss_kib for snap in self.snapshots))
+        self.registry.gauge(
+            "iotls_resource_peak_traced_bytes", "Peak tracemalloc heap (bytes)"
+        ).set(max(snap.traced_peak_bytes for snap in self.snapshots))
+        cpu = self.registry.gauge(
+            "iotls_resource_cpu_seconds", "CPU seconds consumed by the run"
+        )
+        cpu.set(round(last.cpu_user_seconds, 4), mode="user")
+        cpu.set(round(last.cpu_system_seconds, 4), mode="system")
+        self.registry.gauge(
+            "iotls_resource_gc_collections", "GC collections during the run"
+        ).set(last.gc_collections)
+
+    def summary(self) -> dict[str, Any]:
+        """The ``resources`` section of the run summary."""
+        if self._started_at is not None and self._stopped_at is None:
+            self.stop()
+        if not self.snapshots:
+            return {"schema": RESOURCE_SUMMARY_SCHEMA, "samples": 0}
+        last = self.snapshots[-1]
+        return {
+            "schema": RESOURCE_SUMMARY_SCHEMA,
+            "samples": len(self.snapshots),
+            "seconds": round(last.elapsed_seconds, 6),
+            "peak_rss_kib": max(snap.max_rss_kib for snap in self.snapshots),
+            "peak_traced_bytes": max(
+                snap.traced_peak_bytes for snap in self.snapshots
+            ),
+            "gc_collections": last.gc_collections,
+            "cpu_user_seconds": round(last.cpu_user_seconds, 4),
+            "cpu_system_seconds": round(last.cpu_system_seconds, 4),
+            "stages": [snap.to_dict() for snap in self.snapshots],
+        }
+
+    def __enter__(self) -> "ResourceSampler":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

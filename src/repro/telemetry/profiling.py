@@ -44,6 +44,11 @@ __all__ = ["PathStat", "Profiler", "render_hot_table"]
 
 PROFILE_SCHEMA = "iotls-profile/1"
 
+#: Span names that root one worker's whole shard of work.  Their
+#: cumulative time is the shard wall time, and on merge the worker's
+#: paths are re-parented under the coordinator's dispatch path here.
+SHARD_ROOT_SPANS = ("shard.run", "chunk.run")
+
 
 class PathStat:
     """Aggregate statistics for one stack path."""
@@ -139,18 +144,24 @@ class Profiler:
     # ------------------------------------------------------------------
     # Worker transfer (pure data across the spawn boundary)
     # ------------------------------------------------------------------
-    def to_payload(self, *, worker: int | None = None) -> dict[str, Any]:
+    def to_payload(
+        self, *, worker: int | None = None, context: Any | None = None
+    ) -> dict[str, Any]:
         """Everything a worker ships home: path stats plus shard time.
 
         The shard wall time is the cumulative time of the worker's
-        ``shard.run`` root span, which wraps its whole device loop.
+        shard-root span (:data:`SHARD_ROOT_SPANS`), which wraps its
+        whole work loop.  ``context`` is the coordinator's propagated
+        :class:`~repro.telemetry.tracing.TraceContext`; when present it
+        rides along so the merge side can re-parent this worker's paths
+        under the coordinator's dispatch span.
         """
         shard_seconds = sum(
             stat.cumulative
             for stat in self._paths.values()
-            if stat.path == "shard.run"
+            if stat.path in SHARD_ROOT_SPANS
         )
-        return {
+        payload: dict[str, Any] = {
             "worker": worker,
             "shard_seconds": shard_seconds,
             "paths": [
@@ -165,11 +176,28 @@ class Profiler:
                 for stat in sorted(self._paths.values(), key=lambda s: s.path)
             ],
         }
+        if context is not None:
+            payload["context"] = (
+                context if isinstance(context, dict) else context.to_dict()
+            )
+        return payload
 
     def merge_payload(self, payload: dict[str, Any]) -> "Profiler":
-        """Fold one worker's exported profile into this one."""
+        """Fold one worker's exported profile into this one.
+
+        When the payload carries a propagated trace context, every
+        worker path is re-parented under the context's ``parent_path``
+        (the coordinator's open span path at dispatch), stitching the
+        worker's spans into the coordinator's end-to-end trace -- a
+        worker ``shard.run;trace.device`` becomes
+        ``trace.generate;parallel.dispatch;shard.run;trace.device``.
+        Merging is order-independent: path stats add commutatively and
+        shard times key by worker id.
+        """
+        parent_path = (payload.get("context") or {}).get("parent_path", "")
+        prefix = f"{parent_path};" if parent_path else ""
         for entry in payload.get("paths", []):
-            stat = self._stat(entry["path"])
+            stat = self._stat(prefix + entry["path"])
             stat.calls += entry["calls"]
             stat.cumulative += entry["cumulative"]
             stat.self_time += entry["self"]
@@ -181,6 +209,28 @@ class Profiler:
                 self.shards.get(int(worker), 0.0) + payload.get("shard_seconds", 0.0)
             )
         return self
+
+    def shard_skew(self) -> dict[str, Any] | None:
+        """Straggler attribution across shard wall times.
+
+        ``max_over_mean`` is the skew figure: 1.0 means perfectly even
+        shards, 2.0 means the slowest worker took twice the mean (the
+        run's critical path is that straggler).  ``None`` with fewer
+        than two shards -- skew needs a comparison.
+        """
+        if len(self.shards) < 2:
+            return None
+        times = list(self.shards.values())
+        mean = sum(times) / len(times)
+        slowest = max(self.shards, key=lambda worker: self.shards[worker])
+        return {
+            "workers": len(times),
+            "max_seconds": round(max(times), 6),
+            "min_seconds": round(min(times), 6),
+            "mean_seconds": round(mean, 6),
+            "max_over_mean": round(max(times) / mean, 4) if mean > 0 else 0.0,
+            "slowest_worker": slowest,
+        }
 
     # ------------------------------------------------------------------
     # Views
@@ -224,6 +274,7 @@ class Profiler:
             "hot": [stat.to_dict() for stat in self.hot_spans(top)],
             "phases": self.phases(),
             "shards": {str(worker): seconds for worker, seconds in sorted(self.shards.items())},
+            "shard_skew": self.shard_skew(),
             "collapsed_stacks": self.collapsed_stacks(),
         }
 
@@ -258,4 +309,11 @@ def render_hot_table(profiler: Profiler, *, top: int = 10) -> str:
         lines.append("per-shard wall time:")
         for worker, seconds in sorted(profiler.shards.items()):
             lines.append(f"  shard {worker}: {seconds:.4f}s")
+        skew = profiler.shard_skew()
+        if skew is not None:
+            lines.append(
+                f"  skew: {skew['max_over_mean']:.2f}x "
+                f"(slowest worker {skew['slowest_worker']}: "
+                f"{skew['max_seconds']:.4f}s vs mean {skew['mean_seconds']:.4f}s)"
+            )
     return "\n".join(lines)

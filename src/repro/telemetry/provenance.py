@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import platform
 from datetime import date
 from pathlib import Path
 from typing import Any
@@ -49,6 +51,7 @@ __all__ = [
     "config_digest",
     "deterministic_metrics",
     "host_date",
+    "host_fingerprint",
     "manifest_digest",
     "write_manifest",
 ]
@@ -75,6 +78,22 @@ def host_date() -> str:
     a run manifest; manifests stay wall-clock-free by design.
     """
     return date.today().isoformat()
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """The host shape benchmark timings are only comparable within.
+
+    Like :func:`host_date`, this is a deliberate host-provenance
+    boundary: benchmark trajectory entries record it so the gate can
+    *refuse* cross-host comparisons instead of silently comparing a
+    laptop against a CI runner.  Nothing returned here may feed a run
+    manifest; manifests stay host-independent by design.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+    }
 
 
 def canonical_json(payload: Any) -> str:

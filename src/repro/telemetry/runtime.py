@@ -41,7 +41,14 @@ __all__ = [
 class TelemetryRuntime:
     """A registry + tracer + event log behind one enable switch."""
 
-    __slots__ = ("enabled", "registry", "tracer", "events", "worker_profiles")
+    __slots__ = (
+        "enabled",
+        "registry",
+        "tracer",
+        "events",
+        "worker_profiles",
+        "progress",
+    )
 
     def __init__(self, *, enabled: bool = False) -> None:
         self.enabled = enabled
@@ -52,6 +59,11 @@ class TelemetryRuntime:
         #: (:meth:`merge_worker_states`), consumed by
         #: :meth:`repro.telemetry.profiling.Profiler.from_runtime`.
         self.worker_profiles: list[dict] = []
+        #: The active :class:`~repro.telemetry.progress.ProgressReporter`
+        #: for the current run, or ``None``.  Hot paths guard with
+        #: ``if runtime.progress is not None`` -- the same one-read
+        #: contract as ``enabled``.
+        self.progress = None
 
     def configure(
         self,
@@ -83,18 +95,22 @@ class TelemetryRuntime:
         self.tracer.reset()
         self.events.reset()
         self.worker_profiles.clear()
+        self.progress = None
 
     # ------------------------------------------------------------------
     # Parallel-worker state transfer
     # ------------------------------------------------------------------
-    def export_worker_state(self, worker: int) -> dict:
+    def export_worker_state(self, worker: int, *, context: object | None = None) -> dict:
         """Everything a worker process ships back to its parent.
 
         Metrics travel as a :func:`~repro.telemetry.export.metrics_snapshot`
         document, events as the plain tail list, and the worker's span
         profile as a :meth:`~repro.telemetry.profiling.Profiler.to_payload`
         document -- all pure data, so the payload pickles across the
-        ``spawn`` process boundary.
+        ``spawn`` process boundary.  ``context`` is the coordinator's
+        propagated :class:`~repro.telemetry.tracing.TraceContext` (or its
+        dict form); it rides in the profile payload so merge re-parents
+        this worker's spans under the dispatch span.
         """
         from .export import metrics_snapshot
         from .profiling import Profiler
@@ -103,7 +119,9 @@ class TelemetryRuntime:
             "worker": worker,
             "metrics": metrics_snapshot(self.registry),
             "events": self.events.tail(),
-            "profile": Profiler.from_tracer(self.tracer).to_payload(worker=worker),
+            "profile": Profiler.from_tracer(self.tracer).to_payload(
+                worker=worker, context=context
+            ),
         }
 
     def merge_worker_states(self, states: list[dict]) -> None:

@@ -6,6 +6,7 @@ from .capture import (
     DiscardSink,
     FlowRecordChunker,
     GatewayCapture,
+    ProgressSink,
     RevocationEvent,
     TrafficRecord,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "HomeNetwork",
     "LanDeviceAttacker",
     "NotRebootableError",
+    "ProgressSink",
     "RevocationEvent",
     "SmartPlug",
     "Testbed",

@@ -51,6 +51,7 @@ __all__ = [
     "CaptureTee",
     "FlowRecordChunker",
     "DiscardSink",
+    "ProgressSink",
 ]
 
 _TELEMETRY = _telemetry.get()
@@ -277,6 +278,39 @@ class FlowRecordChunker:
 
     def add_revocation_event(self, event: RevocationEvent) -> None:
         self.sink.add_revocation_event(event)
+
+
+class ProgressSink:
+    """Feed record arrivals into a ProgressReporter, batched.
+
+    Sits inside a :class:`CaptureTee` fan-out on streaming paths.  The
+    per-record cost is two integer bumps; every ``batch`` records the
+    pending total flows into the reporter's rate-limited
+    ``advance`` (which does the clock read).  Never counts
+    gateway-ingest telemetry and never touches the record itself, so
+    its presence cannot perturb manifests.  Call :meth:`flush` at end
+    of stream so the tail batch is not lost.
+    """
+
+    def __init__(self, reporter, *, batch: int = 512) -> None:
+        self.reporter = reporter
+        self.batch = batch
+        self.records_seen = 0
+        self._pending = 0
+
+    def add(self, record: TrafficRecord) -> None:
+        self.records_seen += 1
+        self._pending += 1
+        if self._pending >= self.batch:
+            self.flush()
+
+    def add_revocation_event(self, event: RevocationEvent) -> None:
+        return None
+
+    def flush(self) -> None:
+        if self._pending:
+            self.reporter.advance(self._pending)
+            self._pending = 0
 
 
 @dataclass

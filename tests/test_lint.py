@@ -186,6 +186,48 @@ class TestRL011SpanContextManager:
         assert codes(lint_source(tmp_path, source)) == []
 
 
+class TestRL012UnthrottledHeartbeat:
+    def test_bad_emit_now_outside_boundary(self, tmp_path):
+        source = "def run(reporter):\n    reporter.emit_now(reason='manual')\n"
+        assert codes(lint_source(tmp_path, source)) == ["RL012"]
+
+    def test_bad_progress_event_outside_boundary(self, tmp_path):
+        source = "def run(events):\n    events.debug('progress.heartbeat', done=3)\n"
+        assert codes(lint_source(tmp_path, source)) == ["RL012"]
+
+    def test_bad_heartbeat_event_via_log_method(self, tmp_path):
+        source = "def run(events):\n    events.log('info', 'heartbeat.tick')\n"
+        assert codes(lint_source(tmp_path, source)) == ["RL012"]
+
+    def test_good_advance_through_reporter(self, tmp_path):
+        source = (
+            "def run(reporter):\n"
+            "    reporter.advance(1, stage='trace.device')\n"
+            "    reporter.finish()\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_good_other_event_names(self, tmp_path):
+        source = (
+            "def run(events):\n"
+            "    events.info('trace.complete', records=5)\n"
+            "    events.debug('campaign.phase_complete', phase='audit')\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_progress_boundary_module_is_exempt(self, tmp_path):
+        boundary = tmp_path / "src" / "repro" / "telemetry"
+        boundary.mkdir(parents=True)
+        target = boundary / "progress.py"
+        target.write_text(
+            "def beat(self):\n"
+            "    self.emit_now(reason='interval')\n"
+            "    self.events.debug('progress.heartbeat', done=1)\n"
+        )
+        report = run_lint([target], root=tmp_path)
+        assert codes(report) == []
+
+
 # ----------------------------------------------------------------------
 # Rule fixtures: API hygiene family
 # ----------------------------------------------------------------------

@@ -104,6 +104,40 @@ class TestBenchGate:
         entries = self._entries(1.0, cpus=8) + self._entries(9.0, cpus=1)
         assert gate(entries) == []
 
+    def test_fingerprint_mismatch_not_compared(self):
+        # Same core count but different platform/arch: the full host
+        # fingerprint wins over the legacy cpu-count fallback.
+        gate = _load_tool("bench_gate").gate
+        entries = self._entries(1.0, 9.0)
+        entries[0]["host"] = {"cpu_count": 4, "platform": "linux", "machine": "x86_64"}
+        entries[1]["host"] = {"cpu_count": 4, "platform": "darwin", "machine": "arm64"}
+        assert gate(entries) == []
+
+    def test_matching_fingerprint_compared(self):
+        gate = _load_tool("bench_gate").gate
+        fingerprint = {"cpu_count": 4, "platform": "linux", "machine": "x86_64"}
+        entries = self._entries(1.0, 1.1)
+        for entry in entries:
+            entry["host"] = dict(fingerprint)
+        verdicts = gate(entries)
+        assert len(verdicts) == 1
+        assert verdicts[0]["regressed"] is False
+
+    def test_legacy_entry_falls_back_to_cpu_count(self):
+        # One fingerprinted and one legacy entry still compare when the
+        # core counts agree, so old trajectory data keeps gating.
+        gate = _load_tool("bench_gate").gate
+        entries = self._entries(1.0, 1.1)
+        entries[1]["host"] = {"cpu_count": 4, "platform": "linux", "machine": "x86_64"}
+        assert len(gate(entries)) == 1
+
+    def test_history_records_host_fingerprint(self, tmp_path):
+        history = _load_tool("bench_history")
+        entry = history.append_history("b", 1.0, path=tmp_path / "h.jsonl")
+        assert set(entry["host"]) == {"cpu_count", "platform", "machine"}
+        loaded = history.load_history(tmp_path / "h.jsonl")
+        assert loaded[0]["host"] == entry["host"]
+
     def test_single_run_yields_no_verdict(self):
         gate = _load_tool("bench_gate").gate
         assert gate(self._entries(1.0)) == []

@@ -1,19 +1,26 @@
 """Benchmark regression gate over the ``BENCH_history.jsonl`` trajectory.
 
 Compares each benchmark's latest run against the best (fastest) prior
-run recorded on a host with the same core count -- cross-host timings
-are not comparable, so entries from other host shapes are ignored.  A
-latest run slower than ``threshold`` x the best prior time (default
-1.25) is a regression.
+run recorded on the same host -- cross-host timings are not
+comparable, so entries from other host shapes are ignored.  Entries
+carry a ``host`` fingerprint (cpu count, platform, machine) written by
+``bench_history.append_history``; when both entries have one, the full
+fingerprint must match, and legacy entries fall back to comparing
+``host_cpu_count`` alone.  A latest run slower than ``threshold`` x
+the best prior time (default 1.25) is a regression.
+
+``--slo tools/slo.json`` additionally evaluates declarative SLOs
+against the trajectory (see ``repro.telemetry.slo``): blocking SLO
+failures fail the gate, advisory ones only warn.
 
 Exit codes: 0 = within threshold (or nothing to compare), 1 = at least
-one regression (``--warn-only`` downgrades this to 0 for advisory CI
-steps), 2 = usage error.
+one regression or blocking SLO failure (``--warn-only`` downgrades
+this to 0 for advisory CI steps), 2 = usage error / bad SLO policy.
 
 Usage::
 
     python tools/bench_gate.py [--history BENCH_history.jsonl] \
-        [--threshold 1.25] [--warn-only]
+        [--threshold 1.25] [--slo tools/slo.json] [--warn-only]
 """
 
 from __future__ import annotations
@@ -26,6 +33,20 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_history import HISTORY_FILENAME, load_history  # noqa: E402
 
 DEFAULT_THRESHOLD = 1.25
+
+
+def _same_host(a: dict, b: dict) -> bool:
+    """True when two history entries were recorded on comparable hosts.
+
+    Entries written since the ``host`` fingerprint landed must match on
+    the full fingerprint (cpu count + platform + machine); comparisons
+    involving a legacy entry fall back to ``host_cpu_count`` so old
+    trajectory data keeps gating.
+    """
+    fp_a, fp_b = a.get("host"), b.get("host")
+    if isinstance(fp_a, dict) and isinstance(fp_b, dict):
+        return fp_a == fp_b
+    return a.get("host_cpu_count") == b.get("host_cpu_count")
 
 
 def gate(entries: list[dict], *, threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
@@ -42,11 +63,7 @@ def gate(entries: list[dict], *, threshold: float = DEFAULT_THRESHOLD) -> list[d
     verdicts = []
     for benchmark, runs in sorted(by_benchmark.items()):
         latest = runs[-1]
-        prior = [
-            run
-            for run in runs[:-1]
-            if run.get("host_cpu_count") == latest.get("host_cpu_count")
-        ]
+        prior = [run for run in runs[:-1] if _same_host(run, latest)]
         if not prior:
             continue
         best = min(prior, key=lambda run: run["seconds"])
@@ -80,6 +97,12 @@ def main() -> int:
         help="slowdown ratio above which the latest run regresses (default 1.25)",
     )
     parser.add_argument(
+        "--slo",
+        default=None,
+        metavar="PATH",
+        help="evaluate SLOs from this policy file; blocking failures fail the gate",
+    )
+    parser.add_argument(
         "--warn-only",
         action="store_true",
         help="report regressions but exit 0 (advisory CI step)",
@@ -93,12 +116,50 @@ def main() -> int:
     if not entries:
         print(f"no benchmark history at {args.history}; nothing to gate")
         return 0
+
+    slo_blocking_failures: list[dict] = []
+    if args.slo:
+        try:
+            from repro.telemetry.slo import (
+                SloPolicyError,
+                evaluate_slos,
+                load_slo_policy,
+                render_verdicts,
+            )
+        except ImportError:
+            print(
+                "error: --slo needs the repro package importable "
+                "(run with PYTHONPATH=src)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            slos = load_slo_policy(args.slo)
+        except (OSError, SloPolicyError) as exc:
+            print(f"error: bad SLO policy {args.slo}: {exc}", file=sys.stderr)
+            return 2
+        slo_verdicts = evaluate_slos(entries, slos)
+        print("SLO verdicts:")
+        print(render_verdicts(slo_verdicts))
+        print()
+        failures = [v for v in slo_verdicts if v["status"] == "fail"]
+        slo_blocking_failures = [v for v in failures if v["blocking"]]
+        for verdict in failures:
+            level = "BLOCKING" if verdict["blocking"] else "advisory"
+            print(
+                f"{level} SLO failure: {verdict['slo']} "
+                f"({verdict['benchmark']}.{verdict['metric']} = {verdict['value']})",
+                file=sys.stderr,
+            )
+
     verdicts = gate(entries, threshold=args.threshold)
     if not verdicts:
         print(
             f"{len(entries)} history entries but no benchmark has a prior "
             "same-host run; nothing to compare"
         )
+        if slo_blocking_failures and not args.warn_only:
+            return 1
         return 0
 
     regressed = [verdict for verdict in verdicts if verdict["regressed"]]
@@ -118,6 +179,8 @@ def main() -> int:
         )
         return 0 if args.warn_only else 1
     print(f"\nall {len(verdicts)} gated benchmark(s) within threshold")
+    if slo_blocking_failures and not args.warn_only:
+        return 1
     return 0
 
 

@@ -47,14 +47,16 @@ def append_history(
     extra: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Append one timing record to the trajectory and return it."""
-    # The telemetry package is the sanctioned clock boundary (RL002);
-    # lazy so read-only consumers (bench_gate) need no repro install.
-    from repro.telemetry import host_date
+    # The telemetry package is the sanctioned clock/host-provenance
+    # boundary (RL002); lazy so read-only consumers (bench_gate) need
+    # no repro install.
+    from repro.telemetry import host_date, host_fingerprint
 
     entry: dict[str, Any] = {
         "benchmark": benchmark,
         "date": host_date(),
         "git_rev": git_rev(),
+        "host": host_fingerprint(),
         "host_cpu_count": os.cpu_count(),
         "seconds": round(seconds, 4),
     }

@@ -5,7 +5,11 @@ once per requested worker count, verifies every parallel capture is
 record-identical to the serial one, and writes the timings, speedups,
 and host core count to ``BENCH_parallel.json`` at the repo root.  Each
 timing is also appended to the ``BENCH_history.jsonl`` trajectory that
-``tools/bench_gate.py`` gates on.
+``tools/bench_gate.py`` gates on.  Telemetry is enabled for every run
+(serial included, so timings compare like with like) and each parallel
+entry records ``worker_skew`` -- the slowest shard's wall time over the
+mean, from the stitched cross-worker span profile -- which the
+``parallel-skew-ceiling`` SLO watches for straggler regressions.
 
 Usage::
 
@@ -25,17 +29,27 @@ from time import perf_counter
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_history import append_history  # noqa: E402
 
+import repro.telemetry as telemetry
 from repro.longitudinal import PassiveTraceGenerator
-from repro.telemetry import host_date
+from repro.telemetry import Profiler, host_date
 
 DEFAULT_SCALE = 200
 SEED = "iotls-bench-parallel"
 
 
 def _timed_generate(scale: int, workers: int):
+    """One telemetry-isolated generation run: capture, seconds, skew.
+
+    The runtime is reset before each run so the span profile (and the
+    worker skew derived from it) covers exactly this run.
+    """
+    runtime = telemetry.get()
+    runtime.reset()
     started = perf_counter()
     capture = PassiveTraceGenerator(scale=scale, seed=SEED).generate(workers=workers)
-    return capture, perf_counter() - started
+    seconds = perf_counter() - started
+    skew = Profiler.from_runtime(runtime).shard_skew()
+    return capture, seconds, skew
 
 
 def main() -> int:
@@ -45,7 +59,11 @@ def main() -> int:
     parser.add_argument("--out", default="BENCH_parallel.json")
     args = parser.parse_args()
 
-    serial_capture, serial_seconds = _timed_generate(args.scale, workers=1)
+    # Telemetry on for serial and parallel alike: both pay the same
+    # instrumentation cost, so speedup ratios stay meaningful.
+    telemetry.configure(enabled=True)
+
+    serial_capture, serial_seconds, _ = _timed_generate(args.scale, workers=1)
     print(f"serial: {serial_seconds:.2f}s ({len(serial_capture)} flow records)")
     append_history(
         "bench_parallel/serial", serial_seconds, extra={"scale": args.scale}
@@ -53,25 +71,26 @@ def main() -> int:
 
     runs = {}
     for workers in args.workers:
-        capture, seconds = _timed_generate(args.scale, workers=workers)
-        append_history(
-            f"bench_parallel/workers{workers}",
-            seconds,
-            extra={"scale": args.scale},
-        )
+        capture, seconds, skew = _timed_generate(args.scale, workers=workers)
+        extra = {"scale": args.scale}
+        if skew is not None:
+            extra["worker_skew"] = skew["max_over_mean"]
+        append_history(f"bench_parallel/workers{workers}", seconds, extra=extra)
         identical = (
             capture.records == serial_capture.records
             and capture.revocation_events == serial_capture.revocation_events
         )
         speedup = serial_seconds / seconds if seconds > 0 else 0.0
+        skew_note = f", skew={skew['max_over_mean']:.2f}x" if skew is not None else ""
         print(
             f"workers={workers}: {seconds:.2f}s -- {speedup:.2f}x, "
-            f"identical={identical}"
+            f"identical={identical}{skew_note}"
         )
         runs[str(workers)] = {
             "seconds": round(seconds, 4),
             "speedup_vs_serial": round(speedup, 4),
             "identical_to_serial": identical,
+            "worker_skew": skew["max_over_mean"] if skew is not None else None,
         }
 
     document = {

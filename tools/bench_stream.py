@@ -3,11 +3,15 @@
 Streams the full 27-month capture into a count-only sink at a large
 ``--scale`` (the default, 4000, approximates the study's ~17M-connection
 volume -- 100x the analysis default) with a ``--flow-cap`` so record
-volume tracks connection volume, and reports throughput plus the
-tracemalloc peak.  The point of the measurement: peak memory must stay
-flat while connection volume grows, because nothing is materialised.
-Each run appends a ``stream_trace`` entry to the ``BENCH_history.jsonl``
-trajectory that ``tools/bench_gate.py`` gates on.
+volume tracks connection volume, and reports throughput plus resource
+peaks measured by :class:`repro.telemetry.ResourceSampler` (traced-heap
+peak via its reference-counted tracemalloc hold, plus whole-process
+RSS).  The point of the measurement: peak memory must stay flat while
+connection volume grows, because nothing is materialised.  Each run
+appends a ``stream_trace`` entry to the ``BENCH_history.jsonl``
+trajectory that ``tools/bench_gate.py`` gates on -- including
+``peak_rss_kib``, which the ``stream-rss-ceiling`` SLO in
+``tools/slo.json`` watches.
 
 Usage::
 
@@ -19,7 +23,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-import tracemalloc
 from pathlib import Path
 from time import perf_counter
 
@@ -27,6 +30,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from bench_history import append_history  # noqa: E402
 
 from repro.longitudinal import PassiveTraceGenerator
+from repro.telemetry import ResourceSampler
 from repro.testbed import DiscardSink
 
 DEFAULT_SCALE = 4000  # ~100x the analysis default; approximates the paper's volume
@@ -44,22 +48,23 @@ def main() -> int:
         scale=args.scale, seed=SEED, flow_cap=args.flow_cap
     )
     sink = DiscardSink()
-    tracemalloc.start()
-    started = perf_counter()
-    try:
+    # The sampler context manager guarantees the tracemalloc hold is
+    # released even when stream_into raises mid-run.
+    with ResourceSampler() as sampler:
+        started = perf_counter()
         generator.stream_into(sink, workers=args.workers)
         seconds = perf_counter() - started
-        _, peak = tracemalloc.get_traced_memory()
-    finally:
-        tracemalloc.stop()
+    resources = sampler.summary()
 
     throughput = sink.records_seen / seconds if seconds > 0 else 0.0
-    peak_mib = peak / (1024 * 1024)
+    peak_mib = resources["peak_traced_bytes"] / (1024 * 1024)
+    peak_rss_kib = resources["peak_rss_kib"]
     print(
         f"scale={args.scale} flow_cap={args.flow_cap} workers={args.workers}: "
         f"{seconds:.2f}s -- {sink.records_seen} flow records "
         f"({sink.connections_seen} connections), "
-        f"{throughput:,.0f} records/s, peak {peak_mib:.1f} MiB"
+        f"{throughput:,.0f} records/s, peak {peak_mib:.1f} MiB traced, "
+        f"RSS {peak_rss_kib:,} KiB"
     )
     append_history(
         "stream_trace",
@@ -72,6 +77,7 @@ def main() -> int:
             "connections": sink.connections_seen,
             "records_per_second": round(throughput, 1),
             "peak_mib": round(peak_mib, 2),
+            "peak_rss_kib": peak_rss_kib,
         },
     )
     return 0
