@@ -61,6 +61,13 @@ class PriorWorkAccumulator:
         ):
             self._rc4 += record.count
 
+    def bulk_add(self, total: int, tls13: int, rc4: int) -> None:
+        """Fold pre-summed late-window connection counts (the caller has
+        already applied the ``from_month`` filter and the two predicates)."""
+        self._total += total
+        self._tls13 += tls13
+        self._rc4 += rc4
+
     def finalize(self) -> PriorWorkComparison:
         if self._total == 0:
             return PriorWorkComparison(tls13_fraction=0.0, rc4_fraction=0.0)

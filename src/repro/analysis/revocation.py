@@ -65,6 +65,13 @@ class RevocationAccumulator:
         if record.requests_ocsp_staple:
             self._stapling.add(record.device)
 
+    def bulk_add(self, device: str, *, any_staple: bool) -> None:
+        """Fold one device chunk's record-side signals (sets, so one
+        call per chunk carries the same information as per-record adds)."""
+        self._devices.add(device)
+        if any_staple:
+            self._stapling.add(device)
+
     def add_revocation_event(self, event: RevocationEvent) -> None:
         if event.method is RevocationMethod.CRL:
             self._crl.add(event.device)

@@ -44,6 +44,7 @@ from .analysis.export import (
     write_json,
 )
 from .analysis.streaming import TraceAnalysis, TraceAnalysisPipeline, analyze_capture
+from .parallel import pool_session
 
 __all__ = [
     "RunConfig",
@@ -81,6 +82,10 @@ class RunConfig:
     seed: str = "iotls-passive"
     #: Worker processes for device sharding; output is identical for any N.
     workers: int = 1
+    #: Keep one warm worker pool alive across a run's parallel phases
+    #: (no-op at ``workers=1``).  Off falls back to an ephemeral pool
+    #: per dispatch; results are identical either way.
+    warm_pool: bool = True
     #: Enable the telemetry subsystem for this run.
     telemetry: bool = False
     #: Run the passive trace in streaming mode (bounded memory).
@@ -311,7 +316,9 @@ def run_trace(
         scale=config.scale, seed=config.seed, flow_cap=config.flow_cap
     )
     artifacts: dict[str, Path] = {}
-    with _progress_session(config, heartbeat_path, label="trace") as reporter:
+    with _progress_session(config, heartbeat_path, label="trace") as reporter, pool_session(
+        config.workers, enabled=config.warm_pool
+    ):
         if streaming:
             pipeline = TraceAnalysisPipeline()
             writer = None
@@ -382,7 +389,9 @@ def run_audit(
     from .core import ActiveExperimentCampaign
 
     _configure_telemetry(config)
-    with _progress_session(config, heartbeat_path, label="audit") as reporter:
+    with _progress_session(config, heartbeat_path, label="audit") as reporter, pool_session(
+        config.workers, enabled=config.warm_pool
+    ):
         results = ActiveExperimentCampaign().run(
             include_passthrough=config.include_passthrough, workers=config.workers
         )
@@ -479,7 +488,13 @@ def run_report(
     _configure_telemetry(config)
     notify = progress or (lambda message: None)
     testbed = Testbed()
-    with _progress_session(config, heartbeat_path, label="report") as reporter:
+    with _progress_session(config, heartbeat_path, label="report") as reporter, pool_session(
+        config.workers, enabled=config.warm_pool
+    ):
+        # One pool session spans both phases: the campaign's shards and
+        # the trace's shards land on the same warm processes, so the
+        # spawn + import + testbed cost is paid once per run, not once
+        # per phase.
         notify("running active campaign...")
         results = ActiveExperimentCampaign(testbed).run(workers=config.workers)
         notify("generating passive trace...")
@@ -511,9 +526,10 @@ def run_pcap(
     from .testbed.pcap import write_pcap
 
     _configure_telemetry(config)
-    capture = PassiveTraceGenerator(scale=config.scale, seed=config.seed).generate(
-        workers=config.workers
-    )
+    with pool_session(config.workers, enabled=config.warm_pool):
+        capture = PassiveTraceGenerator(scale=config.scale, seed=config.seed).generate(
+            workers=config.workers
+        )
     path = write_pcap(capture, out, limit=limit)
     packets = limit if limit is not None else len(capture)
     artifacts = {"pcap": path}

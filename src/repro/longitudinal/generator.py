@@ -28,8 +28,9 @@ from ..testbed.capture import (
     CaptureSink,
     FlowRecordChunker,
     GatewayCapture,
+    RecordChunk,
     RevocationEvent,
-    TrafficRecord,
+    sink_add_batch,
 )
 from ..testbed.infrastructure import Testbed
 
@@ -78,10 +79,32 @@ class PassiveTraceGenerator:
         return first <= month <= last
 
     # ------------------------------------------------------------------
-    def generate_device(self, profile: DeviceProfile, capture: CaptureSink) -> None:
+    def generate_device_chunk(self, profile: DeviceProfile) -> RecordChunk:
+        """Replay one device and return its columnar record chunk.
+
+        This is the single copy of the month loop: handshakes happen
+        here, base-record fields land in column lists (no per-flow
+        :class:`~repro.testbed.capture.TrafficRecord` construction), and
+        revocation side effects (CRL regeneration, OCSP responses) fire
+        at the same month boundaries as always.  Every record-consuming
+        path -- materialise, stream, parallel workers -- folds or
+        expands the returned chunk.
+        """
         device = self.testbed.device(profile)
         window = profile.longitudinal
         telemetry_on = _TELEMETRY.enabled
+        hostnames: list[str] = []
+        parties: list = []
+        months: list[int] = []
+        whens: list = []
+        client_hellos: list = []
+        establisheds: list[bool] = []
+        established_versions: list = []
+        established_cipher_codes: list = []
+        client_alerts: list = []
+        downgradeds: list[bool] = []
+        counts: list[int] = []
+        events: list[RevocationEvent] = []
         for month in range(STUDY_MONTHS):
             if not window.active_in(month):
                 continue
@@ -101,35 +124,53 @@ class PassiveTraceGenerator:
                 count = self._flow_count(
                     profile.name, destination.hostname, month, destination.monthly_weight
                 )
+                hostname = destination.hostname
+                party = destination.party
                 for index, result in enumerate(connection.attempt.attempts):
                     alert = result.client_alert
-                    capture.add(
-                        TrafficRecord(
-                            device=profile.name,
-                            hostname=destination.hostname,
-                            party=destination.party,
-                            month=month,
-                            when=when,
-                            client_hello=result.client_hello,
-                            established=result.established,
-                            established_version=result.established_version,
-                            established_cipher_code=result.established_cipher_code,
-                            client_alert=alert.description.name.lower() if alert else None,
-                            downgraded=index > 0,
-                            count=count,
-                        )
+                    hostnames.append(hostname)
+                    parties.append(party)
+                    months.append(month)
+                    whens.append(when)
+                    client_hellos.append(result.client_hello)
+                    establisheds.append(result.established)
+                    established_versions.append(result.established_version)
+                    established_cipher_codes.append(result.established_cipher_code)
+                    client_alerts.append(
+                        alert.description.name.lower() if alert else None
                     )
-            self._emit_revocation_events(profile, month, capture)
+                    downgradeds.append(index > 0)
+                    counts.append(count)
+            self._collect_revocation_events(profile, month, events)
+        return RecordChunk(
+            profile.name,
+            hostnames=hostnames,
+            parties=parties,
+            months=months,
+            whens=whens,
+            client_hellos=client_hellos,
+            establisheds=establisheds,
+            established_versions=established_versions,
+            established_cipher_codes=established_cipher_codes,
+            client_alerts=client_alerts,
+            downgradeds=downgradeds,
+            counts=counts,
+            revocation_events=events,
+        )
 
-    def _emit_revocation_events(
-        self, profile: DeviceProfile, month: int, capture: CaptureSink
+    def generate_device(self, profile: DeviceProfile, capture: CaptureSink) -> None:
+        """Replay one device into ``capture`` (records, then events)."""
+        sink_add_batch(capture, self.generate_device_chunk(profile))
+
+    def _collect_revocation_events(
+        self, profile: DeviceProfile, month: int, events: list[RevocationEvent]
     ) -> None:
         """CRL fetches / OCSP queries the device's checking produces."""
         behavior = profile.revocation
         if behavior.uses_crl:
             registry = self.testbed.registry(0)
             registry.current_crl(when=month_to_date(month))
-            capture.add_revocation_event(
+            events.append(
                 RevocationEvent(
                     device=profile.name,
                     method=RevocationMethod.CRL,
@@ -140,7 +181,7 @@ class PassiveTraceGenerator:
         if behavior.uses_ocsp:
             registry = self.testbed.registry(0)
             registry.ocsp.respond(serial=1, when=month_to_date(month))
-            capture.add_revocation_event(
+            events.append(
                 RevocationEvent(
                     device=profile.name,
                     method=RevocationMethod.OCSP,
@@ -174,6 +215,29 @@ class PassiveTraceGenerator:
             device=profile.name,
             flow_records=capture.records_seen - before,
         )
+
+    def _device_chunk_instrumented(self, profile: DeviceProfile) -> RecordChunk:
+        """:meth:`generate_device_chunk` in the per-device telemetry envelope.
+
+        The streaming counterpart of :meth:`generate_device_instrumented`:
+        same span, counter, and debug event, with ``flow_records`` equal
+        to the chunk's base-record count -- exactly what the old staging
+        capture would have reported before any flow-cap splitting.
+        """
+        if not _TELEMETRY.enabled:
+            return self.generate_device_chunk(profile)
+        with _TELEMETRY.tracer.span("trace.device", device=profile.name) as span:
+            chunk = self.generate_device_chunk(profile)
+            span.annotate(flow_records=len(chunk))
+        _TELEMETRY.registry.counter(
+            "iotls_trace_devices_total", "Devices replayed by the trace generator."
+        ).inc()
+        _TELEMETRY.events.debug(
+            "trace.device_complete",
+            device=profile.name,
+            flow_records=len(chunk),
+        )
+        return chunk
 
     # ------------------------------------------------------------------
     def generate(self, *, workers: int = 1) -> GatewayCapture:
@@ -300,12 +364,13 @@ class PassiveTraceGenerator:
         """Stream the full capture into ``sink`` record by record.
 
         The streaming counterpart of :meth:`generate`: nothing is
-        materialised here -- each device's records are staged in a small
-        uncounted capture (so the per-device span/event telemetry stays
-        identical to the materialised path), flushed to ``sink`` in
-        records-then-events order, and dropped.  Peak memory is one
-        device's staging buffer, O(devices x months) cells, independent
-        of ``scale`` and ``flow_cap``.
+        materialised here -- each device is replayed into one columnar
+        :class:`~repro.testbed.capture.RecordChunk` (so the per-device
+        span/event telemetry stays identical to the materialised path),
+        folded into ``sink`` in records-then-events order via
+        :func:`~repro.testbed.capture.sink_add_batch`, and dropped.
+        Peak memory is one device's chunk, O(devices x months) cells,
+        independent of ``scale`` and ``flow_cap``.
 
         ``workers>1`` runs one task per device on a persistent process
         pool (:meth:`repro.parallel.ShardedExecutor.imap_tasks`) and
@@ -314,9 +379,12 @@ class PassiveTraceGenerator:
         are invariant under ``workers``, and match the materialised
         path's byte for byte.
 
-        A ``flow_cap`` splits batched records just before ``sink``, so
-        the sink ingests bounded-``count`` records; the staging buffers
-        hold pre-split records and stay scale-independent either way.
+        A ``flow_cap`` splits batched records just before ``sink`` --
+        *virtually* on the columnar path: the chunker stamps the cap on
+        each chunk and batch-aware sinks account for split
+        multiplicities arithmetically, while record-by-record sinks see
+        bounded-``count`` records expanded lazily.  Chunks hold
+        pre-split base records and stay scale-independent either way.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -372,13 +440,9 @@ class PassiveTraceGenerator:
         peak = 0
         progress = _TELEMETRY.progress
         for profile in passive_devices():
-            staging = GatewayCapture(counted=False)
-            self.generate_device_instrumented(profile, staging)
-            peak = max(peak, len(staging.records))
-            for record in staging.records:
-                target.add(record)
-            for event in staging.revocation_events:
-                target.add_revocation_event(event)
+            chunk = self._device_chunk_instrumented(profile)
+            peak = max(peak, len(chunk))
+            sink_add_batch(target, chunk)
             # Record counts flow through the stream's ProgressSink; here
             # only the per-device staging stage is tallied.
             if progress is not None:
@@ -417,11 +481,9 @@ class PassiveTraceGenerator:
                 for index, name in enumerate(order)
             ]
             for result in executor.imap_tasks(run_trace_chunk, tasks):
-                peak = max(peak, len(result.records))
-                for record in result.records:
-                    target.add(record)
-                for event in result.revocation_events:
-                    target.add_revocation_event(event)
+                chunk = result.chunk
+                peak = max(peak, len(chunk))
+                sink_add_batch(target, chunk)
                 if result.telemetry is not None:
                     states.append(result.telemetry)
                 if progress is not None:

@@ -44,6 +44,7 @@ __all__ = [
     "FractionHeatmapAccumulator",
     "insecure_advertised_accumulator",
     "strong_established_accumulator",
+    "month_tally",
     "build_version_heatmap",
     "build_insecure_advertised_heatmap",
     "build_strong_established_heatmap",
@@ -65,6 +66,22 @@ def _crosses(value: float, threshold: float, *, from_below: bool = True) -> bool
     its threshold; a device sitting exactly on the threshold is shown.
     """
     return value >= threshold if from_below else value <= threshold
+
+
+def month_tally(months, counts, mask=None) -> np.ndarray:
+    """Count-weighted per-month sums: int64, length ``STUDY_MONTHS``.
+
+    ``months``/``counts`` are parallel int64 arrays (one slot per base
+    record); ``mask`` restricts the tally to the records it selects.
+    Integer scatter-adds, so the sums are exact -- the vectorised
+    equivalent of the accumulators' dict tallies.
+    """
+    tally = np.zeros(STUDY_MONTHS, dtype=np.int64)
+    if mask is not None:
+        months = months[mask]
+        counts = counts[mask]
+    np.add.at(tally, months, counts)
+    return tally
 
 
 @dataclass
@@ -124,6 +141,25 @@ class FractionSeriesAccumulator:
         self._totals[key] = self._totals.get(key, 0) + record.count
         if self._predicate(record):
             self._hits[key] = self._hits.get(key, 0) + record.count
+
+    def bulk_tally(self, device: str, totals, hits) -> None:
+        """Fold one device's per-month weight arrays in one call.
+
+        ``totals`` and ``hits`` are length-``STUDY_MONTHS`` integer
+        arrays of count-weighted sums, already filtered through this
+        accumulator's denominator and predicate by the caller (the
+        vectorised chunk path).  Months with zero total leave their
+        cell untouched, exactly like a run of :meth:`add` calls that
+        never passed the denominator.
+        """
+        self._device_names.add(device)
+        t, h = self._totals, self._hits
+        for month in np.flatnonzero(totals):
+            key = (device, int(month))
+            t[key] = t.get(key, 0) + int(totals[month])
+            hit = int(hits[month])
+            if hit:
+                h[key] = h.get(key, 0) + hit
 
     @property
     def devices(self) -> list[str]:
@@ -210,6 +246,30 @@ class VersionHeatmapAccumulator:
         for accumulator in self._established.values():
             accumulator.add(record)
 
+    def add_batch(
+        self, device: str, months, counts, adv_band, est_mask, est_band
+    ) -> None:
+        """Fold one device chunk's worth of pre-extracted version features.
+
+        ``adv_band``/``est_band`` hold each base record's advertised /
+        established :class:`VersionBand` as an index into
+        ``list(VersionBand)`` (-1 for not-established); ``est_mask`` is
+        the established denominator.  Tallies land exactly where
+        per-record :meth:`add` calls would put them.
+        """
+        self._device_names.add(device)
+        adv_totals = month_tally(months, counts)
+        est_totals = month_tally(months, counts, est_mask)
+        for index, band in enumerate(VersionBand):
+            self._advertised[band].bulk_tally(
+                device, adv_totals, month_tally(months, counts, adv_band == index)
+            )
+            self._established[band].bulk_tally(
+                device,
+                est_totals,
+                month_tally(months, counts, est_mask & (est_band == index)),
+            )
+
     def finalize(self) -> VersionHeatmap:
         return VersionHeatmap(
             advertised={band: acc.series() for band, acc in self._advertised.items()},
@@ -290,6 +350,10 @@ class FractionHeatmapAccumulator:
 
     def add(self, record: TrafficRecord) -> None:
         self._accumulator.add(record)
+
+    def bulk_tally(self, device: str, totals, hits) -> None:
+        """See :meth:`FractionSeriesAccumulator.bulk_tally`."""
+        self._accumulator.bulk_tally(device, totals, hits)
 
     def finalize(self) -> FractionHeatmap:
         return FractionHeatmap(

@@ -8,6 +8,7 @@ determinism argument).
 """
 
 from .executor import ShardedExecutor
+from .pool import WarmWorkerPool, active_pool, pool_session
 from .workers import (
     CampaignDeviceOutcome,
     CampaignShardResult,
@@ -23,6 +24,7 @@ from .workers import (
 
 __all__ = [
     "ShardedExecutor",
+    "WarmWorkerPool",
     "CampaignDeviceOutcome",
     "CampaignShardResult",
     "CampaignShardTask",
@@ -30,6 +32,8 @@ __all__ = [
     "TraceChunkTask",
     "TraceShardResult",
     "TraceShardTask",
+    "active_pool",
+    "pool_session",
     "run_campaign_shard",
     "run_trace_chunk",
     "run_trace_shard",

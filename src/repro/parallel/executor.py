@@ -30,6 +30,8 @@ from __future__ import annotations
 import multiprocessing
 from typing import Callable, Sequence, TypeVar
 
+from .pool import active_pool
+
 __all__ = ["ShardedExecutor"]
 
 Task = TypeVar("Task")
@@ -66,13 +68,22 @@ class ShardedExecutor:
         guarantees result order matches input order regardless of which
         worker finishes first -- the first half of the determinism
         contract; the callers' catalog-order reassembly is the second.
+
+        Inside a :func:`repro.parallel.pool.pool_session`, tasks land on
+        the session's warm pool; otherwise an ephemeral pool of at most
+        ``self.workers`` processes is spawned (never one per task --
+        oversubscribing the host with ``len(tasks)`` processes is
+        exactly the dispatch bug the cap fixes).
         """
         if not tasks:
             return []
         if len(tasks) == 1:
             return [worker_fn(tasks[0])]
+        warm = active_pool()
+        if warm is not None:
+            return warm.map(worker_fn, tasks)
         context = multiprocessing.get_context("spawn")
-        with context.Pool(processes=len(tasks)) as pool:
+        with context.Pool(processes=min(self.workers, len(tasks))) as pool:
             return pool.map(worker_fn, tasks)
 
     # ------------------------------------------------------------------
@@ -99,6 +110,10 @@ class ShardedExecutor:
         if self.workers == 1 or len(tasks) == 1:
             for task in tasks:
                 yield worker_fn(task)
+            return
+        warm = active_pool()
+        if warm is not None:
+            yield from warm.imap(worker_fn, tasks)
             return
         context = multiprocessing.get_context("spawn")
         with context.Pool(processes=min(self.workers, len(tasks))) as pool:

@@ -1,0 +1,139 @@
+"""A persistent warm worker pool, amortised across shards and phases.
+
+Every parallel dispatch used to build a fresh ``spawn`` pool: each run
+paid ``workers`` interpreter starts plus a full :mod:`repro` import and
+testbed rebuild *per phase*, which is why ``--workers 2`` could lose to
+serial outright on small workloads.  :class:`WarmWorkerPool` keeps one
+spawn pool alive for the duration of a run session: processes are
+started once, warmed by an initializer that preloads the device catalog
+and the default testbed (the two expensive pure-function caches worker
+tasks need), and then reused by every ``map``/``imap`` batch -- the
+trace, audit, and report phases of one run all dispatch onto the same
+processes.
+
+:func:`pool_session` is the ambient activation point, mirroring the run
+facade's progress session: the API layer opens one session per run and
+:class:`~repro.parallel.executor.ShardedExecutor` transparently routes
+through the active pool.  Nested sessions reuse the outer pool, so
+``run_report`` (campaign + trace) warms exactly once.
+
+Determinism is untouched: ``Pool.map``/``Pool.imap`` return results in
+task order regardless of which process finishes first, and pooled task
+functions already reset their telemetry runtime at task start (see
+:mod:`repro.parallel.workers`), so per-task exports stay per-task
+increments whether the process is fresh or reused.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence, TypeVar
+
+__all__ = ["WarmWorkerPool", "pool_session", "active_pool"]
+
+Task = TypeVar("Task")
+Result = TypeVar("Result")
+
+#: The session-scoped pool :class:`ShardedExecutor` routes through.
+_ACTIVE_POOL: "WarmWorkerPool | None" = None
+
+
+def _warm_worker() -> None:
+    """Pool-process initializer: preload the caches every task needs.
+
+    Runs once per spawned process.  Building the default testbed and the
+    passive-device catalog here moves their cost out of the first task's
+    critical path and guarantees later tasks find them hot.  Both are
+    pure functions of fixed seeds, so warming changes no results.
+    """
+    from . import workers as worker_module
+
+    worker_module._worker_testbed()
+    worker_module._passive_profiles()
+
+
+class WarmWorkerPool:
+    """A reusable ``spawn`` pool with warm, preloaded worker processes.
+
+    Tracks dispatch statistics so the spawn-amortisation claim is
+    auditable: ``tasks_dispatched`` across ``batches`` batches landed on
+    just ``workers`` processes -- every task beyond the first per
+    process rode a warm interpreter instead of paying a cold start.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ValueError(f"a worker pool needs >= 2 workers, got {workers}")
+        self.workers = workers
+        context = multiprocessing.get_context("spawn")
+        self._pool = context.Pool(processes=workers, initializer=_warm_worker)
+        self.batches = 0
+        self.tasks_dispatched = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def map(
+        self, worker_fn: Callable[[Task], Result], tasks: Sequence[Task]
+    ) -> list[Result]:
+        """``Pool.map`` on the warm processes; results in task order."""
+        self.batches += 1
+        self.tasks_dispatched += len(tasks)
+        return self._pool.map(worker_fn, tasks)
+
+    def imap(
+        self, worker_fn: Callable[[Task], Result], tasks: Sequence[Task]
+    ) -> Iterator[Result]:
+        """``Pool.imap`` on the warm processes; yields in task order."""
+        self.batches += 1
+        self.tasks_dispatched += len(tasks)
+        return self._pool.imap(worker_fn, tasks, chunksize=1)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Reuse accounting for benchmark documents and telemetry."""
+        return {
+            "workers": self.workers,
+            "batches": self.batches,
+            "tasks_dispatched": self.tasks_dispatched,
+            "reused_dispatches": max(0, self.tasks_dispatched - self.workers),
+        }
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+            self._pool.join()
+
+    def __enter__(self) -> "WarmWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def active_pool() -> WarmWorkerPool | None:
+    """The pool of the innermost active :func:`pool_session`, if any."""
+    return _ACTIVE_POOL
+
+
+@contextmanager
+def pool_session(workers: int, *, enabled: bool = True):
+    """Hold one warm pool open for a run's worth of parallel dispatches.
+
+    Yields the active :class:`WarmWorkerPool` (or ``None`` when
+    ``workers < 2`` or ``enabled=False`` -- dispatches then fall back to
+    ephemeral pools exactly as before).  A nested session reuses the
+    outer session's pool rather than spawning a second one.
+    """
+    global _ACTIVE_POOL
+    if not enabled or workers < 2 or _ACTIVE_POOL is not None:
+        yield _ACTIVE_POOL
+        return
+    pool = WarmWorkerPool(workers)
+    _ACTIVE_POOL = pool
+    try:
+        yield pool
+    finally:
+        _ACTIVE_POOL = None
+        pool.close()

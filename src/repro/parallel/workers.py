@@ -16,6 +16,7 @@ as plain data for the parent to merge, keyed by worker id.
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass
 
 from .. import telemetry as _telemetry
@@ -33,23 +34,71 @@ __all__ = [
     "run_campaign_shard",
 ]
 
-#: Per-process cache for the streaming chunk workers.  A pool process
-#: serves many single-device tasks; the default testbed is a pure
-#: function of fixed seeds, so rebuilding it per task would cost time
-#: and change nothing.
+#: Per-process caches for pooled workers.  A pool process serves many
+#: tasks; the default testbed and the device catalog are pure functions
+#: of fixed seeds/data, so rebuilding them per task would cost time and
+#: change nothing.
 _WORKER_TESTBED = None
+_WORKER_PROFILES: dict | None = None
+
+
+def _passive_profiles() -> dict:
+    """The passive-device catalog, keyed by name, cached per process."""
+    global _WORKER_PROFILES
+    if _WORKER_PROFILES is None:
+        from ..devices.catalog import passive_devices
+
+        _WORKER_PROFILES = {profile.name: profile for profile in passive_devices()}
+    return _WORKER_PROFILES
+
+
+def _worker_testbed():
+    """The default testbed, built once per worker process and reused.
+
+    A pure function of fixed seeds, so a pooled process serving many
+    tasks (or phases) performs bit-identical handshakes with one shared
+    instance -- the serial path already audits every device against a
+    single testbed.
+    """
+    global _WORKER_TESTBED
+    if _WORKER_TESTBED is None:
+        from ..testbed.infrastructure import Testbed
+
+        _WORKER_TESTBED = Testbed()
+    return _WORKER_TESTBED
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
 
 
 def _configure_worker_telemetry(enabled: bool, event_level: str) -> None:
-    """Mirror the parent's telemetry switch inside a fresh interpreter."""
-    if enabled:
-        _telemetry.configure(enabled=True, level=event_level)
+    """Reset this worker's telemetry runtime to mirror the parent's switch.
+
+    Only ever touches a *worker* process's runtime.  Pool processes are
+    reused across tasks, so the reset at task start is what turns every
+    exported payload into a per-task increment.  When a task runs
+    in-process (single-task dispatch), the parent's already-configured
+    runtime must be left alone -- resetting it mid-run would wipe the
+    coordinator's own counters and spans, and re-exporting it would
+    double-count them on merge.
+    """
+    if not _in_worker():
+        return
+    _telemetry.configure(enabled=enabled, level=event_level)
 
 
 def _export_worker_telemetry(
     enabled: bool, worker_id: int, context: object | None = None
 ) -> dict | None:
-    if not enabled:
+    """Export this worker's runtime for the parent to merge.
+
+    Returns ``None`` in-process for the same reason
+    :func:`_configure_worker_telemetry` is a no-op there: the task's
+    metrics already live in the parent runtime, so merging an export of
+    it onto itself would double every total.
+    """
+    if not enabled or not _in_worker():
         return None
     return _telemetry.get().export_worker_state(worker_id, context=context)
 
@@ -92,14 +141,14 @@ class TraceShardResult:
 
 def run_trace_shard(task: TraceShardTask) -> TraceShardResult:
     """Generate one shard of the 27-month capture in a worker process."""
-    from ..devices.catalog import passive_devices
     from ..longitudinal.generator import PassiveTraceGenerator
     from ..testbed.capture import GatewayCapture
-    from ..testbed.infrastructure import Testbed
 
     _configure_worker_telemetry(task.telemetry, task.event_level)
-    profiles = {profile.name: profile for profile in passive_devices()}
-    generator = PassiveTraceGenerator(Testbed(), scale=task.scale, seed=task.seed)
+    profiles = _passive_profiles()
+    generator = PassiveTraceGenerator(
+        _worker_testbed(), scale=task.scale, seed=task.seed
+    )
     captures = []
     # The shard.run span times the whole shard; its wall time travels
     # home inside the profile payload as the shard's per-worker reading.
@@ -143,12 +192,11 @@ class TraceChunkTask:
 
 @dataclass(frozen=True)
 class TraceChunkResult:
-    """One device's records, streamed home as plain tuples."""
+    """One device's columnar record chunk, streamed home as one value."""
 
     index: int
     device: str
-    records: tuple  # tuple[TrafficRecord, ...]
-    revocation_events: tuple  # tuple[RevocationEvent, ...]
+    chunk: object  # RecordChunk (records + revocation events, columnar)
     telemetry: dict | None
 
 
@@ -164,42 +212,28 @@ def run_trace_chunk(task: TraceChunkTask) -> TraceChunkResult:
     neither reset nor exported: metrics accrue directly in the parent
     runtime, which is already correct.
 
-    The staging capture is never counted: the parent's terminal sink
-    counts gateway ingest after any flow-cap splitting.
+    The chunk crosses the process boundary in columnar form -- no
+    per-record objects are pickled -- and carries no gateway-ingest
+    counts: the parent's terminal sink counts after any flow-cap
+    splitting.
     """
-    import multiprocessing
-
-    from ..devices.catalog import passive_devices
     from ..longitudinal.generator import PassiveTraceGenerator
-    from ..testbed.capture import GatewayCapture
-    from ..testbed.infrastructure import Testbed
 
-    in_worker = multiprocessing.parent_process() is not None
-    if in_worker and task.telemetry:
-        _telemetry.configure(enabled=True, level=task.event_level)
-
-    global _WORKER_TESTBED
-    if _WORKER_TESTBED is None:
-        _WORKER_TESTBED = Testbed()
-    profiles = {profile.name: profile for profile in passive_devices()}
+    _configure_worker_telemetry(task.telemetry, task.event_level)
     generator = PassiveTraceGenerator(
-        _WORKER_TESTBED, scale=task.scale, seed=task.seed
+        _worker_testbed(), scale=task.scale, seed=task.seed
     )
-    staging = GatewayCapture(counted=False)
     with _telemetry.get().tracer.span(
         "chunk.run", worker=task.index, device=task.device_name
     ):
-        generator.generate_device_instrumented(profiles[task.device_name], staging)
-    payload = (
-        _export_worker_telemetry(task.telemetry, task.index, task.trace_context)
-        if in_worker
-        else None
-    )
+        chunk = generator._device_chunk_instrumented(
+            _passive_profiles()[task.device_name]
+        )
+    payload = _export_worker_telemetry(task.telemetry, task.index, task.trace_context)
     return TraceChunkResult(
         index=task.index,
         device=task.device_name,
-        records=tuple(staging.records),
-        revocation_events=tuple(staging.revocation_events),
+        chunk=chunk,
         telemetry=payload,
     )
 
@@ -254,11 +288,10 @@ def run_campaign_shard(task: CampaignShardTask) -> CampaignShardResult:
     from ..core.passthrough import PassthroughExperiment
     from ..core.prober import RootStoreProber
     from ..devices.catalog import active_devices
-    from ..testbed.infrastructure import Testbed
 
     _configure_worker_telemetry(task.telemetry, task.event_level)
     runtime = _telemetry.get()
-    testbed = Testbed()
+    testbed = _worker_testbed()
     profiles = {profile.name: profile for profile in active_devices()}
     interception_auditor = InterceptionAuditor(testbed)
     downgrade_auditor = DowngradeAuditor(testbed)

@@ -89,23 +89,32 @@ class Certificate:
         Any attacker modification of a signed field changes these bytes
         and therefore invalidates the signature -- the property the
         spoofed-CA probe depends on.
+
+        Cached per instance: the encoding is a pure function of frozen
+        fields, and every handshake re-verifies the same few chain
+        certificates (``dataclasses.replace`` builds a new instance, so
+        a copy never inherits a stale cache).
         """
-        parts = [
-            self.subject.rfc4514(),
-            self.issuer.rfc4514(),
-            str(self.serial),
-            self.not_before.isoformat(),
-            self.not_after.isoformat(),
-            self.public_key.key_id,
-            f"ca={self.basic_constraints.ca}",
-            f"pathlen={self.basic_constraints.path_len}",
-            f"ku={self.key_usage.digital_signature},{self.key_usage.key_cert_sign}",
-            "|".join(self.subject_alt_names),
-            self.crl_distribution_point or "",
-            self.ocsp_responder_url or "",
-            f"must_staple={self.must_staple}",
-        ]
-        return "\x1f".join(parts).encode()
+        cached = self.__dict__.get("_tbs_cache")
+        if cached is None:
+            parts = [
+                self.subject.rfc4514(),
+                self.issuer.rfc4514(),
+                str(self.serial),
+                self.not_before.isoformat(),
+                self.not_after.isoformat(),
+                self.public_key.key_id,
+                f"ca={self.basic_constraints.ca}",
+                f"pathlen={self.basic_constraints.path_len}",
+                f"ku={self.key_usage.digital_signature},{self.key_usage.key_cert_sign}",
+                "|".join(self.subject_alt_names),
+                self.crl_distribution_point or "",
+                self.ocsp_responder_url or "",
+                f"must_staple={self.must_staple}",
+            ]
+            cached = "\x1f".join(parts).encode()
+            object.__setattr__(self, "_tbs_cache", cached)
+        return cached
 
     @property
     def is_self_signed(self) -> bool:

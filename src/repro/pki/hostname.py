@@ -20,13 +20,18 @@ Rules implemented:
 from __future__ import annotations
 
 import ipaddress
+from functools import lru_cache
 
 from .certificate import Certificate
 
 __all__ = ["match_hostname", "hostname_matches_pattern"]
 
 
+@lru_cache(maxsize=4096)
 def _is_ip_address(value: str) -> bool:
+    """Cached: the catalog's hostname/SAN universe is small and each
+    handshake re-checks the same strings (a failed ``ip_address`` parse
+    costs an exception per call)."""
     try:
         ipaddress.ip_address(value)
     except ValueError:

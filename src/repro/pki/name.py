@@ -12,12 +12,18 @@ signature validation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 __all__ = ["DistinguishedName"]
 
 
+@lru_cache(maxsize=4096)
 def _norm(value: str) -> str:
-    """RFC 5280 (simplified) caseIgnoreMatch: collapse whitespace, casefold."""
+    """RFC 5280 (simplified) caseIgnoreMatch: collapse whitespace, casefold.
+
+    Cached: chain building normalises the same few hundred CA/server
+    attribute strings tens of thousands of times per run.
+    """
     return " ".join(value.split()).casefold()
 
 

@@ -136,10 +136,17 @@ class ResourceSampler:
     explicit :meth:`sample`/:meth:`stage` calls are never throttled.
     When a ``registry`` is attached, :meth:`stop` folds the peaks into
     manifest-safe gauges (``iotls_resource_*``).
+
+    ``trace_heap=False`` skips the tracemalloc hold entirely: the
+    sampler then reports RSS/CPU/GC only and ``peak_traced_bytes`` stays
+    0.  Timing-sensitive harnesses use this -- tracemalloc instruments
+    every allocation and can dominate a hot loop's wall time -- and take
+    heap readings in a separate traced pass.
     """
 
     interval: float = 1.0
     registry: MetricsRegistry | None = None
+    trace_heap: bool = True
     clock: Callable[[], float] = perf_counter
     snapshots: list[ResourceSnapshot] = field(default_factory=list)
     _started_at: float | None = field(default=None, repr=False)
@@ -151,8 +158,9 @@ class ResourceSampler:
     def start(self) -> "ResourceSampler":
         if self._started_at is not None:
             return self
-        _acquire_tracemalloc()
-        self._holding = True
+        if self.trace_heap:
+            _acquire_tracemalloc()
+            self._holding = True
         self._gc_base = sum(stat["collections"] for stat in gc.get_stats())
         self._started_at = self.clock()
         self._last_sample_at = self._started_at

@@ -7,8 +7,10 @@ from .capture import (
     FlowRecordChunker,
     GatewayCapture,
     ProgressSink,
+    RecordChunk,
     RevocationEvent,
     TrafficRecord,
+    sink_add_batch,
 )
 from .cloud import CloudServer, month_of
 from .dns import DnsQuery, DnsResolver, identify_destinations
@@ -30,10 +32,12 @@ __all__ = [
     "LanDeviceAttacker",
     "NotRebootableError",
     "ProgressSink",
+    "RecordChunk",
     "RevocationEvent",
     "SmartPlug",
     "Testbed",
     "TrafficRecord",
     "identify_destinations",
     "month_of",
+    "sink_add_batch",
 ]

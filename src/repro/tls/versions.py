@@ -9,12 +9,10 @@ connections into exactly three bands -- TLS 1.3, TLS 1.2, and "older".
 from __future__ import annotations
 
 from enum import Enum
-from functools import total_ordering
 
 __all__ = ["ProtocolVersion", "VersionBand", "DEPRECATED_VERSIONS", "MODERN_VERSIONS"]
 
 
-@total_ordering
 class ProtocolVersion(Enum):
     """SSL/TLS protocol versions with wire codes and release years."""
 
@@ -44,10 +42,28 @@ class ProtocolVersion(Enum):
             return VersionBand.TLS_1_2
         return VersionBand.OLDER
 
+    # Explicit rich comparisons (not ``functools.total_ordering``): the
+    # handshake hot path compares versions millions of times per run,
+    # and the derived operators add a wrapper call per comparison.
     def __lt__(self, other: object) -> bool:
         if not isinstance(other, ProtocolVersion):
             return NotImplemented
         return self.wire < other.wire
+
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, ProtocolVersion):
+            return NotImplemented
+        return self.wire <= other.wire
+
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, ProtocolVersion):
+            return NotImplemented
+        return self.wire > other.wire
+
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, ProtocolVersion):
+            return NotImplemented
+        return self.wire >= other.wire
 
     @classmethod
     def from_wire(cls, wire: tuple[int, int]) -> "ProtocolVersion":

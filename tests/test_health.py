@@ -576,13 +576,25 @@ class TestBenchReportCli:
         assert status == 1
 
     def test_advisory_failure_exit_zero(self, tmp_path, capsys):
+        # peak_rss_kib above its ceiling fails only the advisory RSS SLO.
+        history = self._history(
+            tmp_path,
+            [_entry("stream_trace", peak_mib=2.0, peak_rss_kib=3 * 1024 * 1024)],
+        )
+        status = main(["bench-report", "--history", history, "--slo", "tools/slo.json"])
+        capsys.readouterr()
+        assert status == 0
+
+    def test_throughput_floor_is_blocking(self, tmp_path, capsys):
+        # The streaming records/s floor gates for real now: a collapsed
+        # throughput reading must fail the report, not just warn.
         history = self._history(
             tmp_path,
             [_entry("stream_trace", peak_mib=2.0, records_per_second=1.0)],
         )
         status = main(["bench-report", "--history", history, "--slo", "tools/slo.json"])
         capsys.readouterr()
-        assert status == 0
+        assert status == 1
 
     def test_bad_policy_exit_two(self, tmp_path, capsys):
         history = self._history(tmp_path, [_entry("b")])

@@ -15,7 +15,9 @@ from repro import telemetry
 from repro.analysis.export import capture_to_document
 from repro.core.audit import ActiveExperimentCampaign
 from repro.longitudinal.generator import PassiveTraceGenerator
-from repro.parallel import ShardedExecutor
+from repro.parallel import ShardedExecutor, WarmWorkerPool, active_pool, pool_session
+from repro.parallel import executor as executor_module
+from repro.parallel import pool as pool_module
 from repro.telemetry.events import EventLog
 from repro.telemetry.export import metrics_snapshot
 from repro.telemetry.metrics import MetricsRegistry
@@ -53,6 +55,129 @@ class TestShardedExecutor:
     def test_campaign_rejects_zero_workers(self):
         with pytest.raises(ValueError):
             ActiveExperimentCampaign().run(workers=0)
+
+
+class _RecordingContext:
+    """A fake spawn context that records the requested pool size and runs
+    the tasks inline, so process-count behaviour is testable without
+    spawning anything."""
+
+    def __init__(self):
+        self.processes = None
+
+    def Pool(self, processes):
+        self.processes = processes
+        outer = self
+
+        class _InlinePool:
+            def map(self, fn, tasks):
+                return [fn(task) for task in tasks]
+
+            def imap(self, fn, tasks, chunksize=1):
+                return iter([fn(task) for task in tasks])
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+        return _InlinePool()
+
+
+class TestDispatchProcessCap:
+    """Regression: dispatch once spawned ``len(tasks)`` processes, ignoring
+    the configured worker cap -- oversubscribing the host whenever there
+    were more shards/tasks than workers."""
+
+    def _patched_context(self, monkeypatch) -> _RecordingContext:
+        context = _RecordingContext()
+        monkeypatch.setattr(
+            executor_module.multiprocessing, "get_context", lambda method: context
+        )
+        return context
+
+    def test_map_tasks_caps_pool_at_workers(self, monkeypatch):
+        context = self._patched_context(monkeypatch)
+        results = ShardedExecutor(workers=2).map_tasks(str, [1, 2, 3, 4, 5])
+        assert results == ["1", "2", "3", "4", "5"]
+        assert context.processes == 2
+
+    def test_map_tasks_never_spawns_more_than_tasks(self, monkeypatch):
+        context = self._patched_context(monkeypatch)
+        ShardedExecutor(workers=8).map_tasks(str, [1, 2])
+        assert context.processes == 2
+
+    def test_imap_tasks_caps_pool_at_workers(self, monkeypatch):
+        context = self._patched_context(monkeypatch)
+        results = list(ShardedExecutor(workers=3).imap_tasks(str, list(range(10))))
+        assert results == [str(n) for n in range(10)]
+        assert context.processes == 3
+
+    def test_single_task_runs_in_process(self, monkeypatch):
+        context = self._patched_context(monkeypatch)
+        assert ShardedExecutor(workers=4).map_tasks(str, [7]) == ["7"]
+        assert context.processes is None
+
+
+# ----------------------------------------------------------------------
+# Warm worker pool
+# ----------------------------------------------------------------------
+class _FakeWarmPool:
+    def __init__(self):
+        self.mapped = []
+
+    def map(self, fn, tasks):
+        self.mapped.append(len(tasks))
+        return [fn(task) for task in tasks]
+
+    def imap(self, fn, tasks):
+        self.mapped.append(len(tasks))
+        return iter([fn(task) for task in tasks])
+
+
+class TestWarmPoolSession:
+    def test_pool_requires_two_workers(self):
+        with pytest.raises(ValueError):
+            WarmWorkerPool(1)
+
+    def test_session_is_noop_for_single_worker(self):
+        with pool_session(1) as pool:
+            assert pool is None
+            assert active_pool() is None
+
+    def test_session_is_noop_when_disabled(self):
+        with pool_session(4, enabled=False) as pool:
+            assert pool is None
+            assert active_pool() is None
+
+    def test_nested_session_reuses_outer_pool(self, monkeypatch):
+        sentinel = _FakeWarmPool()
+        monkeypatch.setattr(pool_module, "_ACTIVE_POOL", sentinel)
+        assert active_pool() is sentinel
+        with pool_session(4) as pool:
+            assert pool is sentinel
+
+    def test_executor_routes_through_active_pool(self, monkeypatch):
+        fake = _FakeWarmPool()
+        monkeypatch.setattr(pool_module, "_ACTIVE_POOL", fake)
+        assert ShardedExecutor(workers=2).map_tasks(str, [1, 2, 3]) == ["1", "2", "3"]
+        assert list(ShardedExecutor(workers=2).imap_tasks(str, [4, 5])) == ["4", "5"]
+        assert fake.mapped == [3, 2]
+
+    def test_warm_pool_reuse_accounting(self):
+        with pool_session(2) as pool:
+            assert active_pool() is pool
+            assert pool.map(abs, [-1, -2, -3]) == [1, 2, 3]
+            assert list(pool.imap(abs, [-4])) == [4]
+            assert pool.stats() == {
+                "workers": 2,
+                "batches": 2,
+                "tasks_dispatched": 4,
+                "reused_dispatches": 2,
+            }
+        assert active_pool() is None
+        pool.close()  # idempotent after session teardown
 
 
 # ----------------------------------------------------------------------
@@ -188,6 +313,37 @@ def test_trace_capture_json_identical(workers, serial_capture_json):
 def test_campaign_headline_counts_identical(workers, serial_campaign):
     results = ActiveExperimentCampaign().run(workers=workers)
     assert _headline(results) == _headline(serial_campaign)
+
+
+class TestWarmPoolManifestParity:
+    """The warm pool must be invisible in every artifact: a streaming
+    trace run produces the same manifest digest at any worker count,
+    warm pool on or off."""
+
+    def _digest(self, *, workers: int, warm_pool: bool) -> str:
+        from repro.api import RunConfig, run_trace
+
+        try:
+            result = run_trace(
+                RunConfig(
+                    scale=1,
+                    seed="warm-parity",
+                    workers=workers,
+                    warm_pool=warm_pool,
+                    telemetry=True,
+                    stream=True,
+                )
+            )
+        finally:
+            telemetry.disable()
+        return result.manifest_digest
+
+    def test_manifests_identical_warm_on_and_off(self):
+        serial = self._digest(workers=1, warm_pool=True)
+        warm = self._digest(workers=2, warm_pool=True)
+        cold = self._digest(workers=2, warm_pool=False)
+        assert warm == serial
+        assert cold == serial
 
 
 @pytest.mark.parametrize("workers", [2, 4])

@@ -142,6 +142,54 @@ class TestBenchGate:
         gate = _load_tool("bench_gate").gate
         assert gate(self._entries(1.0)) == []
 
+    def test_different_workload_shape_not_compared(self):
+        # Regression guard: a scale-4000 run must not be gated against a
+        # scale-400 run's time just because the host matches.
+        gate = _load_tool("bench_gate").gate
+        entries = self._entries(1.0, 9.0)
+        entries[0]["scale"] = 400
+        entries[1]["scale"] = 4000
+        assert gate(entries) == []
+
+    def test_workers_and_flow_cap_must_match_too(self):
+        gate = _load_tool("bench_gate").gate
+        for key, values in (("workers", (1, 2)), ("flow_cap", (50, None))):
+            entries = self._entries(1.0, 9.0)
+            entries[0][key] = values[0]
+            entries[1][key] = values[1]
+            assert gate(entries) == [], key
+
+    def test_matching_shape_compared(self):
+        gate = _load_tool("bench_gate").gate
+        entries = self._entries(1.0, 1.1)
+        for entry in entries:
+            entry.update(scale=4000, workers=1, flow_cap=50)
+        verdicts = gate(entries)
+        assert len(verdicts) == 1
+        assert verdicts[0]["regressed"] is False
+
+    def test_legacy_entries_without_shape_still_compare(self):
+        # Entries that predate the shape keys (no scale/workers/flow_cap)
+        # compare as None == None, so old trajectory data keeps gating.
+        gate = _load_tool("bench_gate").gate
+        assert len(gate(self._entries(1.0, 1.1))) == 1
+
+    def test_regressions_warn_only_flag(self, tmp_path, capsys):
+        gate_mod = _load_tool("bench_gate")
+        path = tmp_path / "h.jsonl"
+        with path.open("w") as handle:
+            for entry in self._entries(1.0, 1.6):
+                handle.write(json.dumps(entry) + "\n")
+        argv = sys.argv
+        try:
+            sys.argv = [
+                "bench_gate.py", "--history", str(path), "--regressions-warn-only"
+            ]
+            assert gate_mod.main() == 0
+        finally:
+            sys.argv = argv
+        assert "REGRESSION" in capsys.readouterr().out
+
     def test_cli_exit_codes(self, tmp_path, capsys):
         gate_mod = _load_tool("bench_gate")
         path = tmp_path / "h.jsonl"
@@ -159,3 +207,28 @@ class TestBenchGate:
         finally:
             sys.argv = argv
         assert "REGRESSION" in capsys.readouterr().out
+
+
+class TestBenchStreamSafeRate:
+    def test_normal_rate(self):
+        safe_rate = _load_tool("bench_stream").safe_rate
+        assert safe_rate(1000, 2.0) == 500.0
+
+    def test_zero_elapsed_clamps_finite(self):
+        import math
+
+        safe_rate = _load_tool("bench_stream").safe_rate
+        rate = safe_rate(1000, 0.0)
+        assert math.isfinite(rate) and rate > 0
+
+    def test_negative_elapsed_clamps_finite(self):
+        # A clock hiccup must not record a negative rate either.
+        import math
+
+        safe_rate = _load_tool("bench_stream").safe_rate
+        rate = safe_rate(1000, -0.5)
+        assert math.isfinite(rate) and rate > 0
+
+    def test_zero_records_zero_rate(self):
+        safe_rate = _load_tool("bench_stream").safe_rate
+        assert safe_rate(0, 0.0) == 0.0

@@ -49,6 +49,23 @@ def _same_host(a: dict, b: dict) -> bool:
     return a.get("host_cpu_count") == b.get("host_cpu_count")
 
 
+#: Workload-shape parameters that must match for two runs of the same
+#: benchmark to be comparable.  Entries that omit a key (or predate it)
+#: compare as ``None == None``, so legacy trajectory data keeps gating.
+SHAPE_KEYS = ("scale", "workers", "flow_cap")
+
+
+def _same_shape(a: dict, b: dict) -> bool:
+    """True when two history entries measured the same workload shape.
+
+    Same-host is not enough: ``bench_stream.py --scale 400`` and
+    ``--scale 4000`` both append ``stream_trace`` entries, and gating
+    the big run against the small one's time manufactures a phantom
+    10x regression (or masks a real one in the other direction).
+    """
+    return all(a.get(key) == b.get(key) for key in SHAPE_KEYS)
+
+
 def gate(entries: list[dict], *, threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
     """Return one verdict per benchmark with >=2 comparable runs.
 
@@ -63,7 +80,11 @@ def gate(entries: list[dict], *, threshold: float = DEFAULT_THRESHOLD) -> list[d
     verdicts = []
     for benchmark, runs in sorted(by_benchmark.items()):
         latest = runs[-1]
-        prior = [run for run in runs[:-1] if _same_host(run, latest)]
+        prior = [
+            run
+            for run in runs[:-1]
+            if _same_host(run, latest) and _same_shape(run, latest)
+        ]
         if not prior:
             continue
         best = min(prior, key=lambda run: run["seconds"])
@@ -106,6 +127,12 @@ def main() -> int:
         "--warn-only",
         action="store_true",
         help="report regressions but exit 0 (advisory CI step)",
+    )
+    parser.add_argument(
+        "--regressions-warn-only",
+        action="store_true",
+        help="timing regressions only warn (wall-clock ratios are noisy "
+        "across runners), but blocking SLO failures still fail the gate",
     )
     args = parser.parse_args()
     if args.threshold <= 0:
@@ -156,7 +183,7 @@ def main() -> int:
     if not verdicts:
         print(
             f"{len(entries)} history entries but no benchmark has a prior "
-            "same-host run; nothing to compare"
+            "same-host, same-shape run; nothing to compare"
         )
         if slo_blocking_failures and not args.warn_only:
             return 1
@@ -177,11 +204,14 @@ def main() -> int:
             f"{args.threshold:.2f}x their best same-host run",
             file=sys.stderr,
         )
-        return 0 if args.warn_only else 1
-    print(f"\nall {len(verdicts)} gated benchmark(s) within threshold")
-    if slo_blocking_failures and not args.warn_only:
-        return 1
-    return 0
+    else:
+        print(f"\nall {len(verdicts)} gated benchmark(s) within threshold")
+    failing = bool(slo_blocking_failures) or (
+        bool(regressed) and not args.regressions_warn_only
+    )
+    if args.warn_only:
+        return 0
+    return 1 if failing else 0
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from bench_history import append_history  # noqa: E402
 
 import repro.telemetry as telemetry
 from repro.longitudinal import PassiveTraceGenerator
+from repro.parallel import pool_session
 from repro.telemetry import Profiler, host_date
 
 DEFAULT_SCALE = 200
@@ -38,18 +39,30 @@ SEED = "iotls-bench-parallel"
 
 
 def _timed_generate(scale: int, workers: int):
-    """One telemetry-isolated generation run: capture, seconds, skew.
+    """One telemetry-isolated generation run: capture, seconds, skew,
+    and the warm pool's reuse stats (``None`` for the serial run).
 
     The runtime is reset before each run so the span profile (and the
-    worker skew derived from it) covers exactly this run.
+    worker skew derived from it) covers exactly this run.  Parallel runs
+    execute inside a :func:`pool_session`, like real ``run_*`` calls;
+    the timing includes the pool spawn, so speedups stay honest about
+    the one-off warm-up cost the session amortises.
     """
     runtime = telemetry.get()
     runtime.reset()
+    pool_stats = None
     started = perf_counter()
-    capture = PassiveTraceGenerator(scale=scale, seed=SEED).generate(workers=workers)
+    if workers == 1:
+        capture = PassiveTraceGenerator(scale=scale, seed=SEED).generate(workers=1)
+    else:
+        with pool_session(workers) as pool:
+            capture = PassiveTraceGenerator(scale=scale, seed=SEED).generate(
+                workers=workers
+            )
+            pool_stats = pool.stats() if pool is not None else None
     seconds = perf_counter() - started
     skew = Profiler.from_runtime(runtime).shard_skew()
-    return capture, seconds, skew
+    return capture, seconds, skew, pool_stats
 
 
 def main() -> int:
@@ -63,7 +76,7 @@ def main() -> int:
     # instrumentation cost, so speedup ratios stay meaningful.
     telemetry.configure(enabled=True)
 
-    serial_capture, serial_seconds, _ = _timed_generate(args.scale, workers=1)
+    serial_capture, serial_seconds, _, _ = _timed_generate(args.scale, workers=1)
     print(f"serial: {serial_seconds:.2f}s ({len(serial_capture)} flow records)")
     append_history(
         "bench_parallel/serial", serial_seconds, extra={"scale": args.scale}
@@ -71,10 +84,14 @@ def main() -> int:
 
     runs = {}
     for workers in args.workers:
-        capture, seconds, skew = _timed_generate(args.scale, workers=workers)
+        capture, seconds, skew, pool_stats = _timed_generate(
+            args.scale, workers=workers
+        )
         extra = {"scale": args.scale}
         if skew is not None:
             extra["worker_skew"] = skew["max_over_mean"]
+        if pool_stats is not None:
+            extra["warm_pool_reused_dispatches"] = pool_stats["reused_dispatches"]
         append_history(f"bench_parallel/workers{workers}", seconds, extra=extra)
         identical = (
             capture.records == serial_capture.records
@@ -91,6 +108,9 @@ def main() -> int:
             "speedup_vs_serial": round(speedup, 4),
             "identical_to_serial": identical,
             "worker_skew": skew["max_over_mean"] if skew is not None else None,
+            # How many dispatches rode an already-warm process (spawn
+            # amortisation evidence; see repro.parallel.pool).
+            "warm_pool": pool_stats,
         }
 
     document = {
