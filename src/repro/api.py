@@ -33,9 +33,11 @@ import sys
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Iterator
 
 from . import telemetry
+from .telemetry import DEFAULT_LEDGER_PATH
 from .analysis.export import (
     JsonlStreamWriter,
     campaign_to_document,
@@ -98,6 +100,11 @@ class RunConfig:
     progress: bool = False
     #: Seconds between progress heartbeats / resource samples.
     heartbeat_interval: float = 1.0
+    #: Run-ledger file this run appends its ``iotls-run-ledger/1`` entry
+    #: to (success and typed failure alike); ``None`` disables ledgering.
+    #: The ledger is observability, never provenance: manifests are
+    #: byte-identical whether it is on or off.
+    ledger: str | Path | None = DEFAULT_LEDGER_PATH
 
 
 class RunError(Exception):
@@ -262,6 +269,106 @@ def _progress_session(
         reporter.finish()
 
 
+class _LedgerNote:
+    """What one run body reports to its ledger entry.
+
+    The run functions fill this in as evidence becomes available --
+    manifest + digest once built, artifacts, the health summary, pool
+    reuse stats, per-phase wall times -- and :func:`_ledger_session`
+    folds it into the final ``iotls-run-ledger/1`` entry on exit.
+    """
+
+    def __init__(self) -> None:
+        self.manifest: dict[str, Any] | None = None
+        self.manifest_digest: str | None = None
+        self.artifacts: dict[str, Path] = {}
+        self.health: dict[str, Any] | None = None
+        self.phases: dict[str, float] = {}
+        self.pool: dict[str, Any] | None = None
+
+    def record(
+        self,
+        *,
+        manifest: dict[str, Any] | None = None,
+        manifest_digest: str | None = None,
+        artifacts: dict[str, Path] | None = None,
+        health: dict[str, Any] | None = None,
+    ) -> None:
+        if manifest is not None:
+            self.manifest = manifest
+        if manifest_digest is not None:
+            self.manifest_digest = manifest_digest
+        if artifacts:
+            self.artifacts = dict(artifacts)
+        if health is not None:
+            self.health = health
+
+    def observe_pool(self, pool: Any | None) -> None:
+        if pool is not None:
+            self.pool = pool.stats()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one named phase of the run (monotonic, never a manifest)."""
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - started
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+
+
+@contextmanager
+def _ledger_session(
+    config: RunConfig, command: str, params: dict[str, Any]
+) -> Iterator[_LedgerNote]:
+    """Append exactly one run-ledger entry per ``run_*`` invocation.
+
+    Success appends a ``status: "ok"`` entry carrying everything the
+    body noted; a typed :class:`RunError` appends a ``status: "error"``
+    entry (same config digest, so failures index by configuration too)
+    and re-raises.  Other exceptions -- programming errors like the
+    stream/json conflict -- are not run outcomes and stay unledgered.
+    With ``config.ledger=None`` the note is still yielded (the body
+    stays branch-free) and nothing is written.
+    """
+    note = _LedgerNote()
+    started = perf_counter()
+    try:
+        yield note
+    except RunError as exc:
+        if config.ledger is not None:
+            telemetry.append_entry(
+                telemetry.build_entry(
+                    command,
+                    params=params,
+                    status="error",
+                    workers=config.workers,
+                    seconds=perf_counter() - started,
+                    error=exc,
+                ),
+                config.ledger,
+            )
+        raise
+    if config.ledger is None:
+        return
+    telemetry.append_entry(
+        telemetry.build_entry(
+            command,
+            params=params,
+            workers=config.workers,
+            seconds=perf_counter() - started,
+            phases=note.phases or None,
+            pool=note.pool,
+            manifest=note.manifest,
+            manifest_digest=note.manifest_digest,
+            artifacts=note.artifacts or None,
+            health=note.health,
+        ),
+        config.ledger,
+    )
+
+
 def _build_manifest(
     command: str, params: dict[str, Any], artifacts: dict[str, Path]
 ) -> tuple[dict[str, Any], str]:
@@ -316,67 +423,76 @@ def run_trace(
         scale=config.scale, seed=config.seed, flow_cap=config.flow_cap
     )
     artifacts: dict[str, Path] = {}
-    with _progress_session(config, heartbeat_path, label="trace") as reporter, pool_session(
-        config.workers, enabled=config.warm_pool
-    ):
-        if streaming:
-            pipeline = TraceAnalysisPipeline()
-            writer = None
-            progress_sink = None
-            sinks: list[Any] = [pipeline]
-            if stream_path is not None:
-                metadata = {"generator": "iotls trace", **_trace_params(config)}
-                writer = JsonlStreamWriter(stream_path, metadata=metadata)
-                sinks.append(writer)
-            if reporter is not None:
-                # Record-level progress comes from the stream itself; the
-                # sink is uncounted and cannot perturb manifests.
-                progress_sink = ProgressSink(reporter)
-                sinks.append(progress_sink)
-            # The tee is the single counting stage of the chain: it observes
-            # post-flow-cap records exactly like the materialised path's
-            # terminal capture, which keeps the manifest metrics identical.
-            tee = CaptureTee(*sinks)
-            try:
-                generator.stream_into(tee, workers=config.workers)
-            finally:
-                if progress_sink is not None:
-                    progress_sink.flush()
+    with _ledger_session(config, "trace", _trace_params(config)) as note:
+        with _progress_session(
+            config, heartbeat_path, label="trace"
+        ) as reporter, pool_session(config.workers, enabled=config.warm_pool) as pool:
+            if streaming:
+                pipeline = TraceAnalysisPipeline()
+                writer = None
+                progress_sink = None
+                sinks: list[Any] = [pipeline]
+                if stream_path is not None:
+                    metadata = {"generator": "iotls trace", **_trace_params(config)}
+                    writer = JsonlStreamWriter(stream_path, metadata=metadata)
+                    sinks.append(writer)
+                if reporter is not None:
+                    # Record-level progress comes from the stream itself; the
+                    # sink is uncounted and cannot perturb manifests.
+                    progress_sink = ProgressSink(reporter)
+                    sinks.append(progress_sink)
+                # The tee is the single counting stage of the chain: it observes
+                # post-flow-cap records exactly like the materialised path's
+                # terminal capture, which keeps the manifest metrics identical.
+                tee = CaptureTee(*sinks)
+                try:
+                    generator.stream_into(tee, workers=config.workers)
+                finally:
+                    if progress_sink is not None:
+                        progress_sink.flush()
+                    if writer is not None:
+                        writer.close()
+                analysis = pipeline.finalize()
+                capture = None
                 if writer is not None:
-                    writer.close()
-            analysis = pipeline.finalize()
-            capture = None
-            if writer is not None:
-                artifacts["records_jsonl"] = writer.path
-        else:
-            capture = generator.generate(workers=config.workers)
-            analysis = analyze_capture(capture)
-            if json_path is not None:
-                document = capture_to_document(
-                    capture,
-                    metadata={
-                        "generator": "iotls trace",
-                        "seed": config.seed,
-                        "scale": config.scale,
-                        **(
-                            {"flow_cap": config.flow_cap}
-                            if config.flow_cap is not None
-                            else {}
-                        ),
-                        "flow_records": analysis.flow_records,
-                        "connections": analysis.connections,
-                    },
-                )
-                artifacts["records_json"] = write_json(document, json_path)
-    manifest, digest = _build_manifest("trace", _trace_params(config), artifacts)
-    return TraceResult(
-        analysis=analysis,
-        capture=capture,
-        manifest=manifest,
-        manifest_digest=digest,
-        artifacts=artifacts,
-        health=reporter.summary if reporter is not None else None,
-    )
+                    artifacts["records_jsonl"] = writer.path
+            else:
+                capture = generator.generate(workers=config.workers)
+                analysis = analyze_capture(capture)
+                if json_path is not None:
+                    document = capture_to_document(
+                        capture,
+                        metadata={
+                            "generator": "iotls trace",
+                            "seed": config.seed,
+                            "scale": config.scale,
+                            **(
+                                {"flow_cap": config.flow_cap}
+                                if config.flow_cap is not None
+                                else {}
+                            ),
+                            "flow_records": analysis.flow_records,
+                            "connections": analysis.connections,
+                        },
+                    )
+                    artifacts["records_json"] = write_json(document, json_path)
+            note.observe_pool(pool)
+        manifest, digest = _build_manifest("trace", _trace_params(config), artifacts)
+        health = reporter.summary if reporter is not None else None
+        note.record(
+            manifest=manifest,
+            manifest_digest=digest,
+            artifacts=artifacts,
+            health=health,
+        )
+        return TraceResult(
+            analysis=analysis,
+            capture=capture,
+            manifest=manifest,
+            manifest_digest=digest,
+            artifacts=artifacts,
+            health=health,
+        )
 
 
 def run_audit(
@@ -389,27 +505,35 @@ def run_audit(
     from .core import ActiveExperimentCampaign
 
     _configure_telemetry(config)
-    with _progress_session(config, heartbeat_path, label="audit") as reporter, pool_session(
-        config.workers, enabled=config.warm_pool
-    ):
-        results = ActiveExperimentCampaign().run(
-            include_passthrough=config.include_passthrough, workers=config.workers
-        )
-        artifacts: dict[str, Path] = {}
-        if json_path is not None:
-            artifacts["campaign_json"] = write_json(
-                campaign_to_document(results), json_path
+    params = {"include_passthrough": config.include_passthrough}
+    with _ledger_session(config, "audit", params) as note:
+        with _progress_session(
+            config, heartbeat_path, label="audit"
+        ) as reporter, pool_session(config.workers, enabled=config.warm_pool) as pool:
+            results = ActiveExperimentCampaign().run(
+                include_passthrough=config.include_passthrough, workers=config.workers
             )
-    manifest, digest = _build_manifest(
-        "audit", {"include_passthrough": config.include_passthrough}, artifacts
-    )
-    return AuditResult(
-        results=results,
-        manifest=manifest,
-        manifest_digest=digest,
-        artifacts=artifacts,
-        health=reporter.summary if reporter is not None else None,
-    )
+            artifacts: dict[str, Path] = {}
+            if json_path is not None:
+                artifacts["campaign_json"] = write_json(
+                    campaign_to_document(results), json_path
+                )
+            note.observe_pool(pool)
+        manifest, digest = _build_manifest("audit", params, artifacts)
+        health = reporter.summary if reporter is not None else None
+        note.record(
+            manifest=manifest,
+            manifest_digest=digest,
+            artifacts=artifacts,
+            health=health,
+        )
+        return AuditResult(
+            results=results,
+            manifest=manifest,
+            manifest_digest=digest,
+            artifacts=artifacts,
+            health=health,
+        )
 
 
 def run_probe(
@@ -431,39 +555,41 @@ def run_probe(
     from .testbed import Testbed
 
     _configure_telemetry(config)
-    try:
-        profile = device_by_name(device)
-    except KeyError:
-        raise UnknownDeviceError(device) from None
-    if not profile.rebootable:
-        raise DeviceNotProbeableError(
-            profile.name, "is not suitable for repeated reboots"
-        )
-    if not profile.active:
-        raise DeviceNotProbeableError(
-            profile.name, "was passive-only (no active experiments)"
-        )
-    testbed = Testbed()
-    report = RootStoreProber(testbed).probe_device(testbed.device(profile))
-    distrusted: list[str] = []
-    artifacts: dict[str, Path] = {}
-    if report.calibration.amenable:
-        present = set(report.present_deprecated_names())
-        distrusted = [
-            record.name
-            for record in testbed.universe.distrusted_records()
-            if record.name in present
-        ]
-        if json_path is not None:
-            artifacts["probe_json"] = write_json(
-                probe_report_to_document(report), json_path
+    with _ledger_session(config, "probe", {"device": device}) as note:
+        try:
+            profile = device_by_name(device)
+        except KeyError:
+            raise UnknownDeviceError(device) from None
+        if not profile.rebootable:
+            raise DeviceNotProbeableError(
+                profile.name, "is not suitable for repeated reboots"
             )
-    return ProbeResult(
-        device=profile.name,
-        report=report,
-        distrusted_but_trusted=distrusted,
-        artifacts=artifacts,
-    )
+        if not profile.active:
+            raise DeviceNotProbeableError(
+                profile.name, "was passive-only (no active experiments)"
+            )
+        testbed = Testbed()
+        report = RootStoreProber(testbed).probe_device(testbed.device(profile))
+        distrusted: list[str] = []
+        artifacts: dict[str, Path] = {}
+        if report.calibration.amenable:
+            present = set(report.present_deprecated_names())
+            distrusted = [
+                record.name
+                for record in testbed.universe.distrusted_records()
+                if record.name in present
+            ]
+            if json_path is not None:
+                artifacts["probe_json"] = write_json(
+                    probe_report_to_document(report), json_path
+                )
+        note.record(artifacts=artifacts)
+        return ProbeResult(
+            device=profile.name,
+            report=report,
+            distrusted_but_trusted=distrusted,
+            artifacts=artifacts,
+        )
 
 
 def run_report(
@@ -488,31 +614,43 @@ def run_report(
     _configure_telemetry(config)
     notify = progress or (lambda message: None)
     testbed = Testbed()
-    with _progress_session(config, heartbeat_path, label="report") as reporter, pool_session(
-        config.workers, enabled=config.warm_pool
-    ):
-        # One pool session spans both phases: the campaign's shards and
-        # the trace's shards land on the same warm processes, so the
-        # spawn + import + testbed cost is paid once per run, not once
-        # per phase.
-        notify("running active campaign...")
-        results = ActiveExperimentCampaign(testbed).run(workers=config.workers)
-        notify("generating passive trace...")
-        capture = PassiveTraceGenerator(
-            testbed, scale=config.scale, seed=config.seed
-        ).generate(workers=config.workers)
-        path = write_report(testbed, results, capture, out)
-    artifacts = {"report_md": path}
-    manifest, digest = _build_manifest("report", {"scale": config.scale}, artifacts)
-    return ReportResult(
-        path=path,
-        results=results,
-        capture=capture,
-        manifest=manifest,
-        manifest_digest=digest,
-        artifacts=artifacts,
-        health=reporter.summary if reporter is not None else None,
-    )
+    with _ledger_session(config, "report", {"scale": config.scale}) as note:
+        with _progress_session(
+            config, heartbeat_path, label="report"
+        ) as reporter, pool_session(config.workers, enabled=config.warm_pool) as pool:
+            # One pool session spans both phases: the campaign's shards and
+            # the trace's shards land on the same warm processes, so the
+            # spawn + import + testbed cost is paid once per run, not once
+            # per phase.
+            notify("running active campaign...")
+            with note.phase("campaign"):
+                results = ActiveExperimentCampaign(testbed).run(workers=config.workers)
+            notify("generating passive trace...")
+            with note.phase("trace"):
+                capture = PassiveTraceGenerator(
+                    testbed, scale=config.scale, seed=config.seed
+                ).generate(workers=config.workers)
+            with note.phase("render"):
+                path = write_report(testbed, results, capture, out)
+            note.observe_pool(pool)
+        artifacts = {"report_md": path}
+        manifest, digest = _build_manifest("report", {"scale": config.scale}, artifacts)
+        health = reporter.summary if reporter is not None else None
+        note.record(
+            manifest=manifest,
+            manifest_digest=digest,
+            artifacts=artifacts,
+            health=health,
+        )
+        return ReportResult(
+            path=path,
+            results=results,
+            capture=capture,
+            manifest=manifest,
+            manifest_digest=digest,
+            artifacts=artifacts,
+            health=health,
+        )
 
 
 def run_pcap(
@@ -526,21 +664,23 @@ def run_pcap(
     from .testbed.pcap import write_pcap
 
     _configure_telemetry(config)
-    with pool_session(config.workers, enabled=config.warm_pool):
-        capture = PassiveTraceGenerator(scale=config.scale, seed=config.seed).generate(
-            workers=config.workers
+    params = {"scale": config.scale, "limit": limit}
+    with _ledger_session(config, "pcap", params) as note:
+        with pool_session(config.workers, enabled=config.warm_pool) as pool:
+            capture = PassiveTraceGenerator(
+                scale=config.scale, seed=config.seed
+            ).generate(workers=config.workers)
+            note.observe_pool(pool)
+        path = write_pcap(capture, out, limit=limit)
+        packets = limit if limit is not None else len(capture)
+        artifacts = {"pcap": path}
+        manifest, digest = _build_manifest("pcap", params, artifacts)
+        note.record(manifest=manifest, manifest_digest=digest, artifacts=artifacts)
+        return PcapResult(
+            path=path,
+            packets_written=min(packets, len(capture)),
+            size_bytes=path.stat().st_size,
+            manifest=manifest,
+            manifest_digest=digest,
+            artifacts=artifacts,
         )
-    path = write_pcap(capture, out, limit=limit)
-    packets = limit if limit is not None else len(capture)
-    artifacts = {"pcap": path}
-    manifest, digest = _build_manifest(
-        "pcap", {"scale": config.scale, "limit": limit}, artifacts
-    )
-    return PcapResult(
-        path=path,
-        packets_written=min(packets, len(capture)),
-        size_bytes=path.stat().st_size,
-        manifest=manifest,
-        manifest_digest=digest,
-        artifacts=artifacts,
-    )

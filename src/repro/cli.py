@@ -14,6 +14,8 @@ Subcommands map one-to-one onto the paper's experiments:
 * ``lint``         -- reprolint: static invariant checks over the
                       repo's own source (see ``docs/static-analysis.md``)
 * ``telemetry-demo`` -- exercise the telemetry subsystem end-to-end
+* ``runs``         -- query the run ledger: ``list``/``show``/``diff``/
+                      ``trend``/``lookup``/``gc`` over every recorded run
 
 The experiment subcommands are thin wrappers over :mod:`repro.api`:
 each builds a :class:`repro.api.RunConfig`, calls the matching
@@ -54,23 +56,42 @@ __all__ = [
 #: parser builder and option resolver both read.
 _RUN_OPTIONS: dict[str, frozenset[str]] = {
     "audit": frozenset(
-        {"telemetry", "metrics", "workers", "manifest", "profile", "json", "progress"}
+        {
+            "telemetry",
+            "metrics",
+            "workers",
+            "manifest",
+            "profile",
+            "json",
+            "progress",
+            "ledger",
+        }
     ),
-    "probe": frozenset({"telemetry", "metrics", "json"}),
+    "probe": frozenset({"telemetry", "metrics", "json", "ledger"}),
     "amenability": frozenset({"telemetry"}),
     "trace": frozenset(
-        {"telemetry", "metrics", "workers", "manifest", "profile", "json", "progress"}
+        {
+            "telemetry",
+            "metrics",
+            "workers",
+            "manifest",
+            "profile",
+            "json",
+            "progress",
+            "ledger",
+        }
     ),
     "fingerprint": frozenset({"telemetry"}),
     "devices": frozenset({"telemetry"}),
     "report": frozenset(
-        {"telemetry", "metrics", "workers", "manifest", "profile", "progress"}
+        {"telemetry", "metrics", "workers", "manifest", "profile", "progress", "ledger"}
     ),
-    "pcap": frozenset({"telemetry", "workers", "manifest"}),
-    "check": frozenset({"telemetry", "workers", "json"}),
+    "pcap": frozenset({"telemetry", "workers", "manifest", "ledger"}),
+    "check": frozenset({"telemetry", "workers", "json", "ledger"}),
     "lint": frozenset(),
     "telemetry-demo": frozenset({"metrics"}),
     "bench-report": frozenset({"json"}),
+    "runs": frozenset(),
 }
 
 #: Per-command ``--json`` help text (the flag means a different artifact
@@ -159,6 +180,19 @@ def add_run_options(parser: argparse.ArgumentParser, command: str) -> None:
         )
     if "json" in supported:
         parser.add_argument("--json", metavar="PATH", help=_JSON_HELP[command])
+    if "ledger" in supported:
+        parser.add_argument(
+            "--ledger",
+            metavar="PATH",
+            default=None,
+            help="append this run's iotls-run-ledger/1 entry to PATH "
+            f"(default {telemetry.DEFAULT_LEDGER_PATH}); query it with `iotls runs`",
+        )
+        parser.add_argument(
+            "--no-ledger",
+            action="store_true",
+            help="do not record this run in the run ledger",
+        )
 
 
 @dataclass(frozen=True)
@@ -178,6 +212,8 @@ class RunOptions:
     progress: bool = False
     heartbeat_out: str | None = None
     heartbeat_interval: float = 1.0
+    ledger: str | None = None
+    no_ledger: bool = False
 
     @property
     def profile_on(self) -> bool:
@@ -186,6 +222,13 @@ class RunOptions:
     @property
     def progress_on(self) -> bool:
         return bool(self.progress or self.heartbeat_out)
+
+    @property
+    def ledger_path(self) -> str | None:
+        """The resolved run-ledger destination (None = ledgering off)."""
+        if self.no_ledger:
+            return None
+        return self.ledger or telemetry.DEFAULT_LEDGER_PATH
 
     @property
     def telemetry_on(self) -> bool:
@@ -215,6 +258,8 @@ def resolve_run_options(args: argparse.Namespace) -> RunOptions:
         progress=bool(getattr(args, "progress", False)),
         heartbeat_out=getattr(args, "heartbeat_out", None),
         heartbeat_interval=getattr(args, "heartbeat_interval", 1.0),
+        ledger=getattr(args, "ledger", None),
+        no_ledger=bool(getattr(args, "no_ledger", False)),
     )
 
 
@@ -350,6 +395,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_run_options(bench_report, "bench-report")
 
+    runs = subparsers.add_parser(
+        "runs",
+        help="query the run ledger (cross-run history of every iotls run)",
+    )
+    runs.add_argument(
+        "--ledger",
+        default=telemetry.DEFAULT_LEDGER_PATH,
+        metavar="PATH",
+        help=f"run-ledger file to query (default {telemetry.DEFAULT_LEDGER_PATH})",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    runs_list = runs_sub.add_parser("list", help="list ledger entries, newest last")
+    # dest avoids clobbering the top-level subcommand, which argparse
+    # also stores as `command` on the shared namespace.
+    runs_list.add_argument(
+        "--command", dest="command_filter", help="only entries for this command"
+    )
+    runs_list.add_argument("--device", help="only runs whose params.device matches")
+    runs_list.add_argument(
+        "--host", metavar="KEY", help="only entries whose host-key starts with KEY"
+    )
+    runs_list.add_argument("--status", choices=["ok", "error"], help="only this status")
+    runs_list.add_argument(
+        "--kind", choices=["run", "bench", "check"], help="only this entry kind"
+    )
+
+    runs_show = runs_sub.add_parser("show", help="show one entry by manifest digest")
+    runs_show.add_argument("digest", help="manifest digest (prefix accepted)")
+
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="compare two entries: manifest identity + deterministic deltas "
+        "(exit 1 on drift)",
+    )
+    runs_diff.add_argument(
+        "digests",
+        nargs="*",
+        metavar="DIGEST",
+        help="two manifest-digest prefixes (default: the two most recent "
+        "manifest-carrying run entries)",
+    )
+
+    runs_trend = runs_sub.add_parser(
+        "trend",
+        help="cross-run records/s and peak-RSS trajectories per host fingerprint",
+    )
+    runs_trend.add_argument(
+        "--slo",
+        metavar="PATH",
+        help="also evaluate the SLO policy against the ledger's bench entries",
+    )
+    runs_trend.add_argument(
+        "--json", metavar="PATH", help="write the iotls-bench-trend/1 report as JSON"
+    )
+
+    runs_lookup = runs_sub.add_parser(
+        "lookup",
+        help="config digest -> most recent matching manifest digest + artifacts "
+        "(the content-addressed result-cache primitive)",
+    )
+    runs_lookup.add_argument("digest", help="config digest (prefix accepted)")
+
+    runs_gc = runs_sub.add_parser(
+        "gc", help="prune entries whose recorded artifacts have vanished"
+    )
+    runs_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be pruned without rewriting the ledger",
+    )
+
     return parser
 
 
@@ -391,6 +508,7 @@ def _cmd_audit(args, opts: RunOptions) -> int:
             include_passthrough=not args.no_passthrough,
             progress=opts.progress,
             heartbeat_interval=opts.heartbeat_interval,
+            ledger=opts.ledger_path,
         ),
         json_path=opts.json,
         heartbeat_path=opts.heartbeat_out,
@@ -439,7 +557,9 @@ def _cmd_probe(args, opts: RunOptions) -> int:
     from . import api
 
     try:
-        result = api.run_probe(args.device, api.RunConfig(), json_path=opts.json)
+        result = api.run_probe(
+            args.device, api.RunConfig(ledger=opts.ledger_path), json_path=opts.json
+        )
     except api.UnknownDeviceError as exc:
         print(f"error: unknown device {exc.device!r}; try `iotls devices`", file=sys.stderr)
         return 2
@@ -490,6 +610,7 @@ def _cmd_trace(args, opts: RunOptions) -> int:
             flow_cap=args.flow_cap,
             progress=opts.progress,
             heartbeat_interval=opts.heartbeat_interval,
+            ledger=opts.ledger_path,
         ),
         json_path=opts.json,
         stream_path=args.stream_out,
@@ -558,6 +679,7 @@ def _cmd_report(args, opts: RunOptions) -> int:
             warm_pool=opts.warm_pool,
             progress=opts.progress,
             heartbeat_interval=opts.heartbeat_interval,
+            ledger=opts.ledger_path,
         ),
         out=args.out,
         progress=print,
@@ -573,7 +695,12 @@ def _cmd_pcap(args, opts: RunOptions) -> int:
     from . import api
 
     result = api.run_pcap(
-        api.RunConfig(scale=args.scale, workers=opts.workers, warm_pool=opts.warm_pool),
+        api.RunConfig(
+            scale=args.scale,
+            workers=opts.workers,
+            warm_pool=opts.warm_pool,
+            ledger=opts.ledger_path,
+        ),
         out=args.out,
         limit=args.limit,
     )
@@ -610,6 +737,30 @@ def _cmd_check(args, opts: RunOptions) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
+    if opts.ledger_path is not None:
+        # The drift verdict is run history worth querying later: `iotls
+        # runs list --status error` surfaces past drifts per host.
+        telemetry.append_entry(
+            telemetry.build_entry(
+                "check",
+                kind="check",
+                status="ok" if report.ok else "error",
+                params={
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "artifact": args.artifact,
+                },
+                workers=opts.workers,
+                drift={
+                    "ok": report.ok,
+                    "drifted": sorted(
+                        cell.expectation.id for cell in report.drifted
+                    ),
+                    "cells": len(report.cells),
+                },
+            ),
+            opts.ledger_path,
+        )
     if opts.json:
         path = write_json(report.to_dict(), opts.json)
         print(f"\nwrote drift report {path}")
@@ -713,6 +864,154 @@ def _cmd_bench_report(args, opts: RunOptions) -> int:
     return 0
 
 
+def _runs_list(args, entries) -> int:
+    selected = telemetry.filter_entries(
+        entries,
+        command=args.command_filter,
+        device=args.device,
+        host=args.host,
+        status=args.status,
+        kind=args.kind,
+    )
+    print(telemetry.render_entries(selected))
+    return 0
+
+
+def _runs_show(args, entries) -> int:
+    entry = telemetry.find_entry(entries, args.digest)
+    if entry is None:
+        print(f"no ledger entry with manifest digest {args.digest!r}", file=sys.stderr)
+        return 1
+    print(telemetry.render_entry(entry))
+    return 0
+
+
+def _runs_diff(args, entries) -> int:
+    if len(args.digests) not in (0, 2):
+        print("error: diff takes exactly two digests (or none)", file=sys.stderr)
+        return 2
+    if args.digests:
+        pair = [telemetry.find_entry(entries, digest) for digest in args.digests]
+        for digest, entry in zip(args.digests, pair):
+            if entry is None:
+                print(f"no ledger entry matching {digest!r}", file=sys.stderr)
+                return 2
+    else:
+        with_manifest = [
+            entry
+            for entry in entries
+            if entry.get("kind") == "run" and entry.get("manifest_digest")
+        ]
+        if len(with_manifest) < 2:
+            print(
+                "ledger holds fewer than two manifest-carrying run entries",
+                file=sys.stderr,
+            )
+            return 2
+        pair = with_manifest[-2:]
+    diff = telemetry.diff_entries(pair[0], pair[1])
+    print(telemetry.render_diff(diff))
+    return 1 if diff["drift"] else 0
+
+
+def _runs_trend(args, entries) -> int:
+    slos = None
+    if args.slo:
+        try:
+            slos = telemetry.load_slo_policy(args.slo)
+        except (OSError, telemetry.SloPolicyError) as exc:
+            print(f"bad SLO policy {args.slo}: {exc}", file=sys.stderr)
+            return 2
+    report = telemetry.ledger_trend(entries, slos=slos)
+    print(telemetry.render_trend_report(report))
+    for key, host in report["hosts"].items():
+        fingerprint = host["host"]
+        shown = (
+            f"{fingerprint.get('platform')}/{fingerprint.get('machine')}, "
+            f"{fingerprint.get('cpu_count')} core(s)"
+            if isinstance(fingerprint, dict)
+            else "legacy (no fingerprint)"
+        )
+        print(f"\nhost {key} ({shown}): {host['entries']} bench entr(ies)")
+        for benchmark, series in host["series"].items():
+            latest = series[-1]
+            extras = ", ".join(
+                f"{metric}={latest[metric]:,g}"
+                for metric in ("records_per_second", "peak_rss_kib")
+                if metric in latest
+            )
+            print(
+                f"  {benchmark}: {len(series)} point(s), latest "
+                f"{latest['seconds']}s" + (f" ({extras})" if extras else "")
+            )
+    verdicts = report.get("slo_verdicts", [])
+    if verdicts:
+        print("\nSLO verdicts:")
+        print(telemetry.render_verdicts(verdicts))
+    if args.json:
+        path = write_json(report, args.json)
+        print(f"\nwrote trend report {path}")
+    if any(v["status"] == "fail" and v["blocking"] for v in verdicts):
+        return 1
+    return 0
+
+
+def _runs_lookup(args, entries) -> int:
+    entry = telemetry.lookup_config(entries, args.digest)
+    if entry is None:
+        print(f"no successful run with config digest {args.digest!r}", file=sys.stderr)
+        return 1
+    print(f"config digest:   {entry['config_digest']}")
+    print(f"manifest digest: {entry['manifest_digest']}")
+    print(f"command:         {entry.get('command')} ({entry.get('date')})")
+    for role, info in sorted((entry.get("artifacts") or {}).items()):
+        print(f"artifact {role}: {info.get('path')} (blake2s {info.get('blake2s')})")
+    return 0
+
+
+def _runs_gc(args, entries) -> int:
+    kept, pruned = telemetry.gc_entries(entries)
+    if not pruned:
+        print(f"nothing to prune ({len(kept)} entr(ies) intact)")
+        return 0
+    for entry in pruned:
+        roles = ", ".join(sorted((entry.get("artifacts") or {})))
+        print(
+            f"prune: {entry.get('command')} {entry.get('date')} "
+            f"(manifest {entry.get('manifest_digest')}; artifacts gone: {roles})"
+        )
+    if args.dry_run:
+        print(f"dry run: would prune {len(pruned)} of {len(entries)} entr(ies)")
+        return 0
+    telemetry.rewrite_ledger(kept, args.ledger)
+    print(f"pruned {len(pruned)} entr(ies); {len(kept)} kept")
+    return 0
+
+
+def _cmd_runs(args, _opts: RunOptions) -> int:
+    """Query the run ledger.
+
+    Exit codes: 0 = success / no drift, 1 = not found, drift, or a
+    blocking SLO failure, 2 = usage error (bad digests, bad policy).
+    """
+    from pathlib import Path
+
+    path = Path(args.ledger)
+    entries = telemetry.load_ledger(path)
+    if not entries and args.runs_command not in ("list", "trend", "gc"):
+        print(f"no run ledger at {path}", file=sys.stderr)
+        return 2
+    handlers = {
+        "list": _runs_list,
+        "show": _runs_show,
+        "diff": _runs_diff,
+        "trend": _runs_trend,
+        "lookup": _runs_lookup,
+        "gc": _runs_gc,
+    }
+    return handlers[args.runs_command](args, entries)
+
+
 _COMMANDS = {
     "audit": _cmd_audit,
     "pcap": _cmd_pcap,
@@ -726,6 +1025,7 @@ _COMMANDS = {
     "lint": _cmd_lint,
     "telemetry-demo": _cmd_telemetry_demo,
     "bench-report": _cmd_bench_report,
+    "runs": _cmd_runs,
 }
 
 

@@ -24,6 +24,7 @@ from .walker import ModuleContext, enclosing_functions, parent
 __all__ = [
     "CLOCK_BOUNDARY_PREFIXES",
     "DEPRECATED_NAMES",
+    "LEDGER_BOUNDARY_PREFIXES",
     "PROGRESS_BOUNDARY_PREFIXES",
     "PROGRESS_EVENT_PREFIXES",
     "STREAM_PATH_FUNCTIONS",
@@ -88,6 +89,12 @@ PROGRESS_BOUNDARY_PREFIXES = ("src/repro/telemetry/progress.py",)
 #: boundary bypasses throttling and can flood the event ring buffer
 #: (and any --heartbeat-out consumer) at per-record rates.
 PROGRESS_EVENT_PREFIXES = ("progress.", "heartbeat.")
+
+#: RL013 -- the ledger-write boundary: the one module allowed to open
+#: the run ledger for writing.  Its single-``write()`` O_APPEND append
+#: is what makes concurrent entries atomic; any other writer can tear
+#: lines, interleave partial entries, or clobber the store outright.
+LEDGER_BOUNDARY_PREFIXES = ("src/repro/telemetry/ledger.py",)
 
 #: RL020 -- removed/deprecated public names no internal code may call.
 DEPRECATED_NAMES = frozenset(
@@ -378,6 +385,94 @@ def check_heartbeat_throttling(module: ModuleContext) -> Iterator[Violation]:
                 "progress boundary; route it through ProgressReporter so "
                 "emission stays rate-limited",
             )
+
+
+#: RL013 -- ``open``-style mode characters that create or mutate.
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+#: RL013 -- ``os.open`` flag names that open for writing.
+_WRITE_OS_FLAGS = frozenset(
+    {"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREAT", "O_TRUNC"}
+)
+
+
+def _is_write_mode_string(value: object) -> bool:
+    """True for a short ``open()`` mode literal that writes (``"a"``,
+    ``"wb"``, ``"r+"``, ...)."""
+    if not isinstance(value, str) or not 0 < len(value) <= 3:
+        return False
+    if not set(value) <= set("rwaxbt+U"):
+        return False
+    return bool(set(value) & _WRITE_MODE_CHARS)
+
+
+def _opens_for_writing(node: ast.Call) -> bool:
+    """True when the call opens or writes a file destructively."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "write_text",
+        "write_bytes",
+    ):
+        return True
+    is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+        isinstance(func, ast.Attribute) and func.attr == "open"
+    )
+    if not is_open:
+        return False
+    arguments: list[ast.expr] = list(node.args)
+    arguments.extend(kw.value for kw in node.keywords)
+    for argument in arguments:
+        for sub in ast.walk(argument):
+            if isinstance(sub, ast.Constant) and _is_write_mode_string(sub.value):
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr in _WRITE_OS_FLAGS:
+                return True
+            if isinstance(sub, ast.Name) and sub.id in _WRITE_OS_FLAGS:
+                return True
+    return False
+
+
+def _mentions_ledger(node: ast.AST) -> bool:
+    """True when any name/attribute/string in the subtree says 'ledger'."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            if "ledger" in sub.value.lower():
+                return True
+        elif isinstance(sub, ast.Name) and "ledger" in sub.id.lower():
+            return True
+        elif isinstance(sub, ast.Attribute) and "ledger" in sub.attr.lower():
+            return True
+    return False
+
+
+@rule(
+    "RL013",
+    "ledger-write-boundary",
+    "telemetry",
+    "The run ledger may only be written through repro.telemetry.ledger: "
+    "its append boundary is one O_APPEND write() per entry, which is what "
+    "keeps concurrent workers from tearing or interleaving lines.  A "
+    "file opened for writing elsewhere with 'ledger' anywhere in the "
+    "call breaks that atomicity contract.",
+)
+def check_ledger_write_boundary(module: ModuleContext) -> Iterator[Violation]:
+    if module.path.startswith(LEDGER_BOUNDARY_PREFIXES):
+        return
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not _opens_for_writing(node):
+            continue
+        if not _mentions_ledger(node):
+            continue
+        yield _violation(
+            module,
+            "RL013",
+            node,
+            "ledger file opened for writing outside the ledger-write "
+            "boundary; append through repro.telemetry.ledger.append_entry "
+            "(or rewrite_ledger) so entries stay atomic",
+        )
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Callable, Iterator, Sequence, TypeVar
 
 __all__ = ["WarmWorkerPool", "pool_session", "active_pool"]
@@ -70,6 +71,10 @@ class WarmWorkerPool:
         self._pool = context.Pool(processes=workers, initializer=_warm_worker)
         self.batches = 0
         self.tasks_dispatched = 0
+        #: Wall seconds spent blocked on pool dispatches (map barriers
+        #: plus imap item waits).  Monotonic-clock accounting for the
+        #: run ledger's pool stats; never feeds a manifest.
+        self.dispatch_seconds = 0.0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -79,7 +84,11 @@ class WarmWorkerPool:
         """``Pool.map`` on the warm processes; results in task order."""
         self.batches += 1
         self.tasks_dispatched += len(tasks)
-        return self._pool.map(worker_fn, tasks)
+        started = perf_counter()
+        try:
+            return self._pool.map(worker_fn, tasks)
+        finally:
+            self.dispatch_seconds += perf_counter() - started
 
     def imap(
         self, worker_fn: Callable[[Task], Result], tasks: Sequence[Task]
@@ -87,7 +96,25 @@ class WarmWorkerPool:
         """``Pool.imap`` on the warm processes; yields in task order."""
         self.batches += 1
         self.tasks_dispatched += len(tasks)
-        return self._pool.imap(worker_fn, tasks, chunksize=1)
+        started = perf_counter()
+        iterator = self._pool.imap(worker_fn, tasks, chunksize=1)
+        self.dispatch_seconds += perf_counter() - started
+
+        def _timed() -> Iterator[Result]:
+            # Only the time spent *waiting* on the pool counts as
+            # dispatch; the consumer's per-item work happens between
+            # next() calls and stays out of the tally.
+            while True:
+                begin = perf_counter()
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    self.dispatch_seconds += perf_counter() - begin
+                    return
+                self.dispatch_seconds += perf_counter() - begin
+                yield item
+
+        return _timed()
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
@@ -97,6 +124,7 @@ class WarmWorkerPool:
             "batches": self.batches,
             "tasks_dispatched": self.tasks_dispatched,
             "reused_dispatches": max(0, self.tasks_dispatched - self.workers),
+            "dispatch_seconds": round(self.dispatch_seconds, 4),
         }
 
     def close(self) -> None:

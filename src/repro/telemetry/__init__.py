@@ -34,6 +34,25 @@ from .export import (
     to_prometheus,
     write_snapshot,
 )
+from .ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_SCHEMA,
+    append_entry,
+    build_entry,
+    diff_entries,
+    filter_entries,
+    find_entry,
+    from_history_row,
+    gc_entries,
+    host_key,
+    ledger_trend,
+    load_ledger,
+    lookup_config,
+    render_diff,
+    render_entries,
+    render_entry,
+    rewrite_ledger,
+)
 from .health import (
     RESOURCE_SUMMARY_SCHEMA,
     ResourceSampler,
@@ -95,11 +114,13 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_LEDGER_PATH",
     "EventLog",
     "Gauge",
     "HEALTH_STREAM_SCHEMA",
     "HeartbeatWriter",
     "Histogram",
+    "LEDGER_SCHEMA",
     "LEVELS",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
@@ -120,19 +141,34 @@ __all__ = [
     "Throttle",
     "TraceContext",
     "Tracer",
+    "append_entry",
     "artifact_digest",
+    "build_entry",
     "build_manifest",
+    "diff_entries",
+    "filter_entries",
+    "find_entry",
+    "from_history_row",
+    "gc_entries",
     "host_date",
     "host_fingerprint",
+    "host_key",
     "configure",
     "deterministic_metrics",
     "evaluate_slos",
+    "ledger_trend",
+    "load_ledger",
     "load_slo_policy",
+    "lookup_config",
     "manifest_digest",
+    "render_diff",
+    "render_entries",
+    "render_entry",
     "render_hot_table",
     "render_progress_line",
     "render_trend_report",
     "render_verdicts",
+    "rewrite_ledger",
     "tracemalloc_holds",
     "trend_report",
     "write_manifest",

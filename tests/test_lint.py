@@ -228,6 +228,56 @@ class TestRL012UnthrottledHeartbeat:
         assert codes(report) == []
 
 
+class TestRL013LedgerWriteBoundary:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "def save(entry, ledger_path):\n"
+            "    with open(ledger_path, 'a') as fh:\n"
+            "        fh.write(entry)\n",
+            "from pathlib import Path\n"
+            "Path('.iotls/ledger.jsonl').write_text('{}')\n",
+            "def save(ledger_path):\n"
+            "    ledger_path.open('w').write('entry')\n",
+            "import os\n"
+            "fd = os.open('ledger.jsonl', os.O_WRONLY | os.O_APPEND)\n",
+        ],
+    )
+    def test_bad_ledger_write_outside_boundary(self, tmp_path, source):
+        assert codes(lint_source(tmp_path, source)) == ["RL013"]
+
+    def test_good_reads_and_unrelated_writes(self, tmp_path):
+        source = (
+            "from pathlib import Path\n"
+            "def load(ledger_path):\n"
+            "    return Path(ledger_path).read_text()\n"
+            "def dump(manifest_path, payload):\n"
+            "    with open(manifest_path, 'w') as fh:\n"
+            "        fh.write(payload)\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_good_append_through_the_boundary_api(self, tmp_path):
+        source = (
+            "from repro.telemetry import ledger as run_ledger\n"
+            "def record(entry, path):\n"
+            "    run_ledger.append_entry(entry, path)\n"
+        )
+        assert codes(lint_source(tmp_path, source)) == []
+
+    def test_ledger_boundary_module_is_exempt(self, tmp_path):
+        boundary = tmp_path / "src" / "repro" / "telemetry"
+        boundary.mkdir(parents=True)
+        target = boundary / "ledger.py"
+        target.write_text(
+            "import os\n"
+            "def append(line, ledger_path):\n"
+            "    fd = os.open(ledger_path, os.O_WRONLY | os.O_APPEND)\n"
+        )
+        report = run_lint([target], root=tmp_path)
+        assert codes(report) == []
+
+
 # ----------------------------------------------------------------------
 # Rule fixtures: API hygiene family
 # ----------------------------------------------------------------------

@@ -170,7 +170,11 @@ class TestWarmPoolSession:
             assert active_pool() is pool
             assert pool.map(abs, [-1, -2, -3]) == [1, 2, 3]
             assert list(pool.imap(abs, [-4])) == [4]
-            assert pool.stats() == {
+            stats = pool.stats()
+            # dispatch_seconds is wall time spent inside pool dispatch;
+            # its value is timing noise, but it must be present and sane.
+            assert stats.pop("dispatch_seconds") >= 0
+            assert stats == {
                 "workers": 2,
                 "batches": 2,
                 "tasks_dispatched": 4,

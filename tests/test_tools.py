@@ -232,3 +232,166 @@ class TestBenchStreamSafeRate:
     def test_zero_records_zero_rate(self):
         safe_rate = _load_tool("bench_stream").safe_rate
         assert safe_rate(0, 0.0) == 0.0
+
+
+class TestBenchHistoryLedger:
+    def test_entries_are_ledger_schema(self, tmp_path):
+        history = _load_tool("bench_history")
+        entry = history.append_history("b", 1.0, path=tmp_path / "h.jsonl")
+        assert entry["schema"] == "iotls-run-ledger/1"
+        assert entry["kind"] == "bench"
+        assert entry["status"] == "ok"
+
+    def test_auto_mirror_lands_next_to_history(self, tmp_path):
+        history = _load_tool("bench_history")
+        history.append_history("b", 1.0, path=tmp_path / "h.jsonl")
+        mirror = tmp_path / ".iotls" / "ledger.jsonl"
+        assert mirror.is_file()
+        assert json.loads(mirror.read_text())["benchmark"] == "b"
+
+    def test_explicit_ledger_path_and_none(self, tmp_path):
+        history = _load_tool("bench_history")
+        target = tmp_path / "custom.jsonl"
+        history.append_history("b", 1.0, path=tmp_path / "h.jsonl", ledger=target)
+        assert target.is_file()
+        history.append_history("b", 1.0, path=tmp_path / "h2.jsonl", ledger=None)
+        assert not (tmp_path / ".iotls").joinpath("extra").exists()
+        assert len(history.load_history(tmp_path / "h2.jsonl")) == 1
+
+    def _run_main(self, history_mod, *argv):
+        original = sys.argv
+        try:
+            sys.argv = ["bench_history.py", *argv]
+            return history_mod.main()
+        finally:
+            sys.argv = original
+
+    def test_migrate_tags_legacy_rows(self, tmp_path, capsys):
+        history = _load_tool("bench_history")
+        path = tmp_path / "h.jsonl"
+        rows = [
+            {"benchmark": "b", "seconds": 1.0, "host_cpu_count": 4},
+            {
+                "benchmark": "b",
+                "seconds": 1.1,
+                "host_cpu_count": 4,
+                "host": {"cpu_count": 4, "platform": "linux", "machine": "x86_64"},
+            },
+        ]
+        path.write_text("".join(json.dumps(row) + "\n" for row in rows))
+        assert self._run_main(history, "--migrate", "--history", str(path)) == 0
+        migrated = history.load_history(path)
+        assert migrated[0]["legacy"] is True
+        assert "legacy" not in migrated[1]
+        assert all(e["schema"] == "iotls-run-ledger/1" for e in migrated)
+        # Idempotent: a second migration changes nothing.
+        assert self._run_main(history, "--migrate", "--history", str(path)) == 0
+        assert "0 migrated" in capsys.readouterr().out
+
+    def test_migrate_dry_run_leaves_file(self, tmp_path):
+        history = _load_tool("bench_history")
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"benchmark": "b", "seconds": 1.0}\n')
+        before = path.read_text()
+        assert (
+            self._run_main(history, "--migrate", "--history", str(path), "--dry-run")
+            == 0
+        )
+        assert path.read_text() == before
+
+    def test_main_without_migrate_is_usage_error(self, tmp_path, capsys):
+        history = _load_tool("bench_history")
+        assert self._run_main(history) == 2
+
+
+class TestBenchGateLegacyTag:
+    def test_legacy_tagged_entries_never_baseline(self):
+        # A migrated `legacy: true` row has no shape keys, so it would
+        # None == None match any modern run; the tag excludes it.
+        gate = _load_tool("bench_gate").gate
+        entries = [
+            {"benchmark": "b", "seconds": 1.0, "host_cpu_count": 4, "legacy": True},
+            {"benchmark": "b", "seconds": 9.0, "host_cpu_count": 4},
+        ]
+        assert gate(entries) == []
+
+    def test_legacy_latest_still_gated_against_modern_prior(self):
+        gate = _load_tool("bench_gate").gate
+        entries = [
+            {"benchmark": "b", "seconds": 1.0, "host_cpu_count": 4},
+            {"benchmark": "b", "seconds": 1.1, "host_cpu_count": 4},
+        ]
+        assert len(gate(entries)) == 1
+
+
+class TestValidateStreams:
+    def _ledger_entry(self, **overrides):
+        from repro.telemetry import ledger
+
+        return ledger.build_entry(
+            overrides.pop("command", "trace"), params={"scale": 1}, **overrides
+        )
+
+    def test_valid_ledger_passes(self, tmp_path):
+        streams = _load_tool("validate_streams")
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(json.dumps(self._ledger_entry()) + "\n")
+        assert streams.validate_run_ledger(path) == []
+
+    def test_ledger_violations_reported(self, tmp_path):
+        streams = _load_tool("validate_streams")
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"schema": "wrong/1", "kind": "nope"}\nnot json\n')
+        errors = streams.validate_run_ledger(path)
+        assert any("schema" in error for error in errors)
+        assert any("not valid JSON" in error for error in errors)
+
+    def test_legacy_rows_need_no_host(self, tmp_path):
+        streams = _load_tool("validate_streams")
+        path = tmp_path / "ledger.jsonl"
+        row = {
+            "schema": "iotls-run-ledger/1",
+            "kind": "bench",
+            "status": "ok",
+            "date": "2026-01-01",
+            "benchmark": "b",
+            "seconds": 1.0,
+            "legacy": True,
+        }
+        path.write_text(json.dumps(row) + "\n")
+        assert streams.validate_run_ledger(path) == []
+
+    def test_error_entries_need_typed_error(self, tmp_path):
+        streams = _load_tool("validate_streams")
+        path = tmp_path / "ledger.jsonl"
+        entry = self._ledger_entry(status="error")
+        path.write_text(json.dumps(entry) + "\n")
+        errors = streams.validate_run_ledger(path)
+        assert any("'error' object" in error for error in errors)
+
+    def test_trend_document_validates(self, tmp_path):
+        from repro.telemetry import ledger
+
+        streams = _load_tool("validate_streams")
+        entry = ledger.build_entry(
+            "bench", kind="bench", seconds=1.0, extra={"benchmark": "b"}
+        )
+        path = tmp_path / "trend.json"
+        path.write_text(json.dumps(ledger.ledger_trend([entry])) + "\n")
+        assert streams.validate_bench_trend(path) == []
+
+    def test_schema_autodetection(self, tmp_path):
+        streams = _load_tool("validate_streams")
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(json.dumps(self._ledger_entry()) + "\n")
+        assert streams.detect_schema(path) == streams.LEDGER_SCHEMA
+        unknown = tmp_path / "other.txt"
+        unknown.write_text("hello\n")
+        assert streams.detect_schema(unknown) is None
+
+    def test_health_shim_keeps_public_names(self):
+        shim = _load_tool("validate_health_stream")
+        assert shim.EXPECTED_SCHEMA == "iotls-health-stream/1"
+        assert callable(shim.validate)
+        assert "seq" in shim.HEARTBEAT_REQUIRED
+        assert "heartbeats" in shim.SUMMARY_REQUIRED

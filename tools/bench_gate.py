@@ -80,10 +80,15 @@ def gate(entries: list[dict], *, threshold: float = DEFAULT_THRESHOLD) -> list[d
     verdicts = []
     for benchmark, runs in sorted(by_benchmark.items()):
         latest = runs[-1]
+        # Migrated pre-fingerprint rows are tagged `legacy: true`: their
+        # missing shape keys would compare None == None against any
+        # modern run, so they are never usable as comparison baselines.
         prior = [
             run
             for run in runs[:-1]
-            if _same_host(run, latest) and _same_shape(run, latest)
+            if not run.get("legacy")
+            and _same_host(run, latest)
+            and _same_shape(run, latest)
         ]
         if not prior:
             continue

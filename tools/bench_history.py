@@ -2,23 +2,38 @@
 
 Every ``tools/bench_*.py`` run appends one JSON line per timing to the
 repo-root ``BENCH_history.jsonl``, so the repository accumulates a
-performance trajectory across commits -- date, git revision, host core
-count, and seconds.  ``tools/bench_gate.py`` reads the trajectory back
-and flags regressions against the best prior same-host run.
+performance trajectory across commits -- date, git revision, host
+fingerprint, and seconds.  ``tools/bench_gate.py`` reads the trajectory
+back and flags regressions against the best prior same-host run.
+
+Since the run ledger landed, every appended row is a full
+``iotls-run-ledger/1`` entry (``kind: "bench"``) written through the
+ledger's atomic append boundary, and each timing is *also* mirrored
+into the run ledger next to the history file -- one queryable store
+(``iotls runs trend``) spans experiment runs and benchmarks alike.
+``--migrate`` rewrites pre-ledger rows in place into the unified
+schema, tagging rows that predate the host fingerprint ``legacy: true``
+so the gate's ``None == None`` shape fallback stops matching them
+against modern runs.
 
 The file is JSONL (one self-contained record per line) rather than a
 JSON array so appends are atomic and merge conflicts stay line-local.
+
+Usage (migration)::
+
+    PYTHONPATH=src python tools/bench_history.py --migrate [--dry-run]
 """
 
 from __future__ import annotations
 
-import json
+import argparse
 import os
 import subprocess
+import sys
 from pathlib import Path
 from typing import Any
 
-__all__ = ["HISTORY_FILENAME", "append_history", "git_rev", "load_history"]
+__all__ = ["HISTORY_FILENAME", "append_history", "git_rev", "load_history", "main"]
 
 HISTORY_FILENAME = "BENCH_history.jsonl"
 
@@ -45,31 +60,46 @@ def append_history(
     *,
     path: str | Path | None = None,
     extra: dict[str, Any] | None = None,
+    ledger: str | Path | None = "auto",
 ) -> dict[str, Any]:
-    """Append one timing record to the trajectory and return it."""
-    # The telemetry package is the sanctioned clock/host-provenance
-    # boundary (RL002); lazy so read-only consumers (bench_gate) need
-    # no repro install.
-    from repro.telemetry import host_date, host_fingerprint
+    """Append one timing record to the trajectory and return it.
 
-    entry: dict[str, Any] = {
-        "benchmark": benchmark,
-        "date": host_date(),
-        "git_rev": git_rev(),
-        "host": host_fingerprint(),
-        "host_cpu_count": os.cpu_count(),
-        "seconds": round(seconds, 4),
-    }
-    if extra:
-        entry.update(extra)
+    The record is a complete ``iotls-run-ledger/1`` entry (benchmark
+    fields at the top level, where the gate, SLO evaluation, and trend
+    report have always read them) written via the ledger's atomic
+    single-``write()`` boundary.  ``ledger="auto"`` mirrors the entry
+    into the run ledger sitting next to the history file; an explicit
+    path overrides the destination and ``None`` disables mirroring.
+    """
+    # The telemetry package is the sanctioned clock/host-provenance and
+    # ledger-write boundary (RL002/RL013); lazy so read-only consumers
+    # (bench_gate) need no repro install.
+    from repro.telemetry import ledger as run_ledger
+
+    entry = run_ledger.build_entry(
+        "bench",
+        kind="bench",
+        seconds=seconds,
+        extra={
+            "benchmark": benchmark,
+            "git_rev": git_rev(),
+            "host_cpu_count": os.cpu_count(),
+            **(extra or {}),
+        },
+    )
     path = Path(path) if path else Path(__file__).resolve().parents[1] / HISTORY_FILENAME
-    with path.open("a", encoding="utf-8") as handle:
-        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    run_ledger.append_entry(entry, path)
+    if ledger == "auto":
+        ledger = path.resolve().parent / run_ledger.DEFAULT_LEDGER_PATH
+    if ledger is not None:
+        run_ledger.append_entry(entry, ledger)
     return entry
 
 
 def load_history(path: str | Path | None = None) -> list[dict[str, Any]]:
     """Read the trajectory; missing file or malformed lines yield/skip."""
+    import json
+
     path = Path(path) if path else Path(__file__).resolve().parents[1] / HISTORY_FILENAME
     if not path.exists():
         return []
@@ -83,3 +113,54 @@ def load_history(path: str | Path | None = None) -> list[dict[str, Any]]:
         except json.JSONDecodeError:
             continue  # a torn/conflicted line must not poison the gate
     return entries
+
+
+def main() -> int:
+    """``--migrate``: rewrite legacy rows into ledger schema in place."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--migrate",
+        action="store_true",
+        help="rewrite pre-ledger rows into iotls-run-ledger/1 schema "
+        "(tagging fingerprint-less rows legacy: true)",
+    )
+    parser.add_argument(
+        "--history",
+        default=str(Path(__file__).resolve().parents[1] / HISTORY_FILENAME),
+        metavar="PATH",
+        help=f"trajectory file (default: repo-root {HISTORY_FILENAME})",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would change without rewriting the file",
+    )
+    args = parser.parse_args()
+    if not args.migrate:
+        print("error: nothing to do; pass --migrate", file=sys.stderr)
+        return 2
+
+    from repro.telemetry import ledger as run_ledger
+
+    rows = load_history(args.history)
+    if not rows:
+        print(f"no history at {args.history}; nothing to migrate")
+        return 0
+    migrated = [run_ledger.from_history_row(row) for row in rows]
+    changed = sum(1 for row, entry in zip(rows, migrated) if entry != row)
+    tagged = sum(1 for entry in migrated if entry.get("legacy"))
+    print(
+        f"{len(rows)} row(s): {changed} migrated to {run_ledger.LEDGER_SCHEMA}, "
+        f"{tagged} tagged legacy (no host fingerprint)"
+    )
+    if args.dry_run:
+        print("dry run: file left untouched")
+        return 0
+    if changed:
+        run_ledger.rewrite_ledger(migrated, args.history)
+        print(f"rewrote {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,7 +70,20 @@ def main() -> int:
     parser.add_argument("--scale", type=int, default=DEFAULT_SCALE)
     parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
     parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="mirror timing entries into this run ledger "
+        "(default: the .iotls/ledger.jsonl next to the history file)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="record timings in BENCH_history.jsonl only",
+    )
     args = parser.parse_args()
+    ledger = None if args.no_ledger else (args.ledger or "auto")
 
     # Telemetry on for serial and parallel alike: both pay the same
     # instrumentation cost, so speedup ratios stay meaningful.
@@ -79,7 +92,10 @@ def main() -> int:
     serial_capture, serial_seconds, _, _ = _timed_generate(args.scale, workers=1)
     print(f"serial: {serial_seconds:.2f}s ({len(serial_capture)} flow records)")
     append_history(
-        "bench_parallel/serial", serial_seconds, extra={"scale": args.scale}
+        "bench_parallel/serial",
+        serial_seconds,
+        extra={"scale": args.scale},
+        ledger=ledger,
     )
 
     runs = {}
@@ -92,7 +108,9 @@ def main() -> int:
             extra["worker_skew"] = skew["max_over_mean"]
         if pool_stats is not None:
             extra["warm_pool_reused_dispatches"] = pool_stats["reused_dispatches"]
-        append_history(f"bench_parallel/workers{workers}", seconds, extra=extra)
+        append_history(
+            f"bench_parallel/workers{workers}", seconds, extra=extra, ledger=ledger
+        )
         identical = (
             capture.records == serial_capture.records
             and capture.revocation_events == serial_capture.revocation_events

@@ -66,6 +66,18 @@ def main() -> int:
         action="store_true",
         help="timing pass only; record peak_mib as 0 (quick iterations)",
     )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        metavar="PATH",
+        help="mirror the timing entry into this run ledger "
+        "(default: the .iotls/ledger.jsonl next to the history file)",
+    )
+    parser.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="record the timing in BENCH_history.jsonl only",
+    )
     args = parser.parse_args()
 
     generator = PassiveTraceGenerator(
@@ -113,6 +125,7 @@ def main() -> int:
             "peak_mib": round(peak_mib, 2),
             "peak_rss_kib": peak_rss_kib,
         },
+        ledger=None if args.no_ledger else (args.ledger or "auto"),
     )
     return 0
 

@@ -1,97 +1,33 @@
-"""Validate a ``--heartbeat-out`` run-health stream (iotls-health-stream/1).
+"""Back-compat shim: validate a run-health stream (iotls-health-stream/1).
 
-CI runs this over the JSONL a ``--heartbeat-out`` run produced to pin
-the contract external consumers depend on:
-
-* line 1 is a ``header`` record carrying the schema tag,
-* at least one ``heartbeat`` record follows (the Throttle's
-  first-call-passes rule guarantees one even for sub-interval runs),
-* heartbeat ``seq`` numbers are strictly monotonic from 1,
-* every heartbeat carries the required fields,
-* exactly one ``summary`` record closes the stream, last.
-
-Exit codes: 0 = valid, 1 = malformed stream, 2 = usage error.
-
-Usage::
+The validator now lives in ``tools/validate_streams.py`` alongside the
+run-ledger and bench-trend contract checks.  This entry point keeps the
+old filename (and its public names) working for existing CI configs and
+scripts::
 
     python tools/validate_health_stream.py run.health.jsonl
+
+is equivalent to::
+
+    python tools/validate_streams.py run.health.jsonl \
+        --schema iotls-health-stream/1
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
-EXPECTED_SCHEMA = "iotls-health-stream/1"
-HEARTBEAT_REQUIRED = ("seq", "label", "done", "elapsed_seconds", "rate", "ewma_rate")
-SUMMARY_REQUIRED = ("label", "done", "seconds", "rate", "heartbeats")
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from validate_streams import (  # noqa: E402
+    HEALTH_SCHEMA as EXPECTED_SCHEMA,
+    HEARTBEAT_REQUIRED,
+    SUMMARY_REQUIRED,
+    validate_health_stream as validate,
+)
 
-
-def validate(path: Path) -> list[str]:
-    """Return every contract violation found in the stream (empty = valid)."""
-    errors: list[str] = []
-    try:
-        lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line]
-    except OSError as exc:
-        return [f"cannot read {path}: {exc}"]
-    if not lines:
-        return ["stream is empty"]
-
-    records = []
-    for number, line in enumerate(lines, start=1):
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            errors.append(f"line {number}: not valid JSON ({exc})")
-            continue
-        if not isinstance(record, dict) or "kind" not in record:
-            errors.append(f"line {number}: record has no 'kind' field")
-            continue
-        records.append((number, record))
-
-    if not records:
-        return errors or ["no parseable records"]
-
-    first_number, first = records[0]
-    if first.get("kind") != "header":
-        errors.append(f"line {first_number}: stream must start with a header record")
-    elif first.get("schema") != EXPECTED_SCHEMA:
-        errors.append(
-            f"line {first_number}: schema {first.get('schema')!r}, "
-            f"expected {EXPECTED_SCHEMA!r}"
-        )
-
-    heartbeats = [(n, r) for n, r in records if r.get("kind") == "heartbeat"]
-    summaries = [(n, r) for n, r in records if r.get("kind") == "summary"]
-
-    if not heartbeats:
-        errors.append("no heartbeat records (expected at least one)")
-    last_seq = 0
-    for number, record in heartbeats:
-        for key in HEARTBEAT_REQUIRED:
-            if key not in record:
-                errors.append(f"line {number}: heartbeat missing {key!r}")
-        seq = record.get("seq")
-        if isinstance(seq, int):
-            if seq <= last_seq:
-                errors.append(
-                    f"line {number}: seq {seq} not strictly after {last_seq}"
-                )
-            last_seq = seq
-
-    if len(summaries) != 1:
-        errors.append(f"{len(summaries)} summary records (expected exactly 1)")
-    else:
-        number, summary = summaries[0]
-        if (number, summary) != (records[-1][0], records[-1][1]):
-            errors.append(f"line {number}: summary is not the final record")
-        for key in SUMMARY_REQUIRED:
-            if key not in summary:
-                errors.append(f"line {number}: summary missing {key!r}")
-
-    return errors
+__all__ = ["EXPECTED_SCHEMA", "HEARTBEAT_REQUIRED", "SUMMARY_REQUIRED", "validate"]
 
 
 def main() -> int:
@@ -107,12 +43,7 @@ def main() -> int:
         for error in errors:
             print(f"INVALID: {error}", file=sys.stderr)
         return 1
-    heartbeat_count = sum(
-        1
-        for line in path.read_text(encoding="utf-8").splitlines()
-        if line and json.loads(line).get("kind") == "heartbeat"
-    )
-    print(f"{path}: valid {EXPECTED_SCHEMA} stream ({heartbeat_count} heartbeat(s))")
+    print(f"{path}: valid {EXPECTED_SCHEMA} stream")
     return 0
 
 

@@ -1,0 +1,273 @@
+"""Validate the repo's machine-readable stream/report contracts.
+
+One validator per published schema, with auto-detection by content:
+
+* ``iotls-health-stream/1`` -- a ``--heartbeat-out`` run-health JSONL
+  stream: header first, strictly seq-monotonic heartbeats, exactly one
+  trailing summary,
+* ``iotls-run-ledger/1`` -- a run-ledger JSONL store: every line a
+  self-contained entry with schema tag, known kind/status, and the
+  per-kind required fields (run entries carry command/params/config
+  digest; bench entries carry benchmark + numeric seconds; error
+  entries carry a typed error),
+* ``iotls-bench-trend/1`` -- a trend-report JSON document (as written
+  by ``iotls runs trend --json`` / ``iotls bench-report``).
+
+CI runs this over artifacts its smoke steps produce so the contracts
+external consumers depend on are pinned, not aspirational.
+
+Exit codes: 0 = valid, 1 = contract violation, 2 = usage error.
+
+Usage::
+
+    python tools/validate_streams.py PATH [--schema SCHEMA]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+HEALTH_SCHEMA = "iotls-health-stream/1"
+LEDGER_SCHEMA = "iotls-run-ledger/1"
+TREND_SCHEMA = "iotls-bench-trend/1"
+
+HEARTBEAT_REQUIRED = ("seq", "label", "done", "elapsed_seconds", "rate", "ewma_rate")
+SUMMARY_REQUIRED = ("label", "done", "seconds", "rate", "heartbeats")
+
+LEDGER_KINDS = ("run", "bench", "check")
+LEDGER_STATUSES = ("ok", "error")
+LEDGER_REQUIRED = ("schema", "kind", "status", "date", "host")
+
+
+def validate_health_stream(path: Path) -> list[str]:
+    """Contract violations in a run-health stream (empty = valid)."""
+    errors: list[str] = []
+    try:
+        lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line]
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not lines:
+        return ["stream is empty"]
+
+    records = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: not valid JSON ({exc})")
+            continue
+        if not isinstance(record, dict) or "kind" not in record:
+            errors.append(f"line {number}: record has no 'kind' field")
+            continue
+        records.append((number, record))
+
+    if not records:
+        return errors or ["no parseable records"]
+
+    first_number, first = records[0]
+    if first.get("kind") != "header":
+        errors.append(f"line {first_number}: stream must start with a header record")
+    elif first.get("schema") != HEALTH_SCHEMA:
+        errors.append(
+            f"line {first_number}: schema {first.get('schema')!r}, "
+            f"expected {HEALTH_SCHEMA!r}"
+        )
+
+    heartbeats = [(n, r) for n, r in records if r.get("kind") == "heartbeat"]
+    summaries = [(n, r) for n, r in records if r.get("kind") == "summary"]
+
+    if not heartbeats:
+        errors.append("no heartbeat records (expected at least one)")
+    last_seq = 0
+    for number, record in heartbeats:
+        for key in HEARTBEAT_REQUIRED:
+            if key not in record:
+                errors.append(f"line {number}: heartbeat missing {key!r}")
+        seq = record.get("seq")
+        if isinstance(seq, int):
+            if seq <= last_seq:
+                errors.append(f"line {number}: seq {seq} not strictly after {last_seq}")
+            last_seq = seq
+
+    if len(summaries) != 1:
+        errors.append(f"{len(summaries)} summary records (expected exactly 1)")
+    else:
+        number, summary = summaries[0]
+        if (number, summary) != (records[-1][0], records[-1][1]):
+            errors.append(f"line {number}: summary is not the final record")
+        for key in SUMMARY_REQUIRED:
+            if key not in summary:
+                errors.append(f"line {number}: summary missing {key!r}")
+
+    return errors
+
+
+def _validate_ledger_entry(number: int, entry: dict[str, Any]) -> list[str]:
+    """Per-entry ledger contract (shared by run/bench/check kinds)."""
+    errors = []
+    required = LEDGER_REQUIRED
+    if entry.get("legacy"):
+        # Migrated pre-fingerprint rows legitimately lack a host dict.
+        required = tuple(key for key in required if key != "host")
+    for key in required:
+        if key not in entry:
+            errors.append(f"line {number}: entry missing {key!r}")
+    if entry.get("schema") != LEDGER_SCHEMA:
+        errors.append(
+            f"line {number}: schema {entry.get('schema')!r}, expected {LEDGER_SCHEMA!r}"
+        )
+    kind = entry.get("kind")
+    if kind not in LEDGER_KINDS:
+        errors.append(f"line {number}: kind {kind!r} not one of {LEDGER_KINDS}")
+    status = entry.get("status")
+    if status not in LEDGER_STATUSES:
+        errors.append(f"line {number}: status {status!r} not one of {LEDGER_STATUSES}")
+    if kind in ("run", "check"):
+        if not isinstance(entry.get("command"), str):
+            errors.append(f"line {number}: {kind} entry needs a string 'command'")
+        if not isinstance(entry.get("params"), dict):
+            errors.append(f"line {number}: {kind} entry needs a 'params' object")
+        if not isinstance(entry.get("config_digest"), str):
+            errors.append(f"line {number}: {kind} entry needs a 'config_digest'")
+    if kind == "bench":
+        if not isinstance(entry.get("benchmark"), str):
+            errors.append(f"line {number}: bench entry needs a 'benchmark' name")
+        if not isinstance(entry.get("seconds"), (int, float)):
+            errors.append(f"line {number}: bench entry needs numeric 'seconds'")
+    if status == "error" and not isinstance(entry.get("error"), dict):
+        errors.append(f"line {number}: error entry needs an 'error' object")
+    error = entry.get("error")
+    if isinstance(error, dict) and "type" not in error:
+        errors.append(f"line {number}: error object missing 'type'")
+    return errors
+
+
+def validate_run_ledger(path: Path) -> list[str]:
+    """Contract violations in a run-ledger store (empty = valid).
+
+    Stricter than the tolerant runtime loader: a validated ledger may
+    not contain torn or foreign lines at all.
+    """
+    try:
+        lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line]
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not lines:
+        return ["ledger is empty"]
+    errors: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: not valid JSON ({exc})")
+            continue
+        if not isinstance(entry, dict):
+            errors.append(f"line {number}: entry is not an object")
+            continue
+        errors.extend(_validate_ledger_entry(number, entry))
+    return errors
+
+
+def validate_bench_trend(path: Path) -> list[str]:
+    """Contract violations in a trend-report document (empty = valid)."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot parse {path}: {exc}"]
+    # iotls bench-report --json wraps the trend document; accept both.
+    if isinstance(document, dict) and "trend" in document:
+        document = document["trend"]
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    errors = []
+    if document.get("schema") != TREND_SCHEMA:
+        errors.append(
+            f"schema {document.get('schema')!r}, expected {TREND_SCHEMA!r}"
+        )
+    if not isinstance(document.get("entries"), int):
+        errors.append("'entries' must be an integer")
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        errors.append("'benchmarks' must be an object")
+    else:
+        for name, summary in sorted(benchmarks.items()):
+            for key in ("runs", "best_seconds", "latest_seconds"):
+                if key not in summary:
+                    errors.append(f"benchmarks[{name!r}] missing {key!r}")
+    hosts = document.get("hosts")
+    if hosts is not None and not isinstance(hosts, dict):
+        errors.append("'hosts' must be an object when present")
+    return errors
+
+
+VALIDATORS = {
+    HEALTH_SCHEMA: validate_health_stream,
+    LEDGER_SCHEMA: validate_run_ledger,
+    TREND_SCHEMA: validate_bench_trend,
+}
+
+
+def detect_schema(path: Path) -> str | None:
+    """Guess which contract a file claims, from its first parseable record."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    stripped = text.lstrip()
+    if not stripped:
+        return None
+    first_line = stripped.splitlines()[0]
+    try:
+        record = json.loads(first_line)
+    except json.JSONDecodeError:
+        # Not line-delimited: try the whole file as one JSON document.
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+    if not isinstance(record, dict):
+        return None
+    schema = record.get("schema")
+    if schema in VALIDATORS:
+        return schema
+    trend = record.get("trend")
+    if isinstance(trend, dict) and trend.get("schema") in VALIDATORS:
+        return trend["schema"]
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", help="stream/report file to validate")
+    parser.add_argument(
+        "--schema",
+        choices=sorted(VALIDATORS),
+        help="contract to validate against (default: auto-detect from content)",
+    )
+    args = parser.parse_args()
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no such file: {path}", file=sys.stderr)
+        return 2
+    schema = args.schema or detect_schema(path)
+    if schema is None:
+        print(
+            f"error: cannot detect a known schema in {path}; pass --schema",
+            file=sys.stderr,
+        )
+        return 2
+    errors = VALIDATORS[schema](path)
+    if errors:
+        for error in errors:
+            print(f"INVALID: {error}", file=sys.stderr)
+        return 1
+    print(f"{path}: valid {schema}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
