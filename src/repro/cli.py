@@ -92,6 +92,7 @@ _RUN_OPTIONS: dict[str, frozenset[str]] = {
     "telemetry-demo": frozenset({"metrics"}),
     "bench-report": frozenset({"json"}),
     "runs": frozenset(),
+    "serve": frozenset({"workers", "ledger"}),
 }
 
 #: Per-command ``--json`` help text (the flag means a different artifact
@@ -394,6 +395,63 @@ def build_parser() -> argparse.ArgumentParser:
         "a failing blocking SLO exits 1",
     )
     add_run_options(bench_report, "bench-report")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident fleet service (HTTP/JSON, content-addressed "
+        "result cache over the run ledger)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8738,
+        help="TCP port (default 8738; 0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bounded run-queue capacity; beyond it requests get 429 "
+        "(default 8)",
+    )
+    serve.add_argument(
+        "--executors",
+        type=int,
+        default=2,
+        metavar="N",
+        help="concurrent run executors (default 2)",
+    )
+    serve.add_argument(
+        "--artifact-dir",
+        default=".iotls/serve",
+        metavar="PATH",
+        help="where computed run artifacts land (default .iotls/serve)",
+    )
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="write the iotls-serve-access/1 access log as JSONL",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between per-request heartbeats in the access log "
+        "(default 1.0)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=int,
+        default=1,
+        metavar="SECONDS",
+        help="Retry-After seconds advertised on 429 responses (default 1)",
+    )
+    add_run_options(serve, "serve")
 
     runs = subparsers.add_parser(
         "runs",
@@ -716,7 +774,8 @@ def _cmd_check(args, opts: RunOptions) -> int:
     Exit codes: 0 = no drift, 1 = drift detected, 2 = usage error
     (unreadable artifact or expectations file).
     """
-    from .analysis.drift import audit_artifact, audit_fresh_run
+    from . import api
+    from .analysis.drift import audit_artifact
 
     try:
         if args.artifact:
@@ -727,17 +786,24 @@ def _cmd_check(args, opts: RunOptions) -> int:
                 f"auditing fresh run (scale {args.scale}, seed {args.seed!r}, "
                 f"workers {opts.workers})...\n"
             )
-            report = audit_fresh_run(
-                scale=args.scale,
-                seed=args.seed,
-                workers=opts.workers,
-                expectations_path=args.expected,
+            # The fresh audit is a registered run (`api.run_check`): it
+            # appends its own check ledger entry, drift verdict included.
+            result = api.run_check(
+                api.RunConfig(
+                    scale=args.scale,
+                    seed=args.seed,
+                    workers=opts.workers,
+                    warm_pool=opts.warm_pool,
+                    ledger=opts.ledger_path,
+                ),
+                expected_path=args.expected,
             )
+            report = result.report
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
-    if opts.ledger_path is not None:
+    if args.artifact and opts.ledger_path is not None:
         # The drift verdict is run history worth querying later: `iotls
         # runs list --status error` surfaces past drifts per host.
         telemetry.append_entry(
@@ -758,6 +824,14 @@ def _cmd_check(args, opts: RunOptions) -> int:
                     ),
                     "cells": len(report.cells),
                 },
+                error=(
+                    None
+                    if report.ok
+                    else {
+                        "type": "DriftDetected",
+                        "message": f"{len(report.drifted)} cell(s) deviate",
+                    }
+                ),
             ),
             opts.ledger_path,
         )
@@ -988,6 +1062,43 @@ def _runs_gc(args, entries) -> int:
     return 0
 
 
+def _cmd_serve(args, opts: RunOptions) -> int:
+    """Run the resident fleet service until interrupted.
+
+    Exit codes: 0 = clean shutdown, 2 = usage error (serve needs a
+    ledger: it is the result cache's index).
+    """
+    import asyncio
+
+    from .serve import ServeConfig, serve
+
+    if opts.ledger_path is None:
+        print(
+            "error: iotls serve needs a run ledger (it is the result "
+            "cache's index); drop --no-ledger",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        executors=args.executors,
+        workers=opts.workers,
+        warm_pool=opts.warm_pool,
+        ledger=opts.ledger_path,
+        artifact_dir=args.artifact_dir,
+        access_log=args.access_log,
+        heartbeat_interval=args.heartbeat_interval,
+        retry_after=args.retry_after,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        print("iotls serve: stopped")
+    return 0
+
+
 def _cmd_runs(args, _opts: RunOptions) -> int:
     """Query the run ledger.
 
@@ -1026,6 +1137,7 @@ _COMMANDS = {
     "telemetry-demo": _cmd_telemetry_demo,
     "bench-report": _cmd_bench_report,
     "runs": _cmd_runs,
+    "serve": _cmd_serve,
 }
 
 

@@ -27,6 +27,7 @@ increments whether the process is fresh or reused.
 from __future__ import annotations
 
 import multiprocessing
+import threading
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Callable, Iterator, Sequence, TypeVar
@@ -38,6 +39,12 @@ Result = TypeVar("Result")
 
 #: The session-scoped pool :class:`ShardedExecutor` routes through.
 _ACTIVE_POOL: "WarmWorkerPool | None" = None
+
+#: Guards session creation/teardown: concurrent server request threads
+#: entering :func:`pool_session` must agree on one pool rather than
+#: racing to spawn several.  (``multiprocessing.Pool`` itself is safe
+#: to dispatch onto from several threads at once.)
+_SESSION_LOCK = threading.Lock()
 
 
 def _warm_worker() -> None:
@@ -118,11 +125,18 @@ class WarmWorkerPool:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Reuse accounting for benchmark documents and telemetry."""
+        """Reuse accounting for benchmark documents and telemetry.
+
+        ``dispatches`` aliases ``tasks_dispatched``: it is the number
+        cache-effectiveness checks watch (a served-from-cache request
+        must leave it unchanged), published under the name the serve
+        acceptance contract uses.
+        """
         return {
             "workers": self.workers,
             "batches": self.batches,
             "tasks_dispatched": self.tasks_dispatched,
+            "dispatches": self.tasks_dispatched,
             "reused_dispatches": max(0, self.tasks_dispatched - self.workers),
             "dispatch_seconds": round(self.dispatch_seconds, 4),
         }
@@ -155,13 +169,20 @@ def pool_session(workers: int, *, enabled: bool = True):
     outer session's pool rather than spawning a second one.
     """
     global _ACTIVE_POOL
-    if not enabled or workers < 2 or _ACTIVE_POOL is not None:
-        yield _ACTIVE_POOL
+    with _SESSION_LOCK:
+        if not enabled or workers < 2 or _ACTIVE_POOL is not None:
+            owns = False
+            pool = _ACTIVE_POOL
+        else:
+            owns = True
+            pool = WarmWorkerPool(workers)
+            _ACTIVE_POOL = pool
+    if not owns:
+        yield pool
         return
-    pool = WarmWorkerPool(workers)
-    _ACTIVE_POOL = pool
     try:
         yield pool
     finally:
-        _ACTIVE_POOL = None
+        with _SESSION_LOCK:
+            _ACTIVE_POOL = None
         pool.close()

@@ -1,0 +1,21 @@
+"""``iotls serve``: the resident fleet service.
+
+The one-shot CLI pays catalog/root-store/fingerprint load per process
+and recomputes every run from scratch; this package is the
+"millions of users" answer -- one resident process, a bounded run
+queue, a server-lifetime warm worker pool, and a content-addressed
+result cache over the run ledger, all on stdlib :mod:`asyncio` with no
+new dependencies.  See :mod:`repro.serve.service` for the request
+lifecycle and :mod:`repro.serve.http` for the wire framing.
+"""
+
+from .http import HttpError, HttpRequest
+from .service import FleetService, ServeConfig, serve
+
+__all__ = [
+    "FleetService",
+    "HttpError",
+    "HttpRequest",
+    "ServeConfig",
+    "serve",
+]

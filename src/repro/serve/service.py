@@ -1,0 +1,588 @@
+"""The resident fleet service: ``iotls serve``.
+
+One process holds the expensive read-only state -- the Testbed's
+root-store universe, the device catalog, the JA3 reference fingerprint
+database -- and serves run requests over HTTP against it, concurrently.
+This is the "many tenants, few computations" architecture the roadmap
+names: each request is canonicalised to its config digest *before* any
+work happens, and the run ledger's content-addressed index decides
+whether the computation exists at all.
+
+Request lifecycle (``POST /runs``):
+
+1. **Parse** the JSON body into a command name plus a
+   :class:`repro.api.RunRequest` (the serializable half of a run);
+   unknown commands and malformed fields answer 400 without touching
+   the queue.
+2. **Canonicalise** to ``config_digest`` via
+   :func:`repro.api.request_digest` -- a pure function, so this costs
+   nothing.
+3. **Consult the cache**: :func:`repro.telemetry.ledger.lookup_config`
+   over the service's ledger.  A hit (newest successful entry with
+   *live* artifacts) is served straight from disk -- chunked
+   ``iotls-trace-stream/1`` JSONL for trace bodies, the ledger entry's
+   envelope for the rest -- with ``X-IoTLS-Cache: hit`` and **zero**
+   pool dispatches.
+4. **Coalesce**: an identical request already computing shares its
+   in-flight future (``X-IoTLS-Cache: coalesced``) instead of
+   recomputing or double-writing artifacts.
+5. **Queue** a miss into the bounded run queue; a full queue answers
+   ``429`` with ``Retry-After`` instead of accepting unbounded work.
+6. **Execute** on an executor slot: the blocking run goes through
+   :func:`repro.api.execute` on a worker thread, sharding onto the
+   service's *resident* :class:`~repro.parallel.pool.WarmWorkerPool`
+   (one ``pool_session`` spans the server's lifetime, so every request
+   reuses the same warm processes).  The run's own ``_ledger_session``
+   appends exactly one ledger entry, which *is* the cache population --
+   the next identical tenant hits in step 3.
+
+While a run executes, the executor emits ``request.heartbeat`` events
+into the server-wide :class:`~repro.telemetry.progress.AccessLog`
+(schema ``iotls-serve-access/1``) -- per-request liveness in one
+tail-able stream, replacing the per-run stderr progress that makes no
+sense on a server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .. import api, telemetry
+from ..parallel import pool_session
+from ..telemetry import DEFAULT_LEDGER_PATH, AccessLog
+from .http import (
+    HttpError,
+    HttpRequest,
+    finish_chunked,
+    read_request,
+    send_chunk,
+    send_chunked_header,
+    send_json,
+)
+
+__all__ = ["ServeConfig", "FleetService", "serve"]
+
+#: Schema tag of the ``GET /status`` document.
+STATUS_SCHEMA = "iotls-serve-status/1"
+
+#: File-read chunk size for streamed trace bodies.
+_CHUNK_BYTES = 64 * 1024
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Host-local configuration of one fleet-service process."""
+
+    host: str = "127.0.0.1"
+    #: TCP port; 0 binds an ephemeral port (tests read ``service.port``).
+    port: int = 8738
+    #: Bounded run-queue capacity; beyond it requests get 429.
+    queue_size: int = 8
+    #: Concurrent run executors (each drives one blocking run at a time).
+    executors: int = 2
+    #: Worker processes per run (the resident warm pool's size).
+    workers: int = 1
+    warm_pool: bool = True
+    #: The ledger that is both run history and the result cache's index.
+    ledger: str | Path = DEFAULT_LEDGER_PATH
+    #: Where computed run artifacts (stream bodies, reports, pcaps) land.
+    artifact_dir: str | Path = ".iotls/serve"
+    #: Access-log JSONL path (``None`` keeps counters only).
+    access_log: str | Path | None = None
+    #: Seconds between ``request.heartbeat`` access-log events per run.
+    heartbeat_interval: float = 1.0
+    #: ``Retry-After`` seconds advertised on 429 responses.
+    retry_after: int = 1
+
+
+@dataclass
+class _Job:
+    """One queued computation and the future its waiters share."""
+
+    id: int
+    command: str
+    request: api.RunRequest
+    digest: str
+    future: asyncio.Future
+    #: In-flight coalescing key; ``None`` for uncacheable commands.
+    key: tuple[str, str] | None = None
+
+
+@dataclass
+class _CacheStats:
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+        }
+
+
+class FleetService:
+    """The resident service: call :meth:`start` inside a running loop,
+    then :meth:`serve_forever` (or issue requests against
+    ``http://host:port`` from tests) and :meth:`stop`."""
+
+    def __init__(self, config: ServeConfig = ServeConfig()) -> None:
+        self.config = config
+        self.access = AccessLog(
+            config.access_log,
+            metadata={
+                "service": "iotls serve",
+                "workers": config.workers,
+                "executors": config.executors,
+                "queue_size": config.queue_size,
+            },
+        )
+        self.cache = _CacheStats()
+        #: Bound port once started (differs from config.port when 0).
+        self.port: int | None = None
+        self._resident: dict[str, Any] = {}
+        self._pool: Any | None = None
+        self._stack = contextlib.ExitStack()
+        self._queue: asyncio.Queue[_Job] | None = None
+        self._inflight: dict[tuple[str, str], asyncio.Future] = {}
+        self._executors: list[asyncio.Task] = []
+        self._server: asyncio.AbstractServer | None = None
+        self._job_ids = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _load_resident(self) -> None:
+        """Build the read-only state every request shares, once.
+
+        The objects stay referenced for the process lifetime, and the
+        module-level caches they populate (the catalog's ``lru_cache``,
+        the warm workers' preloads) mean no request pays the load again.
+        """
+        from ..devices.catalog import build_catalog
+        from ..fingerprint.database import build_reference_database
+        from ..testbed import Testbed
+
+        testbed = Testbed()
+        catalog = build_catalog()
+        fingerprints = build_reference_database()
+        self._testbed = testbed
+        self._fingerprints = fingerprints
+        self._resident = {
+            "devices": len(catalog),
+            "root_records": len(testbed.universe.records),
+            "fingerprints": len(fingerprints),
+        }
+
+    async def start(self) -> None:
+        config = self.config
+        await asyncio.to_thread(self._load_resident)
+        # One pool session spans the server's lifetime: every request's
+        # shards land on the same warm processes, so spawn + import +
+        # preload cost is paid once per *server*, not once per request.
+        self._pool = self._stack.enter_context(
+            pool_session(config.workers, enabled=config.warm_pool)
+        )
+        self._queue = asyncio.Queue(maxsize=config.queue_size)
+        self._executors = [
+            asyncio.create_task(self._executor_loop(), name=f"iotls-serve-exec-{i}")
+            for i in range(config.executors)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_client, config.host, config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.access.record(
+            "server.start",
+            host=config.host,
+            port=self.port,
+            resident=self._resident,
+            pool=self._pool.stats() if self._pool is not None else None,
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._executors:
+            task.cancel()
+        await asyncio.gather(*self._executors, return_exceptions=True)
+        # Closing the pool joins worker processes; keep the loop free.
+        await asyncio.to_thread(self._stack.close)
+        self.access.close(cache=self.cache.to_dict())
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    async def _executor_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    async def _run_job(self, job: _Job) -> None:
+        """Drive one blocking run on a thread, heartbeating while it lasts."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self.access.record("run.start", id=job.id, command=job.command, digest=job.digest)
+        task = asyncio.ensure_future(asyncio.to_thread(self._execute_job, job))
+        while True:
+            done, _ = await asyncio.wait({task}, timeout=self.config.heartbeat_interval)
+            if done:
+                break
+            self.access.record(
+                "request.heartbeat",
+                id=job.id,
+                command=job.command,
+                elapsed=round(loop.time() - started, 3),
+                queue_depth=self._queue.qsize() if self._queue else 0,
+            )
+        if job.key is not None:
+            self._inflight.pop(job.key, None)
+        try:
+            result = task.result()
+        except Exception as exc:
+            self.access.record(
+                "run.error",
+                id=job.id,
+                command=job.command,
+                error=type(exc).__name__,
+                seconds=round(loop.time() - started, 3),
+            )
+            if not job.future.done():
+                job.future.set_exception(exc)
+        else:
+            self.access.record(
+                "run.ok",
+                id=job.id,
+                command=job.command,
+                digest=job.digest,
+                manifest=getattr(result, "manifest_digest", None),
+                seconds=round(loop.time() - started, 3),
+            )
+            if not job.future.done():
+                job.future.set_result(result)
+
+    def _execute_job(self, job: _Job) -> api.RunResult:
+        """The blocking half: runs on a worker thread, shards onto the
+        resident warm pool, and appends the run's one ledger entry."""
+        options = api.ExecutionOptions(
+            workers=self.config.workers,
+            warm_pool=self.config.warm_pool,
+            ledger=self.config.ledger,
+        )
+        config = api.RunConfig.merge(job.request, options)
+        extras: dict[str, Any] = {}
+        if job.command == "trace":
+            extras["stream_path"] = self._artifact_path(job.digest, "records.jsonl")
+        elif job.command == "report":
+            extras["out"] = self._artifact_path(job.digest, "report.md")
+        elif job.command == "pcap":
+            extras["out"] = self._artifact_path(job.digest, "pcap")
+        return api.execute(job.command, config, **extras)
+
+    def _artifact_path(self, digest: str, suffix: str) -> Path:
+        root = Path(self.config.artifact_dir)
+        root.mkdir(parents=True, exist_ok=True)
+        return root / f"{digest}.{suffix}"
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request: HttpRequest | None = None
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            try:
+                await self._route(request, writer)
+            except HttpError as exc:
+                await send_json(
+                    writer, exc.status, {"error": exc.message}, headers=exc.headers
+                )
+                self.access.record(
+                    "request.error",
+                    method=request.method,
+                    path=request.path,
+                    status=exc.status,
+                    error=exc.message,
+                )
+            except Exception as exc:  # a server bug, not a request outcome
+                await send_json(
+                    writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+                self.access.record(
+                    "request.error",
+                    method=request.method,
+                    path=request.path,
+                    status=500,
+                    error=type(exc).__name__,
+                )
+        except HttpError as exc:  # framing failed before a request existed
+            with contextlib.suppress(ConnectionError, OSError):
+                await send_json(writer, exc.status, {"error": exc.message})
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _route(self, request: HttpRequest, writer: asyncio.StreamWriter) -> None:
+        if request.path == "/healthz":
+            if request.method != "GET":
+                raise HttpError(405, "healthz is GET-only")
+            await send_json(writer, 200, {"status": "ok"})
+            return
+        if request.path == "/status":
+            if request.method != "GET":
+                raise HttpError(405, "status is GET-only")
+            await send_json(writer, 200, self.status_document())
+            return
+        if request.path == "/runs":
+            if request.method != "POST":
+                raise HttpError(405, "runs is POST-only")
+            await self._handle_runs(request, writer)
+            return
+        raise HttpError(404, f"no such endpoint: {request.path}")
+
+    def status_document(self) -> dict[str, Any]:
+        return {
+            "schema": STATUS_SCHEMA,
+            "queue": {
+                "depth": self._queue.qsize() if self._queue is not None else 0,
+                "capacity": self.config.queue_size,
+                "executors": self.config.executors,
+                "inflight": len(self._inflight),
+            },
+            "pool": self._pool.stats() if self._pool is not None else None,
+            "cache": self.cache.to_dict(),
+            "resident": self._resident,
+            "access": dict(sorted(self.access.counts.items())),
+        }
+
+    async def _handle_runs(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        document = request.json()
+        if not isinstance(document, dict):
+            raise HttpError(400, "run request must be a JSON object")
+        payload = dict(document)
+        command = payload.pop("command", None)
+        if not isinstance(command, str):
+            raise HttpError(400, 'run request needs a "command" string')
+        try:
+            spec = api.command_spec(command)
+        except api.UnknownCommandError as exc:
+            raise HttpError(400, str(exc)) from None
+        try:
+            run_request = api.RunRequest.from_document(payload)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        if command == "probe" and run_request.device is None:
+            raise HttpError(400, "probe requests need a device")
+        digest = api.request_digest(command, run_request)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+
+        if spec.cacheable:
+            entries = await asyncio.to_thread(telemetry.load_ledger, self.config.ledger)
+            hit = telemetry.lookup_config(entries, digest)
+            if hit is not None and (
+                spec.stream_role is None
+                or spec.stream_role in (hit.get("artifacts") or {})
+            ):
+                self.cache.hits += 1
+                await self._respond_cached(writer, spec, hit, digest)
+                self._log_request(request, command, digest, "hit", started)
+                return
+
+        cache_state = "miss"
+        future = self._inflight.get((command, digest)) if spec.cacheable else None
+        if future is not None:
+            cache_state = "coalesced"
+            self.cache.coalesced += 1
+        else:
+            self.cache.misses += 1
+            future = loop.create_future()
+            self._job_ids += 1
+            key = (command, digest) if spec.cacheable else None
+            job = _Job(
+                id=self._job_ids,
+                command=command,
+                request=run_request,
+                digest=digest,
+                future=future,
+                key=key,
+            )
+            assert self._queue is not None, "start() first"
+            try:
+                self._queue.put_nowait(job)
+            except asyncio.QueueFull:
+                self.cache.misses -= 1
+                raise HttpError(
+                    429,
+                    "run queue is full",
+                    headers={"Retry-After": str(self.config.retry_after)},
+                ) from None
+            if key is not None:
+                self._inflight[key] = future
+
+        try:
+            result = await asyncio.shield(future)
+        except api.UnknownDeviceError as exc:
+            raise HttpError(404, str(exc)) from None
+        except api.RunError as exc:
+            raise HttpError(400, str(exc)) from None
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from None
+        await self._respond_result(writer, spec, result, digest, cache_state)
+        self._log_request(request, command, digest, cache_state, started)
+
+    def _log_request(
+        self,
+        request: HttpRequest,
+        command: str,
+        digest: str,
+        cache_state: str,
+        started: float,
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        self.access.record(
+            "request",
+            method=request.method,
+            path=request.path,
+            command=command,
+            digest=digest,
+            cache=cache_state,
+            status=200,
+            seconds=round(loop.time() - started, 3),
+        )
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def _headers(
+        self, digest: str, cache_state: str, manifest_digest: str | None
+    ) -> dict[str, str]:
+        headers = {
+            "X-IoTLS-Cache": cache_state,
+            "X-IoTLS-Config-Digest": digest,
+        }
+        if manifest_digest:
+            headers["X-IoTLS-Manifest-Digest"] = manifest_digest
+        return headers
+
+    async def _respond_cached(
+        self,
+        writer: asyncio.StreamWriter,
+        spec: api.CommandSpec,
+        entry: dict[str, Any],
+        digest: str,
+    ) -> None:
+        """Serve a run whose bytes already exist: no queue, no pool."""
+        manifest_digest = entry.get("manifest_digest")
+        headers = self._headers(digest, "hit", manifest_digest)
+        if spec.stream_role is not None:
+            path = Path(entry["artifacts"][spec.stream_role]["path"])
+            await self._stream_file(writer, path, headers)
+            return
+        artifacts = entry.get("artifacts") or {}
+        envelope = {
+            "command": entry.get("command"),
+            "status": "ok",
+            "cached": True,
+            "config_digest": entry.get("config_digest"),
+            "manifest_digest": manifest_digest,
+            "seconds": entry.get("seconds"),
+            "phases": entry.get("phases"),
+            "heartbeats": entry.get("heartbeats"),
+            "resources": entry.get("resources"),
+            "artifacts": {
+                role: info.get("path") for role, info in sorted(artifacts.items())
+            },
+        }
+        await send_json(writer, 200, envelope, headers=headers)
+
+    async def _respond_result(
+        self,
+        writer: asyncio.StreamWriter,
+        spec: api.CommandSpec,
+        result: api.RunResult,
+        digest: str,
+        cache_state: str,
+    ) -> None:
+        manifest_digest = getattr(result, "manifest_digest", None)
+        headers = self._headers(digest, cache_state, manifest_digest)
+        if spec.stream_role is not None:
+            path = Path(getattr(result, "artifacts")[spec.stream_role])
+            await self._stream_file(writer, path, headers)
+            return
+        envelope: dict[str, Any] = {
+            "command": spec.name,
+            "status": "ok",
+            "cached": cache_state != "miss",
+            "config_digest": digest,
+            "manifest_digest": manifest_digest,
+            "health": getattr(result, "health", None),
+            "artifacts": {
+                role: str(path)
+                for role, path in sorted(getattr(result, "artifacts", {}).items())
+            },
+        }
+        if isinstance(result, api.ProbeResult):
+            envelope["device"] = result.device
+            envelope["amenable"] = result.amenable
+            envelope["distrusted_but_trusted"] = result.distrusted_but_trusted
+        elif isinstance(result, api.CheckResult):
+            envelope["ok"] = result.ok
+            envelope["drifted"] = result.drifted
+            envelope["cells"] = result.cells
+        await send_json(writer, 200, envelope, headers=headers)
+
+    async def _stream_file(
+        self,
+        writer: asyncio.StreamWriter,
+        path: Path,
+        headers: dict[str, str],
+    ) -> None:
+        """Chunk a stored ``iotls-trace-stream/1`` body down the wire."""
+        await send_chunked_header(writer, 200, headers=headers)
+        with path.open("rb") as handle:
+            while True:
+                chunk = await asyncio.to_thread(handle.read, _CHUNK_BYTES)
+                if not chunk:
+                    break
+                await send_chunk(writer, chunk)
+        await finish_chunked(writer)
+
+
+async def serve(config: ServeConfig = ServeConfig()) -> None:
+    """Start a fleet service and run until cancelled (the CLI entry)."""
+    service = FleetService(config)
+    await service.start()
+    print(
+        f"iotls serve: listening on http://{config.host}:{service.port} "
+        f"(workers={config.workers}, executors={config.executors}, "
+        f"queue={config.queue_size})",
+        flush=True,
+    )
+    try:
+        await service.serve_forever()
+    finally:
+        await service.stop()

@@ -38,6 +38,7 @@ from .ledger import (
     DEFAULT_LEDGER_PATH,
     LEDGER_SCHEMA,
     append_entry,
+    artifacts_live,
     build_entry,
     diff_entries,
     filter_entries,
@@ -68,8 +69,10 @@ from .metrics import (
 )
 from .profiling import PathStat, Profiler, render_hot_table
 from .progress import (
+    ACCESS_LOG_SCHEMA,
     DEFAULT_HEARTBEAT_INTERVAL,
     HEALTH_STREAM_SCHEMA,
+    AccessLog,
     HeartbeatWriter,
     ProgressReporter,
     Throttle,
@@ -111,6 +114,8 @@ from .slo import (
 from .tracing import NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
+    "ACCESS_LOG_SCHEMA",
+    "AccessLog",
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_HEARTBEAT_INTERVAL",
@@ -143,6 +148,7 @@ __all__ = [
     "Tracer",
     "append_entry",
     "artifact_digest",
+    "artifacts_live",
     "build_entry",
     "build_manifest",
     "diff_entries",

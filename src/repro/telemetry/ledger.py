@@ -55,6 +55,7 @@ __all__ = [
     "DEFAULT_LEDGER_PATH",
     "LEDGER_SCHEMA",
     "append_entry",
+    "artifacts_live",
     "build_entry",
     "diff_entries",
     "filter_entries",
@@ -326,14 +327,29 @@ def find_entry(entries: list[dict[str, Any]], digest: str) -> dict[str, Any] | N
     return None
 
 
+def artifacts_live(entry: dict[str, Any]) -> bool:
+    """Whether every artifact path the entry recorded still holds a file.
+
+    Entries with no artifacts are vacuously live: they index
+    computations whose result is the envelope itself.
+    """
+    artifacts = entry.get("artifacts") or {}
+    return all(
+        Path(info.get("path", "")).is_file() for info in artifacts.values()
+    )
+
+
 def lookup_config(
     entries: list[dict[str, Any]], digest: str
 ) -> dict[str, Any] | None:
     """Config digest -> the most recent successful matching entry.
 
-    This is the content-addressed cache primitive ``iotls serve`` will
-    consume: a hit names the manifest digest (the complete output) and
-    the artifact paths that still hold those bytes.
+    This is the content-addressed cache primitive ``iotls serve``
+    consumes: a hit names the manifest digest (the complete output) and
+    the artifact paths that still hold those bytes.  Entries whose
+    recorded artifacts have since vanished (pre-gc deletions,
+    hand-pruned files) are skipped -- a cache hit must be servable from
+    disk, so the scan continues to the next older live match.
     """
     for entry in reversed(entries):
         config = entry.get("config_digest")
@@ -342,6 +358,7 @@ def lookup_config(
             and config.startswith(digest)
             and entry.get("status") == "ok"
             and entry.get("manifest_digest")
+            and artifacts_live(entry)
         ):
             return entry
     return None
@@ -391,13 +408,7 @@ def gc_entries(
     kept: list[dict[str, Any]] = []
     pruned: list[dict[str, Any]] = []
     for entry in entries:
-        artifacts = entry.get("artifacts") or {}
-        vanished = [
-            role
-            for role, info in sorted(artifacts.items())
-            if not Path(info.get("path", "")).is_file()
-        ]
-        if artifacts and vanished:
+        if (entry.get("artifacts") or {}) and not artifacts_live(entry):
             pruned.append(entry)
         else:
             kept.append(entry)

@@ -15,9 +15,13 @@ enforces that everywhere else goes through the rate-limited
   reading; renders to a stderr line, a ``progress.heartbeat`` event,
   and/or a machine-readable stream,
 * :class:`HeartbeatWriter` -- the ``--heartbeat-out`` JSONL stream
-  (schema :data:`HEALTH_STREAM_SCHEMA`), built for the future
-  ``iotls serve`` status endpoint: a header line, throttled heartbeat
-  lines, and one final summary line.
+  (schema :data:`HEALTH_STREAM_SCHEMA`): a header line, throttled
+  heartbeat lines, and one final summary line,
+* :class:`AccessLog` -- the ``iotls serve`` access log (schema
+  :data:`ACCESS_LOG_SCHEMA`): one thread-safe JSONL stream for the
+  whole server, where request lifecycle events and per-request
+  progress heartbeats from concurrently executing runs interleave
+  without tearing.
 
 Heartbeat data is wall-clock-derived and therefore lives entirely
 outside run manifests: the reporter touches no counters (RL010) and the
@@ -28,6 +32,7 @@ metrics slice by construction.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from time import perf_counter
 from typing import IO, Any, Callable
@@ -35,6 +40,8 @@ from typing import IO, Any, Callable
 from .events import EventLog
 
 __all__ = [
+    "ACCESS_LOG_SCHEMA",
+    "AccessLog",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "HEALTH_STREAM_SCHEMA",
     "HeartbeatWriter",
@@ -45,6 +52,9 @@ __all__ = [
 
 #: Schema tag of the machine-readable health stream (``--heartbeat-out``).
 HEALTH_STREAM_SCHEMA = "iotls-health-stream/1"
+
+#: Schema tag of the fleet service's access log.
+ACCESS_LOG_SCHEMA = "iotls-serve-access/1"
 
 #: Default seconds between heartbeat emissions.
 DEFAULT_HEARTBEAT_INTERVAL = 1.0
@@ -123,6 +133,96 @@ class HeartbeatWriter:
         self._handle = None
 
     def __enter__(self) -> "HeartbeatWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AccessLog:
+    """The fleet service's JSONL access log (``iotls-serve-access/1``).
+
+    One instance serves the whole server: the asyncio request handlers
+    and the run-executor threads all call :meth:`record` concurrently,
+    and a lock serialises each line's format-and-write so the stream
+    never tears.  The shape mirrors :class:`HeartbeatWriter` -- a
+    ``kind: header`` line, ``kind: event`` lines with a monotonic
+    ``seq`` and the seconds since server start, and one ``kind:
+    summary`` line (per-event totals) on :meth:`close` -- so the same
+    tail-following tooling consumes both streams.
+
+    ``path=None`` keeps the counters (the ``/status`` endpoint reads
+    them) without writing anything.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        metadata: dict[str, Any] | None = None,
+        clock: Callable[[], float] = perf_counter,
+    ) -> None:
+        self.path = Path(path) if path is not None else None
+        self._handle: IO[str] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._clock = clock
+        self._started = clock()
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._closed = False
+        #: Per-event-name totals (read by the ``/status`` endpoint).
+        self.counts: dict[str, int] = {}
+        header: dict[str, Any] = {"kind": "header", "schema": ACCESS_LOG_SCHEMA}
+        if metadata:
+            header["metadata"] = dict(metadata)
+        self._write(header)
+
+    def _write(self, entry: dict[str, Any]) -> None:
+        if self._handle is None:
+            return
+        self._handle.write(json.dumps(entry, sort_keys=True, default=str) + "\n")
+        self._handle.flush()
+
+    def record(self, event: str, **fields: Any) -> dict[str, Any]:
+        """Append one ``kind: event`` line; safe from any thread."""
+        with self._lock:
+            if self._closed:
+                return {}
+            self._seq += 1
+            entry: dict[str, Any] = {
+                "kind": "event",
+                "seq": self._seq,
+                "event": event,
+                "elapsed_seconds": round(self._clock() - self._started, 6),
+                **fields,
+            }
+            self.counts[event] = self.counts.get(event, 0) + 1
+            self._write(entry)
+            return entry
+
+    def close(self, **summary_fields: Any) -> None:
+        """Append the ``kind: summary`` line (per-event totals plus any
+        extra fields) and close the stream.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._write(
+                {
+                    "kind": "summary",
+                    "events": self._seq,
+                    "counts": dict(sorted(self.counts.items())),
+                    "seconds": round(self._clock() - self._started, 6),
+                    **summary_fields,
+                }
+            )
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "AccessLog":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

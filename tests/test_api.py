@@ -139,3 +139,137 @@ class TestRemovedExportAliases:
         assert document["summary"]["vulnerable_devices"] == 11
         probe = analysis_export.probe_report_to_document(campaign_results.probes[0])
         assert probe["device"] == campaign_results.probes[0].device
+
+
+class TestCommandRegistry:
+    """The dispatchable surface: execute() and the CommandSpec table."""
+
+    def test_registry_names_every_run_command(self):
+        from repro import api
+
+        assert api.command_names() == (
+            "audit",
+            "check",
+            "pcap",
+            "probe",
+            "report",
+            "trace",
+        )
+
+    def test_unknown_command_is_a_typed_run_error(self):
+        from repro import api
+
+        with pytest.raises(api.UnknownCommandError) as excinfo:
+            api.execute("frobnicate")
+        assert isinstance(excinfo.value, RunError)
+        assert excinfo.value.command == "frobnicate"
+
+    def test_execute_matches_wrapper(self, tmp_path):
+        from repro import api
+
+        config = RunConfig(scale=1, seed="registry-parity", ledger=None)
+        via_registry = api.execute("trace", config)
+        via_wrapper = run_trace(config)
+        assert via_registry.manifest_digest == via_wrapper.manifest_digest
+
+    def test_execute_rejects_unknown_extras(self):
+        from repro import api
+
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            api.execute("trace", RunConfig(ledger=None), bogus_path="x")
+
+    def test_probe_wrapper_fills_request_device(self):
+        from repro import api
+
+        result = api.execute(
+            "probe", RunConfig(device="Google Home Mini", ledger=None)
+        )
+        wrapped = run_probe("Google Home Mini", RunConfig(ledger=None))
+        assert result.device == wrapped.device
+        assert result.amenable == wrapped.amenable
+
+    def test_stream_role_marks_trace_only(self):
+        from repro import api
+
+        assert api.command_spec("trace").stream_role == "records_jsonl"
+        for name in ("audit", "probe", "report", "pcap", "check"):
+            assert api.command_spec(name).stream_role is None
+
+    def test_probe_and_check_are_not_cacheable(self):
+        from repro import api
+
+        assert not api.command_spec("probe").cacheable
+        assert not api.command_spec("check").cacheable
+        assert api.command_spec("trace").cacheable
+
+
+class TestRunRequestSplit:
+    """RunRequest (serializable) + ExecutionOptions (host-local)."""
+
+    def test_document_round_trip(self):
+        from repro.api import RunRequest
+
+        request = RunRequest(
+            scale=3, seed="wire", flow_cap=7, device="LG TV", limit=5
+        )
+        assert RunRequest.from_document(request.to_document()) == request
+        assert RunRequest.from_document(RunRequest().to_document()) == RunRequest()
+
+    def test_document_omits_unset_optionals(self):
+        from repro.api import RunRequest
+
+        document = RunRequest(scale=2, seed="wire").to_document()
+        assert document == {
+            "scale": 2,
+            "seed": "wire",
+            "include_passthrough": True,
+        }
+
+    def test_from_document_rejects_unknown_fields(self):
+        from repro.api import RunRequest
+
+        with pytest.raises(ValueError, match="unknown run-request field"):
+            RunRequest.from_document({"scale": 1, "workers": 4})
+
+    def test_from_document_rejects_mistyped_fields(self):
+        from repro.api import RunRequest
+
+        with pytest.raises(ValueError, match="'scale' must be"):
+            RunRequest.from_document({"scale": "big"})
+        with pytest.raises(ValueError, match="must be an integer"):
+            RunRequest.from_document({"scale": True})
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            RunRequest.from_document(["scale", 1])
+
+    def test_config_splits_and_merges_losslessly(self):
+        from repro.api import ExecutionOptions, RunConfig
+
+        config = RunConfig(
+            scale=5,
+            seed="split",
+            workers=3,
+            warm_pool=False,
+            flow_cap=9,
+            ledger=None,
+            device="LG TV",
+            limit=2,
+        )
+        assert RunConfig.merge(config.request, config.options) == config
+        assert config.options == ExecutionOptions(
+            workers=3, warm_pool=False, ledger=None
+        )
+
+    def test_request_digest_matches_recorded_config_digest(self, tmp_path):
+        """The wire request hashes to exactly what a real run records."""
+        from repro import api, telemetry
+
+        ledger = tmp_path / "ledger.jsonl"
+        config = RunConfig(scale=1, seed="digest-parity", ledger=ledger)
+        run_trace(config)
+        (entry,) = telemetry.load_ledger(ledger)
+        assert entry["config_digest"] == api.request_digest(
+            "trace", config.request
+        )
+        # A request rebuilt from its own wire document hashes the same.
+        rebuilt = api.RunRequest.from_document(config.request.to_document())
+        assert api.request_digest("trace", rebuilt) == entry["config_digest"]

@@ -361,3 +361,92 @@ class TestRunsCli:
         assert entry["status"] == "ok"
         assert entry["drift"]["ok"] is True
         assert entry["drift"]["drifted"] == []
+
+
+def _append_burst(args: tuple[str, int, int]) -> int:
+    """Spawned-process worker: append `count` entries to one ledger."""
+    path, worker_id, count = args
+    from repro.telemetry import ledger as worker_ledger
+
+    for index in range(count):
+        entry = worker_ledger.build_entry(
+            "trace",
+            params={"scale": 1, "seed": f"concurrent-{worker_id}-{index}"},
+            workers=1,
+            seconds=0.01,
+        )
+        worker_ledger.append_entry(entry, path)
+    return worker_id
+
+
+class TestCacheLiveness:
+    """lookup_config is a *servable* cache: dangling artifacts miss."""
+
+    def _entry_with_artifact(self, path, seed="live"):
+        return ledger.build_entry(
+            "trace",
+            params={"scale": 1, "seed": seed},
+            manifest_digest="feed" + seed.ljust(12, "0")[:12],
+            artifacts={"records_jsonl": path},
+        )
+
+    def test_lookup_skips_entries_with_deleted_artifacts(self, tmp_path):
+        artifact = tmp_path / "run.jsonl"
+        artifact.write_text('{"schema": "x"}\n')
+        entry = self._entry_with_artifact(artifact)
+        digest = entry["config_digest"]
+        assert ledger.lookup_config([entry], digest) is entry
+        artifact.unlink()
+        # The regression: a hit whose bytes are gone must not be served.
+        assert ledger.lookup_config([entry], digest) is None
+
+    def test_lookup_falls_back_to_older_live_entry(self, tmp_path):
+        old_artifact = tmp_path / "old.jsonl"
+        old_artifact.write_text("{}\n")
+        new_artifact = tmp_path / "new.jsonl"
+        new_artifact.write_text("{}\n")
+        older = self._entry_with_artifact(old_artifact)
+        newer = self._entry_with_artifact(new_artifact)
+        digest = older["config_digest"]
+        assert ledger.lookup_config([older, newer], digest) is newer
+        new_artifact.unlink()
+        assert ledger.lookup_config([older, newer], digest) is older
+
+    def test_artifactless_entries_stay_servable(self):
+        entry = ledger.build_entry(
+            "audit", params={"include_passthrough": True}, manifest_digest="abcd"
+        )
+        assert ledger.artifacts_live(entry)
+        assert ledger.lookup_config([entry], entry["config_digest"]) is entry
+
+
+class TestConcurrentAppends:
+    """The serve path's steady state: many processes, one ledger file."""
+
+    def test_parallel_processes_never_tear_lines(self, ledger_path):
+        import multiprocessing
+
+        workers, per_worker = 4, 8
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=workers) as pool:
+            finished = pool.map(
+                _append_burst,
+                [(str(ledger_path), wid, per_worker) for wid in range(workers)],
+            )
+        assert sorted(finished) == list(range(workers))
+
+        raw_lines = ledger_path.read_text().splitlines()
+        # Exactly one line per run: nothing lost, nothing doubled.
+        assert len(raw_lines) == workers * per_worker
+        seeds = set()
+        for line in raw_lines:
+            entry = json.loads(line)  # no torn/interleaved lines
+            assert entry["schema"] == ledger.LEDGER_SCHEMA
+            seeds.add(entry["params"]["seed"])
+        assert seeds == {
+            f"concurrent-{wid}-{index}"
+            for wid in range(workers)
+            for index in range(per_worker)
+        }
+        # The tolerant loader agrees byte-for-byte.
+        assert len(ledger.load_ledger(ledger_path)) == workers * per_worker

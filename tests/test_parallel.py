@@ -178,6 +178,7 @@ class TestWarmPoolSession:
                 "workers": 2,
                 "batches": 2,
                 "tasks_dispatched": 4,
+                "dispatches": 4,
                 "reused_dispatches": 2,
             }
         assert active_pool() is None

@@ -1,0 +1,387 @@
+"""The resident fleet service: HTTP contract, cache, queue, coalescing.
+
+Each test boots a real :class:`~repro.serve.FleetService` on an
+ephemeral port inside its own event loop and speaks actual HTTP/1.1 at
+it (including chunked-transfer decoding), so the wire contract the
+README's curl example relies on is what gets pinned -- not an internal
+shortcut around it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro import api, telemetry
+from repro.serve import FleetService, ServeConfig
+from repro.serve.http import HttpError, HttpRequest
+from repro.telemetry import AccessLog, ledger
+
+
+def serve_config(tmp_path, **overrides) -> ServeConfig:
+    defaults = dict(
+        port=0,
+        ledger=tmp_path / "ledger.jsonl",
+        artifact_dir=tmp_path / "artifacts",
+        access_log=tmp_path / "access.jsonl",
+        heartbeat_interval=0.05,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+async def request(
+    port: int, method: str, path: str, body: dict | None = None
+) -> tuple[int, dict[str, str], bytes]:
+    """A real HTTP/1.1 exchange, chunked transfer decoding included."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+    if payload:
+        head += f"Content-Length: {len(payload)}\r\n"
+    writer.write(head.encode() + b"\r\n" + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    status = int(status_line.split()[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("transfer-encoding") == "chunked":
+        chunks = []
+        while True:
+            size = int((await reader.readline()).strip(), 16)
+            if size == 0:
+                await reader.readline()
+                break
+            chunks.append(await reader.readexactly(size))
+            await reader.readexactly(2)  # the chunk's trailing CRLF
+        content = b"".join(chunks)
+    elif "content-length" in headers:
+        content = await reader.readexactly(int(headers["content-length"]))
+    else:
+        content = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    return status, headers, content
+
+
+async def with_service(config: ServeConfig, scenario):
+    service = FleetService(config)
+    await service.start()
+    try:
+        return await scenario(service)
+    finally:
+        await service.stop()
+
+
+TRACE_BODY = {"command": "trace", "scale": 1, "seed": "serve-test"}
+
+
+class TestHttpFraming:
+    def test_request_json_rejects_garbage(self):
+        bad = HttpRequest(method="POST", path="/runs", body=b"{nope")
+        with pytest.raises(HttpError) as excinfo:
+            bad.json()
+        assert excinfo.value.status == 400
+
+    def test_endpoints_and_methods(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            status, _, body = await request(port, "GET", "/healthz")
+            assert (status, json.loads(body)) == (200, {"status": "ok"})
+            status, _, _ = await request(port, "POST", "/healthz", {})
+            assert status == 405
+            status, _, _ = await request(port, "GET", "/runs")
+            assert status == 405
+            status, _, _ = await request(port, "GET", "/nowhere")
+            assert status == 404
+            status, _, body = await request(port, "GET", "/status")
+            document = json.loads(body)
+            assert document["schema"] == "iotls-serve-status/1"
+            assert document["resident"]["devices"] == 40
+            assert document["queue"]["capacity"] == service.config.queue_size
+            return True
+
+        assert asyncio.run(with_service(serve_config(tmp_path), scenario))
+
+    def test_run_request_validation(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            cases = [
+                ({"scale": 1}, 400),  # no command
+                ({"command": "frobnicate"}, 400),
+                ({"command": "trace", "workers": 4}, 400),  # host-local field
+                ({"command": "trace", "scale": "big"}, 400),
+                ({"command": "probe"}, 400),  # no device
+                ({"command": "probe", "device": "No Such Device"}, 404),
+            ]
+            for body, expected in cases:
+                status, _, content = await request(port, "POST", "/runs", body)
+                assert status == expected, (body, content)
+                assert "error" in json.loads(content)
+            return True
+
+        assert asyncio.run(with_service(serve_config(tmp_path), scenario))
+
+
+class TestCacheContract:
+    def test_miss_then_hit_identical_bytes_one_ledger_entry(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            status1, headers1, body1 = await request(port, "POST", "/runs", TRACE_BODY)
+            status2, headers2, body2 = await request(port, "POST", "/runs", TRACE_BODY)
+            assert (status1, status2) == (200, 200)
+            assert headers1["x-iotls-cache"] == "miss"
+            assert headers2["x-iotls-cache"] == "hit"
+            assert (
+                headers1["x-iotls-manifest-digest"]
+                == headers2["x-iotls-manifest-digest"]
+            )
+            assert body1 == body2
+            return headers1
+
+        headers = asyncio.run(with_service(serve_config(tmp_path), scenario))
+        entries = telemetry.load_ledger(tmp_path / "ledger.jsonl")
+        # The hit computed nothing: one run, one entry.
+        assert [entry["command"] for entry in entries] == ["trace"]
+        assert entries[0]["manifest_digest"] == headers["x-iotls-manifest-digest"]
+
+    def test_served_stream_matches_direct_single_worker_run(self, tmp_path):
+        async def scenario(service):
+            _, headers, body = await request(service.port, "POST", "/runs", TRACE_BODY)
+            return headers, body
+
+        headers, body = asyncio.run(with_service(serve_config(tmp_path), scenario))
+        # Manifests fold in the artifact *basename* (path-free
+        # provenance), so the byte-identical direct equivalent uses the
+        # service's content-addressed name -- in a different directory.
+        config = api.RunConfig(scale=1, seed="serve-test", workers=1, ledger=None)
+        digest = api.request_digest("trace", config.request)
+        stream_path = tmp_path / "direct" / f"{digest}.records.jsonl"
+        stream_path.parent.mkdir()
+        direct = api.run_trace(config, stream_path=stream_path)
+        assert headers["x-iotls-config-digest"] == digest
+        assert headers["x-iotls-manifest-digest"] == direct.manifest_digest
+        assert body == stream_path.read_bytes()
+
+    def test_concurrent_distinct_requests_match_direct_runs(self, tmp_path):
+        seeds = ["fleet-a", "fleet-b", "fleet-c", "fleet-d"]
+
+        async def scenario(service):
+            responses = await asyncio.gather(
+                *(
+                    request(
+                        service.port,
+                        "POST",
+                        "/runs",
+                        {"command": "trace", "scale": 1, "seed": seed},
+                    )
+                    for seed in seeds
+                )
+            )
+            return responses
+
+        responses = asyncio.run(
+            with_service(serve_config(tmp_path, executors=4), scenario)
+        )
+        for seed, (status, headers, body) in zip(seeds, responses):
+            assert status == 200
+            config = api.RunConfig(scale=1, seed=seed, workers=1, ledger=None)
+            digest = api.request_digest("trace", config.request)
+            stream_path = tmp_path / "direct" / f"{digest}.records.jsonl"
+            stream_path.parent.mkdir(exist_ok=True)
+            direct = api.run_trace(config, stream_path=stream_path)
+            assert headers["x-iotls-manifest-digest"] == direct.manifest_digest, seed
+            assert body == stream_path.read_bytes(), seed
+
+    def test_dangling_artifact_recomputes_instead_of_serving_it(self, tmp_path):
+        async def scenario(service):
+            port = service.port
+            _, first, _ = await request(port, "POST", "/runs", TRACE_BODY)
+            assert first["x-iotls-cache"] == "miss"
+            # Simulate `iotls runs gc`-eligible state: bytes deleted,
+            # ledger entry still present.
+            entries = telemetry.load_ledger(service.config.ledger)
+            for info in entries[0]["artifacts"].values():
+                (tmp_path / info["path"]).unlink()
+            _, again, body = await request(port, "POST", "/runs", TRACE_BODY)
+            assert again["x-iotls-cache"] == "miss"  # not a dangling hit
+            return body
+
+        body = asyncio.run(with_service(serve_config(tmp_path), scenario))
+        assert body.splitlines()[-1].startswith(b'{"summary"')
+
+    def test_probe_envelope_is_not_cached(self, tmp_path):
+        body = {"command": "probe", "device": "Google Home Mini"}
+
+        async def scenario(service):
+            port = service.port
+            _, headers1, content1 = await request(port, "POST", "/runs", body)
+            _, headers2, _ = await request(port, "POST", "/runs", body)
+            return headers1, headers2, json.loads(content1)
+
+        headers1, headers2, envelope = asyncio.run(
+            with_service(serve_config(tmp_path), scenario)
+        )
+        assert headers1["x-iotls-cache"] == "miss"
+        assert headers2["x-iotls-cache"] == "miss"  # probes always execute
+        assert envelope["command"] == "probe"
+        assert envelope["amenable"] is True
+
+
+class TestQueueAndCoalescing:
+    """Backpressure and in-flight dedup, pinned deterministically by
+    blocking the executor on an event instead of racing real runs."""
+
+    def _blocking_execute(self, release: threading.Event, stream_file):
+        calls: list[str] = []
+
+        def fake_execute(command, config=api.RunConfig(), **extras):
+            calls.append(command)
+            assert release.wait(timeout=30), "test never released the executor"
+            return SimpleNamespace(
+                manifest_digest="feedfeedfeedfeed",
+                artifacts={"records_jsonl": stream_file},
+                health=None,
+            )
+
+        return fake_execute, calls
+
+    def test_full_queue_gets_429_with_retry_after(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        stream_file = tmp_path / "fake.jsonl"
+        stream_file.write_text('{"summary": {}}\n')
+        fake, calls = self._blocking_execute(release, stream_file)
+        monkeypatch.setattr(api, "execute", fake)
+
+        async def scenario(service):
+            port = service.port
+
+            def check_body(index):
+                return {"command": "check", "scale": 1, "seed": f"q{index}"}
+
+            # One request occupies the single executor, one fills the
+            # queue (checks are uncacheable, so no coalescing applies).
+            first = asyncio.create_task(request(port, "POST", "/runs", check_body(0)))
+            await asyncio.sleep(0.3)
+            second = asyncio.create_task(request(port, "POST", "/runs", check_body(1)))
+            await asyncio.sleep(0.3)
+            status, headers, content = await request(
+                port, "POST", "/runs", check_body(2)
+            )
+            assert status == 429
+            assert headers["retry-after"] == str(service.config.retry_after)
+            assert "queue" in json.loads(content)["error"]
+            release.set()
+            results = await asyncio.gather(first, second)
+            assert [status for status, _, _ in results] == [200, 200]
+            return True
+
+        assert asyncio.run(
+            with_service(
+                serve_config(tmp_path, queue_size=1, executors=1), scenario
+            )
+        )
+        assert len(calls) == 2  # the 429'd request never executed
+
+    def test_identical_inflight_requests_coalesce(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        stream_file = tmp_path / "fake.jsonl"
+        stream_file.write_text('{"summary": {}}\n')
+        fake, calls = self._blocking_execute(release, stream_file)
+        monkeypatch.setattr(api, "execute", fake)
+
+        async def scenario(service):
+            port = service.port
+            first = asyncio.create_task(request(port, "POST", "/runs", TRACE_BODY))
+            await asyncio.sleep(0.3)
+            second = asyncio.create_task(request(port, "POST", "/runs", TRACE_BODY))
+            await asyncio.sleep(0.3)
+            release.set()
+            (s1, h1, b1), (s2, h2, b2) = await asyncio.gather(first, second)
+            assert (s1, s2) == (200, 200)
+            assert h1["x-iotls-cache"] == "miss"
+            assert h2["x-iotls-cache"] == "coalesced"
+            assert b1 == b2 == stream_file.read_bytes()
+            document = json.loads(
+                (await request(port, "GET", "/status"))[2]
+            )
+            assert document["cache"]["coalesced"] == 1
+            return True
+
+        assert asyncio.run(with_service(serve_config(tmp_path), scenario))
+        assert len(calls) == 1  # one computation served both tenants
+
+
+class TestAccessLog:
+    def test_thread_safe_sequencing(self, tmp_path):
+        log = AccessLog(tmp_path / "log.jsonl", metadata={"service": "test"})
+        threads = [
+            threading.Thread(
+                target=lambda wid=wid: [
+                    log.record("request", worker=wid, index=i) for i in range(50)
+                ]
+            )
+            for wid in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        log.close()
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "log.jsonl").read_text().splitlines()
+        ]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["schema"] == "iotls-serve-access/1"
+        events = [line for line in lines if line["kind"] == "event"]
+        assert len(events) == 400
+        assert [event["seq"] for event in events] == list(range(1, 401))
+        assert lines[-1]["kind"] == "summary"
+        assert lines[-1]["counts"] == {"request": 400}
+        assert log.record("late") == {}  # closed logs drop silently
+
+    def test_service_writes_heartbeats_and_lifecycle(self, tmp_path):
+        async def scenario(service):
+            await request(service.port, "POST", "/runs", TRACE_BODY)
+            return True
+
+        assert asyncio.run(with_service(serve_config(tmp_path), scenario))
+        lines = [
+            json.loads(line)
+            for line in (tmp_path / "access.jsonl").read_text().splitlines()
+        ]
+        events = {line.get("event") for line in lines if line["kind"] == "event"}
+        assert {"server.start", "run.start", "run.ok", "request"} <= events
+        # heartbeat_interval=0.05 against a ~second-long run: the
+        # per-request liveness signal must actually fire.
+        assert "request.heartbeat" in events
+
+
+class TestLedgerIsTheCacheIndex:
+    def test_serve_entries_satisfy_cli_lookup(self, tmp_path):
+        """`iotls runs lookup` and the service read the same index."""
+
+        async def scenario(service):
+            await request(service.port, "POST", "/runs", TRACE_BODY)
+            return True
+
+        assert asyncio.run(with_service(serve_config(tmp_path), scenario))
+        entries = telemetry.load_ledger(tmp_path / "ledger.jsonl")
+        run_request = api.RunRequest.from_document(
+            {k: v for k, v in TRACE_BODY.items() if k != "command"}
+        )
+        hit = ledger.lookup_config(
+            entries, api.request_digest("trace", run_request)
+        )
+        assert hit is not None
+        assert hit["manifest_digest"] == entries[0]["manifest_digest"]

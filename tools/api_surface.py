@@ -39,6 +39,7 @@ MODULES = [
     "repro.parallel",
     "repro.pki",
     "repro.roothistory",
+    "repro.serve",
     "repro.telemetry",
     "repro.testbed",
     "repro.tls",

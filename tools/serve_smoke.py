@@ -1,0 +1,173 @@
+"""Smoke-test the resident fleet service end to end.
+
+Drives a real ``iotls serve`` subprocess the way CI (and a curious
+operator) would:
+
+1. start the server on an ephemeral-ish port with a fresh ledger,
+2. ``POST /runs`` the same trace request twice and assert the cache
+   contract: ``miss`` then ``hit``, byte-identical stream bodies, equal
+   manifest digests, and **zero** new warm-pool dispatches for the hit,
+3. validate the streamed body against the ``iotls-trace-stream/1``
+   contract and the access log against ``iotls-serve-access/1``
+   (via :mod:`validate_streams`),
+4. assert a distinct request misses (the cache is content-addressed,
+   not request-order magic),
+5. shut the server down and leave the access log behind for artifact
+   upload.
+
+Exit codes: 0 = contract holds, 1 = violation, 2 = environment failure
+(server would not start).
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--port N] [--keep DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from validate_streams import validate_access_log, validate_trace_stream  # noqa: E402
+
+TRACE_REQUEST = {"command": "trace", "scale": 1, "seed": "serve-smoke"}
+OTHER_REQUEST = {"command": "trace", "scale": 1, "seed": "serve-smoke-b"}
+
+
+def get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+        return json.loads(response.read())
+
+
+def post_run(base: str, body: dict) -> tuple[dict, bytes]:
+    request = urllib.request.Request(
+        f"{base}/runs",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return dict(response.headers), response.read()
+
+
+def wait_healthy(base: str, deadline: float) -> bool:
+    while time.monotonic() < deadline:
+        try:
+            if get(base, "/healthz").get("status") == "ok":
+                return True
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.2)
+    return False
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--port", type=int, default=8753)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--keep",
+        metavar="DIR",
+        help="run inside DIR and keep ledger/artifacts/access log "
+        "(default: a temp dir, deleted on success)",
+    )
+    args = parser.parse_args()
+
+    workdir = Path(args.keep) if args.keep else Path(tempfile.mkdtemp(prefix="iotls-serve-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    access_log = workdir / "access.jsonl"
+    base = f"http://127.0.0.1:{args.port}"
+    env = dict(os.environ)
+    src = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{env['PYTHONPATH']}" if env.get("PYTHONPATH") else str(src)
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            str(args.port),
+            "--workers",
+            str(args.workers),
+            "--ledger",
+            str(workdir / "ledger.jsonl"),
+            "--artifact-dir",
+            str(workdir / "artifacts"),
+            "--access-log",
+            str(access_log),
+        ],
+        env=env,
+        cwd=workdir,
+    )
+    failures: list[str] = []
+    try:
+        if not wait_healthy(base, time.monotonic() + 60):
+            print("error: server never became healthy", file=sys.stderr)
+            return 2
+
+        first_headers, first_body = post_run(base, TRACE_REQUEST)
+        dispatches_after_miss = (get(base, "/status")["pool"] or {}).get("dispatches", 0)
+        second_headers, second_body = post_run(base, TRACE_REQUEST)
+        dispatches_after_hit = (get(base, "/status")["pool"] or {}).get("dispatches", 0)
+
+        if first_headers.get("X-IoTLS-Cache") != "miss":
+            failures.append(f"first request: cache {first_headers.get('X-IoTLS-Cache')!r}, expected 'miss'")
+        if second_headers.get("X-IoTLS-Cache") != "hit":
+            failures.append(f"second request: cache {second_headers.get('X-IoTLS-Cache')!r}, expected 'hit'")
+        digest_a = first_headers.get("X-IoTLS-Manifest-Digest")
+        digest_b = second_headers.get("X-IoTLS-Manifest-Digest")
+        if not digest_a or digest_a != digest_b:
+            failures.append(f"manifest digests differ across identical requests: {digest_a} vs {digest_b}")
+        if first_body != second_body:
+            failures.append("cached stream body differs from the computed one")
+        if dispatches_after_hit != dispatches_after_miss:
+            failures.append(
+                f"cache hit dispatched work: pool dispatches {dispatches_after_miss} "
+                f"-> {dispatches_after_hit}"
+            )
+
+        distinct_headers, _ = post_run(base, OTHER_REQUEST)
+        if distinct_headers.get("X-IoTLS-Cache") != "miss":
+            failures.append("distinct request did not miss the cache")
+
+        stream_path = workdir / "stream-body.jsonl"
+        stream_path.write_bytes(first_body)
+        for problem in validate_trace_stream(stream_path):
+            failures.append(f"trace stream: {problem}")
+
+        status = get(base, "/status")
+        print(
+            "serve smoke:",
+            json.dumps({"cache": status["cache"], "pool": status["pool"], "resident": status["resident"]}),
+        )
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+    for problem in validate_access_log(access_log):
+        failures.append(f"access log: {problem}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"serve smoke ok (access log: {access_log})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,14 @@ One validator per published schema, with auto-detection by content:
   digest; bench entries carry benchmark + numeric seconds; error
   entries carry a typed error),
 * ``iotls-bench-trend/1`` -- a trend-report JSON document (as written
-  by ``iotls runs trend --json`` / ``iotls bench-report``).
+  by ``iotls runs trend --json`` / ``iotls bench-report``),
+* ``iotls-trace-stream/1`` -- a streamed trace artifact (``iotls trace
+  --stream-out`` or an ``iotls serve`` trace body): schema header
+  first, one record/revocation-event object per line, exactly one
+  trailing summary whose counts match the lines,
+* ``iotls-serve-access/1`` -- the fleet service's access log: header
+  first, strictly seq-monotonic events, at most one trailing summary
+  (absent while the server is still running).
 
 CI runs this over artifacts its smoke steps produce so the contracts
 external consumers depend on are pinned, not aspirational.
@@ -34,6 +41,8 @@ from typing import Any
 HEALTH_SCHEMA = "iotls-health-stream/1"
 LEDGER_SCHEMA = "iotls-run-ledger/1"
 TREND_SCHEMA = "iotls-bench-trend/1"
+TRACE_SCHEMA = "iotls-trace-stream/1"
+ACCESS_SCHEMA = "iotls-serve-access/1"
 
 HEARTBEAT_REQUIRED = ("seq", "label", "done", "elapsed_seconds", "rate", "ewma_rate")
 SUMMARY_REQUIRED = ("label", "done", "seconds", "rate", "heartbeats")
@@ -204,10 +213,128 @@ def validate_bench_trend(path: Path) -> list[str]:
     return errors
 
 
+def validate_trace_stream(path: Path) -> list[str]:
+    """Contract violations in a streamed trace artifact (empty = valid)."""
+    try:
+        lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line]
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not lines:
+        return ["stream is empty"]
+    errors: list[str] = []
+    records = revocations = 0
+    summary: dict[str, Any] | None = None
+    summary_line = None
+    for number, line in enumerate(lines, start=1):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: not valid JSON ({exc})")
+            continue
+        if not isinstance(entry, dict):
+            errors.append(f"line {number}: entry is not an object")
+            continue
+        if number == 1:
+            if entry.get("schema") != TRACE_SCHEMA:
+                errors.append(
+                    f"line 1: schema {entry.get('schema')!r}, "
+                    f"expected {TRACE_SCHEMA!r}"
+                )
+            if not isinstance(entry.get("metadata"), dict):
+                errors.append("line 1: header needs a 'metadata' object")
+            continue
+        if "record" in entry:
+            records += 1
+        elif "revocation_event" in entry:
+            revocations += 1
+        elif "summary" in entry:
+            if summary is not None:
+                errors.append(f"line {number}: second summary line")
+            summary = entry["summary"]
+            summary_line = number
+        else:
+            errors.append(
+                f"line {number}: expected a record/revocation_event/summary line"
+            )
+    if summary is None:
+        errors.append("no summary line (stream truncated?)")
+    else:
+        if summary_line != len(lines):
+            errors.append(f"line {summary_line}: summary is not the final line")
+        declared = summary.get("flow_records")
+        if declared != records:
+            errors.append(
+                f"summary declares {declared} flow_records, stream holds {records}"
+            )
+        declared = summary.get("revocation_events")
+        if declared != revocations:
+            errors.append(
+                f"summary declares {declared} revocation_events, "
+                f"stream holds {revocations}"
+            )
+    return errors
+
+
+def validate_access_log(path: Path) -> list[str]:
+    """Contract violations in a serve access log (empty = valid)."""
+    try:
+        lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line]
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    if not lines:
+        return ["access log is empty"]
+    errors: list[str] = []
+    last_seq = 0
+    summaries = 0
+    for number, line in enumerate(lines, start=1):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {number}: not valid JSON ({exc})")
+            continue
+        if not isinstance(entry, dict):
+            errors.append(f"line {number}: entry is not an object")
+            continue
+        kind = entry.get("kind")
+        if number == 1:
+            if kind != "header":
+                errors.append("line 1: access log must start with a header")
+            elif entry.get("schema") != ACCESS_SCHEMA:
+                errors.append(
+                    f"line 1: schema {entry.get('schema')!r}, "
+                    f"expected {ACCESS_SCHEMA!r}"
+                )
+            continue
+        if kind == "event":
+            for key in ("seq", "event", "elapsed_seconds"):
+                if key not in entry:
+                    errors.append(f"line {number}: event missing {key!r}")
+            seq = entry.get("seq")
+            if isinstance(seq, int):
+                if seq <= last_seq:
+                    errors.append(
+                        f"line {number}: seq {seq} not strictly after {last_seq}"
+                    )
+                last_seq = seq
+        elif kind == "summary":
+            summaries += 1
+            if number != len(lines):
+                errors.append(f"line {number}: summary is not the final line")
+            if not isinstance(entry.get("counts"), dict):
+                errors.append(f"line {number}: summary needs a 'counts' object")
+        else:
+            errors.append(f"line {number}: unknown kind {kind!r}")
+    if summaries > 1:
+        errors.append(f"{summaries} summary lines (expected at most 1)")
+    return errors
+
+
 VALIDATORS = {
     HEALTH_SCHEMA: validate_health_stream,
     LEDGER_SCHEMA: validate_run_ledger,
     TREND_SCHEMA: validate_bench_trend,
+    TRACE_SCHEMA: validate_trace_stream,
+    ACCESS_SCHEMA: validate_access_log,
 }
 
 
