@@ -48,7 +48,10 @@ __all__ = [
     "measure_capture",
 ]
 
-EXPECTATIONS_SCHEMA = "iotls-paper-expectations/1"
+from ..telemetry.schemas import (  # registered in repro.telemetry.schemas
+    DRIFT_REPORT_SCHEMA,
+    EXPECTATIONS_SCHEMA,
+)
 
 #: The packaged ground truth, seeded from the paper's Tables 1-9 and
 #: Figures 1-5 (paper values as recorded in EXPERIMENTS.md, expected
@@ -127,7 +130,7 @@ class DriftReport:
 
     def to_dict(self) -> dict[str, Any]:
         return {
-            "schema": "iotls-drift-report/1",
+            "schema": DRIFT_REPORT_SCHEMA,
             "ok": self.ok,
             "summary": {
                 "cells": len(self.cells),

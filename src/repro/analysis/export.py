@@ -45,8 +45,9 @@ __all__ = [
     "write_json",
 ]
 
-#: Schema tag on the header line of a streamed trace artifact.
-STREAM_SCHEMA = "iotls-trace-stream/1"
+#: Schema tag on the header line of a streamed trace artifact
+#: (registered centrally in repro.telemetry.schemas).
+from ..telemetry.schemas import TRACE_STREAM_SCHEMA as STREAM_SCHEMA  # noqa: E402
 
 
 # ----------------------------------------------------------------------

@@ -170,7 +170,7 @@ def add_run_options(parser: argparse.ArgumentParser, command: str) -> None:
             "--heartbeat-out",
             metavar="PATH",
             help="write the machine-readable run-health stream as JSONL "
-            "(schema iotls-health-stream/1; implies --telemetry)",
+            f"(schema {telemetry.HEALTH_STREAM_SCHEMA}; implies --telemetry)",
         )
         parser.add_argument(
             "--heartbeat-interval",
@@ -186,7 +186,7 @@ def add_run_options(parser: argparse.ArgumentParser, command: str) -> None:
             "--ledger",
             metavar="PATH",
             default=None,
-            help="append this run's iotls-run-ledger/1 entry to PATH "
+            help=f"append this run's {telemetry.LEDGER_SCHEMA} entry to PATH "
             f"(default {telemetry.DEFAULT_LEDGER_PATH}); query it with `iotls runs`",
         )
         parser.add_argument(
@@ -391,7 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_report.add_argument(
         "--slo",
         metavar="PATH",
-        help="evaluate the SLO policy file (tools/slo.json schema iotls-slo/1); "
+        help=f"evaluate the SLO policy file (tools/slo.json schema {telemetry.SLO_SCHEMA}); "
         "a failing blocking SLO exits 1",
     )
     add_run_options(bench_report, "bench-report")
@@ -434,7 +434,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--access-log",
         metavar="PATH",
-        help="write the iotls-serve-access/1 access log as JSONL",
+        help=f"write the {telemetry.ACCESS_LOG_SCHEMA} access log as JSONL",
     )
     serve.add_argument(
         "--heartbeat-interval",
@@ -506,7 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also evaluate the SLO policy against the ledger's bench entries",
     )
     runs_trend.add_argument(
-        "--json", metavar="PATH", help="write the iotls-bench-trend/1 report as JSON"
+        "--json", metavar="PATH", help=f"write the {telemetry.TREND_SCHEMA} report as JSON"
     )
 
     runs_lookup = runs_sub.add_parser(

@@ -17,7 +17,8 @@ callers use :func:`run_lint`.  The rule catalog lives in
 from .baseline import Baseline, BaselineEntry
 from .cli import build_parser, configure_parser, main, run_from_args
 from .engine import DEFAULT_BASELINE, DEFAULT_PATHS, run_lint
-from .registry import FAMILIES, Rule, Violation, all_rules, select_rules
+from .project import ProjectGraph, build_graph
+from .registry import FAMILIES, SCOPES, Rule, Violation, all_rules, select_rules
 from .reporters import FORMATS, LintReport, render
 
 __all__ = [
@@ -28,9 +29,12 @@ __all__ = [
     "FAMILIES",
     "FORMATS",
     "LintReport",
+    "ProjectGraph",
     "Rule",
+    "SCOPES",
     "Violation",
     "all_rules",
+    "build_graph",
     "build_parser",
     "configure_parser",
     "main",

@@ -21,7 +21,8 @@ __all__ = ["main", "build_parser", "configure_parser", "run_from_args"]
 
 DESCRIPTION = (
     "reprolint: AST-based invariant checks for determinism, "
-    "telemetry discipline, API hygiene, and exception hygiene"
+    "telemetry discipline, API hygiene, exception hygiene, and "
+    "(--whole-program) concurrency/stream-contract discipline"
 )
 
 
@@ -75,6 +76,20 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="build the project graph and run the project-scope rules "
+        "(RL04x concurrency family, RL022 stream contracts)",
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        type=int,
+        default=None,
+        help="parallelize the per-file pass over N processes "
+        "(default: serial; output is identical either way)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog (code, family, rationale) and exit",
@@ -97,9 +112,14 @@ def run_from_args(args: argparse.Namespace) -> int:
     """Execute a lint run from a parsed namespace (shared entry body)."""
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.code} [{rule.family}] {rule.name}")
+            scope = " (whole-program)" if rule.scope == "project" else ""
+            print(f"{rule.code} [{rule.family}]{scope} {rule.name}")
             print(f"    {rule.rationale}")
         return 0
+
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     root = Path(args.root) if args.root else Path.cwd()
     paths = [Path(p) for p in args.paths] or None
@@ -127,6 +147,8 @@ def run_from_args(args: argparse.Namespace) -> int:
             baseline=baseline,
             select=_codes(args.select),
             ignore=_codes(args.ignore),
+            whole_program=args.whole_program,
+            jobs=args.jobs,
         )
     except ValueError as exc:  # unknown rule code in --select/--ignore
         print(f"error: {exc}", file=sys.stderr)

@@ -1,7 +1,22 @@
-"""The lint driver: discover, parse, check, baseline, report."""
+"""The lint driver: discover, parse, check, baseline, report.
+
+Two passes:
+
+* the **module pass** runs every ``module``-scope rule over each file
+  independently -- embarrassingly parallel, so ``jobs > 1`` fans it out
+  over a spawn-context process pool (spawn matches the repo's
+  multiprocessing convention and stays fork-safety-agnostic),
+* the **whole-program pass** (``whole_program=True``) parses every file
+  in-process, builds the :class:`~repro.lint.project.ProjectGraph`, and
+  runs the ``project``-scope rules (RL04x, RL022) over it.
+
+Output is deterministic regardless of job count: findings are sorted by
+``(path, line, col, code)`` after both passes, so CI diffs stay stable.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
 from pathlib import Path
 
 from .baseline import Baseline
@@ -19,6 +34,35 @@ DEFAULT_PATHS = ("src", "tools")
 DEFAULT_BASELINE = "tools/lint_baseline.json"
 
 
+def _syntax_violation(path: Path, root: Path, exc: SyntaxError) -> Violation:
+    try:
+        relative = path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        relative = path.as_posix()
+    return Violation(
+        code="RL000",
+        path=relative,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1),
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _check_one_file(args: tuple[str, str, tuple[str, ...]]) -> list[dict]:
+    """Pool worker: module-scope rules over one file (picklable payload)."""
+    path_str, root_str, codes = args
+    path, root = Path(path_str), Path(root_str)
+    rules = [r for r in select_rules(select=list(codes)) if r.scope == "module"]
+    try:
+        module = parse_module(path, root)
+    except SyntaxError as exc:
+        return [_syntax_violation(path, root, exc).to_dict()]
+    found: list[Violation] = []
+    for rule in rules:
+        found.extend(rule.run(module))
+    return [violation.to_dict() for violation in found]
+
+
 def run_lint(
     paths: list[str | Path] | None = None,
     *,
@@ -26,6 +70,8 @@ def run_lint(
     baseline: Baseline | None = None,
     select: list[str] | None = None,
     ignore: list[str] | None = None,
+    whole_program: bool = False,
+    jobs: int | None = None,
 ) -> LintReport:
     """Run every selected rule over every Python file under ``paths``.
 
@@ -34,34 +80,52 @@ def run_lint(
     the current directory.  A :class:`SyntaxError` in a checked file is
     surfaced as an ``RL000`` violation rather than an exception, so one
     broken file cannot hide findings in the rest of the tree.
+
+    ``whole_program=True`` additionally builds the project graph and
+    runs the ``project``-scope rules; ``jobs=N`` (N > 1) parallelizes
+    the per-file module pass across a spawn process pool with output
+    identical to a serial run.
     """
     root = Path(root) if root is not None else Path.cwd()
     targets = [Path(p) for p in (paths or [root / part for part in DEFAULT_PATHS])]
     rules = select_rules(select, ignore)
+    module_rules = [r for r in rules if r.scope == "module"]
+    project_rules = [r for r in rules if r.scope == "project"] if whole_program else []
 
+    files = list(iter_python_files(targets))
     violations: list[Violation] = []
-    files_checked = 0
-    for path in iter_python_files(targets):
-        files_checked += 1
-        try:
-            module = parse_module(path, root)
-        except SyntaxError as exc:
+    contexts = []
+
+    if jobs is not None and jobs > 1 and files and module_rules:
+        codes = tuple(r.code for r in module_rules)
+        work = [(str(path), str(root), codes) for path in files]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=min(jobs, len(work))) as pool:
+            for payload in pool.map(_check_one_file, work):
+                violations.extend(Violation(**item) for item in payload)
+        if whole_program:
+            for path in files:
+                try:
+                    contexts.append(parse_module(path, root))
+                except SyntaxError:
+                    continue  # already reported as RL000 by the worker
+    else:
+        for path in files:
             try:
-                relative = path.resolve().relative_to(root.resolve()).as_posix()
-            except ValueError:
-                relative = path.as_posix()
-            violations.append(
-                Violation(
-                    code="RL000",
-                    path=relative,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1),
-                    message=f"file does not parse: {exc.msg}",
-                )
-            )
-            continue
-        for rule in rules:
-            violations.extend(rule.run(module))
+                module = parse_module(path, root)
+            except SyntaxError as exc:
+                violations.append(_syntax_violation(path, root, exc))
+                continue
+            contexts.append(module)
+            for rule in module_rules:
+                violations.extend(rule.run(module))
+
+    if project_rules:
+        from .project import build_graph
+
+        graph = build_graph(contexts)
+        for rule in project_rules:
+            violations.extend(rule.check(graph))
 
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     if baseline is None:
@@ -76,5 +140,5 @@ def run_lint(
         stale_baseline=stale,
         unjustified_baseline=unjustified,
         rules=rules,
-        files_checked=files_checked,
+        files_checked=len(files),
     )

@@ -11,10 +11,19 @@ to violations, registered under a stable code (``RL001``, ...) and a
                             never in stream paths; spans always close,
 * ``api``                -- no internal callers of deprecated names;
                             the public surface matches its baseline,
-* ``exceptions``         -- no bare or silently swallowed exceptions.
+* ``exceptions``         -- no bare or silently swallowed exceptions,
+* ``concurrency``        -- lock discipline, async/blocking separation,
+                            spawn-safe worker payloads, stream-schema
+                            contracts (the whole-program RL04x/RL022
+                            pass over the project graph).
 
 Rules carry their rationale so reports and ``--list-rules`` can say
 *why* a finding matters, not just where it is.
+
+Two rule *scopes* exist: ``module`` rules see one parsed file
+(:class:`ModuleContext`); ``project`` rules see the whole
+:class:`~repro.lint.project.ProjectGraph` and only run under
+``--whole-program``.
 """
 
 from __future__ import annotations
@@ -25,10 +34,21 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .walker import ModuleContext
 
-__all__ = ["Violation", "Rule", "rule", "all_rules", "select_rules", "FAMILIES"]
+__all__ = [
+    "Violation",
+    "Rule",
+    "rule",
+    "all_rules",
+    "select_rules",
+    "FAMILIES",
+    "SCOPES",
+]
 
-#: The four invariant classes reprolint enforces.
-FAMILIES = ("determinism", "telemetry", "api", "exceptions")
+#: The invariant classes reprolint enforces.
+FAMILIES = ("determinism", "telemetry", "api", "exceptions", "concurrency")
+
+#: Rule scopes: per-file AST matching vs. whole-program graph analysis.
+SCOPES = ("module", "project")
 
 
 @dataclass(frozen=True)
@@ -43,6 +63,10 @@ class Violation:
     #: The stripped source line -- the baseline's content-addressed key,
     #: stable under unrelated edits that only shift line numbers.
     snippet: str = ""
+    #: End of the offending expression (0 = unknown); lets the github
+    #: reporter highlight the exact span instead of just the line.
+    end_line: int = 0
+    end_col: int = 0
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -55,6 +79,8 @@ class Violation:
             "col": self.col,
             "message": self.message,
             "snippet": self.snippet,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
         }
 
 
@@ -66,7 +92,11 @@ class Rule:
     name: str
     family: str
     rationale: str
-    check: Callable[["ModuleContext"], Iterator[Violation]] = field(repr=False)
+    check: Callable[..., Iterator[Violation]] = field(repr=False)
+    #: ``module`` rules take a :class:`ModuleContext`; ``project`` rules
+    #: take a :class:`~repro.lint.project.ProjectGraph` and only run
+    #: under ``--whole-program``.
+    scope: str = "module"
 
     def run(self, module: "ModuleContext") -> Iterator[Violation]:
         return self.check(module)
@@ -76,16 +106,23 @@ class Rule:
 _RULES: dict[str, Rule] = {}
 
 
-def rule(code: str, name: str, family: str, rationale: str):
+def rule(code: str, name: str, family: str, rationale: str, *, scope: str = "module"):
     """Register ``check`` under ``code``; returns the function unchanged."""
     if family not in FAMILIES:
         raise ValueError(f"unknown rule family {family!r} for {code}")
+    if scope not in SCOPES:
+        raise ValueError(f"unknown rule scope {scope!r} for {code}")
 
-    def decorator(check: Callable[["ModuleContext"], Iterator[Violation]]):
+    def decorator(check: Callable[..., Iterator[Violation]]):
         if code in _RULES:
             raise ValueError(f"duplicate rule code {code}")
         _RULES[code] = Rule(
-            code=code, name=name, family=family, rationale=rationale, check=check
+            code=code,
+            name=name,
+            family=family,
+            rationale=rationale,
+            check=check,
+            scope=scope,
         )
         return check
 
@@ -94,7 +131,10 @@ def rule(code: str, name: str, family: str, rationale: str):
 
 def all_rules() -> list[Rule]:
     """Every registered rule, in code order."""
-    from . import rules as _rules  # noqa: F401  (registration side effect)
+    # Imported for their registration side effects.
+    from . import concurrency as _concurrency  # noqa: F401
+    from . import contracts as _contracts  # noqa: F401
+    from . import rules as _rules  # noqa: F401
 
     return [_RULES[code] for code in sorted(_RULES)]
 

@@ -99,9 +99,13 @@ def _render_github(report: LintReport) -> str:
     lines = []
     for violation in report.violations:
         message = _escape_github(violation.message)
+        span = ""
+        if violation.end_line:
+            span = f",endLine={violation.end_line},endColumn={violation.end_col}"
         lines.append(
             f"::error file={violation.path},line={violation.line},"
-            f"col={violation.col},title=reprolint {violation.code}::{message}"
+            f"col={violation.col}{span},"
+            f"title=reprolint {violation.code}::{message}"
         )
     for entry in report.stale_baseline:
         lines.append(

@@ -124,6 +124,8 @@ def _violation(
         col=getattr(node, "col_offset", 0) + 1,
         message=message,
         snippet=module.snippet(line),
+        end_line=getattr(node, "end_lineno", None) or 0,
+        end_col=(getattr(node, "end_col_offset", None) or -1) + 1,
     )
 
 

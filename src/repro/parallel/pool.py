@@ -82,6 +82,10 @@ class WarmWorkerPool:
         #: plus imap item waits).  Monotonic-clock accounting for the
         #: run ledger's pool stats; never feeds a manifest.
         self.dispatch_seconds = 0.0
+        #: Several serve executor threads dispatch onto one session pool
+        #: concurrently (Pool itself is thread-safe); the counters above
+        #: need the same protection or concurrent += updates lose bumps.
+        self._stats_lock = threading.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -89,23 +93,29 @@ class WarmWorkerPool:
         self, worker_fn: Callable[[Task], Result], tasks: Sequence[Task]
     ) -> list[Result]:
         """``Pool.map`` on the warm processes; results in task order."""
-        self.batches += 1
-        self.tasks_dispatched += len(tasks)
+        with self._stats_lock:
+            self.batches += 1
+            self.tasks_dispatched += len(tasks)
         started = perf_counter()
         try:
             return self._pool.map(worker_fn, tasks)
         finally:
-            self.dispatch_seconds += perf_counter() - started
+            elapsed = perf_counter() - started
+            with self._stats_lock:
+                self.dispatch_seconds += elapsed
 
     def imap(
         self, worker_fn: Callable[[Task], Result], tasks: Sequence[Task]
     ) -> Iterator[Result]:
         """``Pool.imap`` on the warm processes; yields in task order."""
-        self.batches += 1
-        self.tasks_dispatched += len(tasks)
+        with self._stats_lock:
+            self.batches += 1
+            self.tasks_dispatched += len(tasks)
         started = perf_counter()
         iterator = self._pool.imap(worker_fn, tasks, chunksize=1)
-        self.dispatch_seconds += perf_counter() - started
+        elapsed = perf_counter() - started
+        with self._stats_lock:
+            self.dispatch_seconds += elapsed
 
         def _timed() -> Iterator[Result]:
             # Only the time spent *waiting* on the pool counts as
@@ -116,9 +126,13 @@ class WarmWorkerPool:
                 try:
                     item = next(iterator)
                 except StopIteration:
-                    self.dispatch_seconds += perf_counter() - begin
+                    waited = perf_counter() - begin
+                    with self._stats_lock:
+                        self.dispatch_seconds += waited
                     return
-                self.dispatch_seconds += perf_counter() - begin
+                waited = perf_counter() - begin
+                with self._stats_lock:
+                    self.dispatch_seconds += waited
                 yield item
 
         return _timed()
@@ -132,14 +146,15 @@ class WarmWorkerPool:
         must leave it unchanged), published under the name the serve
         acceptance contract uses.
         """
-        return {
-            "workers": self.workers,
-            "batches": self.batches,
-            "tasks_dispatched": self.tasks_dispatched,
-            "dispatches": self.tasks_dispatched,
-            "reused_dispatches": max(0, self.tasks_dispatched - self.workers),
-            "dispatch_seconds": round(self.dispatch_seconds, 4),
-        }
+        with self._stats_lock:
+            return {
+                "workers": self.workers,
+                "batches": self.batches,
+                "tasks_dispatched": self.tasks_dispatched,
+                "dispatches": self.tasks_dispatched,
+                "reused_dispatches": max(0, self.tasks_dispatched - self.workers),
+                "dispatch_seconds": round(self.dispatch_seconds, 4),
+            }
 
     def close(self) -> None:
         if not self._closed:

@@ -66,8 +66,8 @@ from .http import (
 
 __all__ = ["ServeConfig", "FleetService", "serve"]
 
-#: Schema tag of the ``GET /status`` document.
-STATUS_SCHEMA = "iotls-serve-status/1"
+#: Schema tag of the ``GET /status`` document (central registry).
+from ..telemetry.schemas import STATUS_SCHEMA  # noqa: E402
 
 #: File-read chunk size for streamed trace bodies.
 _CHUNK_BYTES = 64 * 1024
@@ -563,18 +563,23 @@ class FleetService:
     ) -> None:
         """Chunk a stored ``iotls-trace-stream/1`` body down the wire."""
         await send_chunked_header(writer, 200, headers=headers)
-        with path.open("rb") as handle:
+        handle = await asyncio.to_thread(path.open, "rb")
+        try:
             while True:
                 chunk = await asyncio.to_thread(handle.read, _CHUNK_BYTES)
                 if not chunk:
                     break
                 await send_chunk(writer, chunk)
+        finally:
+            await asyncio.to_thread(handle.close)
         await finish_chunked(writer)
 
 
 async def serve(config: ServeConfig = ServeConfig()) -> None:
     """Start a fleet service and run until cancelled (the CLI entry)."""
-    service = FleetService(config)
+    # Constructing the service opens the access log on disk, so keep
+    # even that first touch of the filesystem off the event loop.
+    service = await asyncio.to_thread(FleetService, config)
     await service.start()
     print(
         f"iotls serve: listening on http://{config.host}:{service.port} "

@@ -88,6 +88,20 @@ from .provenance import (
     manifest_digest,
     write_manifest,
 )
+from .schemas import (
+    API_SURFACE_SCHEMA,
+    DRIFT_REPORT_SCHEMA,
+    EXPECTATIONS_SCHEMA,
+    PROFILE_SCHEMA,
+    STATUS_SCHEMA,
+    STREAM_SCHEMA_PREFIX,
+    TRACE_STREAM_SCHEMA,
+    StreamSchema,
+    all_schemas,
+    get_schema,
+    is_registered,
+    schema_id,
+)
 from .runtime import (
     TelemetryRuntime,
     configure,
@@ -115,11 +129,14 @@ from .tracing import NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
     "ACCESS_LOG_SCHEMA",
+    "API_SURFACE_SCHEMA",
     "AccessLog",
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_HEARTBEAT_INTERVAL",
     "DEFAULT_LEDGER_PATH",
+    "DRIFT_REPORT_SCHEMA",
+    "EXPECTATIONS_SCHEMA",
     "EventLog",
     "Gauge",
     "HEALTH_STREAM_SCHEMA",
@@ -130,6 +147,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PROFILE_SCHEMA",
     "PathStat",
     "Profiler",
     "ProgressReporter",
@@ -138,14 +156,19 @@ __all__ = [
     "ResourceSnapshot",
     "SLO_SCHEMA",
     "SNAPSHOT_SCHEMA",
+    "STATUS_SCHEMA",
+    "STREAM_SCHEMA_PREFIX",
     "Slo",
     "SloPolicyError",
     "Span",
+    "StreamSchema",
+    "TRACE_STREAM_SCHEMA",
     "TREND_SCHEMA",
     "TelemetryRuntime",
     "Throttle",
     "TraceContext",
     "Tracer",
+    "all_schemas",
     "append_entry",
     "artifact_digest",
     "artifacts_live",
@@ -156,12 +179,14 @@ __all__ = [
     "find_entry",
     "from_history_row",
     "gc_entries",
+    "get_schema",
     "host_date",
     "host_fingerprint",
     "host_key",
     "configure",
     "deterministic_metrics",
     "evaluate_slos",
+    "is_registered",
     "ledger_trend",
     "load_ledger",
     "load_slo_policy",
@@ -175,6 +200,7 @@ __all__ = [
     "render_trend_report",
     "render_verdicts",
     "rewrite_ledger",
+    "schema_id",
     "tracemalloc_holds",
     "trend_report",
     "write_manifest",

@@ -30,7 +30,7 @@ __all__ = [
     "write_snapshot",
 ]
 
-SNAPSHOT_SCHEMA = "iotls-telemetry/1"
+from .schemas import SNAPSHOT_SCHEMA  # registered in repro.telemetry.schemas
 
 
 # ----------------------------------------------------------------------

@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 #: Schema tag of the ``resources`` section in run summaries.
-RESOURCE_SUMMARY_SCHEMA = "iotls-resources/1"
+from .schemas import RESOURCE_SUMMARY_SCHEMA  # noqa: E402
 
 # ---------------------------------------------------------------------------
 # Reference-counted tracemalloc ownership (process-global state).

@@ -72,8 +72,8 @@ __all__ = [
     "rewrite_ledger",
 ]
 
-#: Schema tag every ledger line declares.
-LEDGER_SCHEMA = "iotls-run-ledger/1"
+#: Schema tag every ledger line declares (see repro.telemetry.schemas).
+from .schemas import LEDGER_SCHEMA  # noqa: E402
 
 #: Repo/CWD-relative default ledger location (``--ledger`` overrides).
 DEFAULT_LEDGER_PATH = ".iotls/ledger.jsonl"

@@ -42,7 +42,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["PathStat", "Profiler", "render_hot_table"]
 
-PROFILE_SCHEMA = "iotls-profile/1"
+from .schemas import PROFILE_SCHEMA  # registered in repro.telemetry.schemas
 
 #: Span names that root one worker's whole shard of work.  Their
 #: cumulative time is the shard wall time, and on merge the worker's

@@ -50,11 +50,9 @@ __all__ = [
     "render_progress_line",
 ]
 
-#: Schema tag of the machine-readable health stream (``--heartbeat-out``).
-HEALTH_STREAM_SCHEMA = "iotls-health-stream/1"
-
-#: Schema tag of the fleet service's access log.
-ACCESS_LOG_SCHEMA = "iotls-serve-access/1"
+# Schema tags of the health stream (``--heartbeat-out``) and the fleet
+# service's access log, registered centrally in repro.telemetry.schemas.
+from .schemas import ACCESS_LOG_SCHEMA, HEALTH_STREAM_SCHEMA  # noqa: E402
 
 #: Default seconds between heartbeat emissions.
 DEFAULT_HEARTBEAT_INTERVAL = 1.0

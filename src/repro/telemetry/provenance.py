@@ -56,7 +56,7 @@ __all__ = [
     "write_manifest",
 ]
 
-MANIFEST_SCHEMA = "iotls-manifest/1"
+from .schemas import MANIFEST_SCHEMA  # registered in repro.telemetry.schemas
 
 #: blake2s digest length (hex chars = 2x this) used for every manifest
 #: digest -- the same primitive the pcap exporter uses for addressing.

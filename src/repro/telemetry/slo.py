@@ -43,11 +43,9 @@ __all__ = [
     "trend_report",
 ]
 
-#: Schema tag the policy file must declare.
-SLO_SCHEMA = "iotls-slo/1"
-
-#: Schema tag of the trend report document.
-TREND_SCHEMA = "iotls-bench-trend/1"
+# Schema tags of the policy file and the trend report document,
+# registered centrally in repro.telemetry.schemas.
+from .schemas import SLO_SCHEMA, TREND_SCHEMA  # noqa: E402
 
 _OPS = {
     "<=": lambda value, threshold: value <= threshold,

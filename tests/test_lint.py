@@ -384,9 +384,25 @@ class TestEngine:
     def test_rule_catalog_covers_all_families(self):
         rules = all_rules()
         assert {rule.family for rule in rules} == {
-            "determinism", "telemetry", "api", "exceptions"
+            "determinism", "telemetry", "api", "exceptions", "concurrency"
         }
         assert len(rules) >= 8
+
+    def test_project_rules_only_run_whole_program(self, tmp_path):
+        """A project-scope rule stays silent without whole_program=True."""
+        source = (
+            "import threading\n"
+            "_L = threading.Lock()\n"
+            "G = 0\n"
+            "def w():\n"
+            "    global G\n"
+            "    G += 1\n"
+            "threading.Thread(target=w).start()\n"
+        )
+        plain = lint_source(tmp_path, source, select=["RL040"])
+        assert codes(plain) == []
+        whole = lint_source(tmp_path, source, select=["RL040"], whole_program=True)
+        assert codes(whole) == ["RL040"]
 
     def test_repo_is_lint_clean_with_committed_baseline(self):
         """The acceptance gate: HEAD has no active violations."""
@@ -399,6 +415,34 @@ class TestEngine:
         assert report.ok, [v.to_dict() for v in report.violations]
         assert not report.stale_baseline, [e.to_dict() for e in report.stale_baseline]
         assert not report.unjustified_baseline
+
+    def test_repo_is_whole_program_clean_at_head(self):
+        """The RL04x/RL022 acceptance gate: the graph pass finds nothing
+        new at HEAD (true findings were fixed in serve/parallel, not
+        baselined)."""
+        baseline = Baseline.load(REPO_ROOT / "tools" / "lint_baseline.json")
+        report = run_lint(
+            [REPO_ROOT / "src", REPO_ROOT / "tools"],
+            root=REPO_ROOT,
+            baseline=baseline,
+            whole_program=True,
+        )
+        assert report.ok, [v.to_dict() for v in report.violations]
+        project_codes = {"RL022", "RL040", "RL041", "RL042", "RL043"}
+        assert not [
+            v for v in report.suppressed if v.code in project_codes
+        ], "project-scope findings must be fixed, not baselined"
+
+    def test_jobs_output_matches_serial(self, tmp_path):
+        """--jobs N must not change findings or their order."""
+        (tmp_path / "a.py").write_text("import time\nnow = time.time()\n")
+        (tmp_path / "b.py").write_text("import random\nr = random.Random()\n")
+        serial = run_lint([tmp_path], root=tmp_path)
+        parallel = run_lint([tmp_path], root=tmp_path, jobs=2)
+        assert [v.to_dict() for v in serial.violations] == [
+            v.to_dict() for v in parallel.violations
+        ]
+        assert serial.files_checked == parallel.files_checked == 2
 
 
 # ----------------------------------------------------------------------
@@ -471,7 +515,10 @@ class TestReporters:
         assert payload["ok"] is False
         assert payload["files_checked"] == 1
         [violation] = payload["violations"]
-        assert set(violation) == {"code", "path", "line", "col", "message", "snippet"}
+        assert set(violation) == {
+            "code", "path", "line", "col", "message", "snippet",
+            "end_line", "end_col",
+        }
         assert violation["code"] == "RL002"
         assert violation["line"] == 2
         assert payload["rules"]["RL002"]["family"] == "determinism"
@@ -483,6 +530,14 @@ class TestReporters:
         assert "::error file=snippet.py,line=2," in text
         assert "title=reprolint RL002::" in text
         assert "::notice title=reprolint::" in text
+
+    def test_github_annotations_carry_expression_span(self, failing_report):
+        """endLine/endColumn highlight the offending expression."""
+        [violation] = failing_report.violations
+        assert violation.end_line == 2
+        assert violation.end_col > violation.col
+        text = render(failing_report, "github")
+        assert f",endLine={violation.end_line},endColumn={violation.end_col}," in text
 
     def test_human_summary(self, failing_report):
         text = render(failing_report, "human")
@@ -597,3 +652,404 @@ class TestFixedViolations:
             select=["RL002"],
         )
         assert report.ok, [v.to_dict() for v in report.violations]
+
+
+# ----------------------------------------------------------------------
+# Whole-program pass 1: the project graph
+# ----------------------------------------------------------------------
+def write_mini_package(tmp_path: Path) -> Path:
+    """A fixture package with known import/call/thread-entry edges."""
+    pkg = tmp_path / "src" / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("from .util import helper\n")
+    (pkg / "util.py").write_text(
+        "import threading\n"
+        "\n"
+        "GUARD = threading.Lock()\n"
+        "\n"
+        "\n"
+        "def helper():\n"
+        "    return leaf()\n"
+        "\n"
+        "\n"
+        "def leaf():\n"
+        "    return 1\n"
+    )
+    (pkg / "app.py").write_text(
+        "import asyncio\n"
+        "import threading\n"
+        "\n"
+        "from . import util\n"
+        "from pkg import helper\n"
+        "\n"
+        "\n"
+        "class Service:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "\n"
+        "    def start(self):\n"
+        "        threading.Thread(target=self._run).start()\n"
+        "\n"
+        "    def _run(self):\n"
+        "        return util.leaf()\n"
+        "\n"
+        "\n"
+        "async def spawn():\n"
+        "    return await asyncio.to_thread(helper)\n"
+    )
+    return pkg
+
+
+class TestProjectGraph:
+    @pytest.fixture()
+    def graph(self, tmp_path):
+        from repro.lint.project import build_graph
+        from repro.lint.walker import iter_python_files, parse_module
+
+        pkg = write_mini_package(tmp_path)
+        contexts = [parse_module(p, tmp_path) for p in iter_python_files([pkg])]
+        return build_graph(contexts)
+
+    def test_symbol_table(self, graph):
+        assert "pkg.util.helper" in graph.functions
+        assert "pkg.util.leaf" in graph.functions
+        assert "pkg.app.Service" in graph.classes
+        assert "pkg.app.Service._run" in graph.functions
+        assert graph.functions["pkg.app.spawn"].is_async
+
+    def test_call_edges(self, graph):
+        assert "pkg.util.leaf" in graph.calls["pkg.util.helper"]
+        # `util.leaf()` resolves through the *relative* import in app.py.
+        assert "pkg.util.leaf" in graph.calls["pkg.app.Service._run"]
+
+    def test_reexport_alias_following(self, graph):
+        # `from pkg import helper` lands on the definition re-exported
+        # by pkg/__init__.py.
+        assert graph.canonical("pkg.helper") == "pkg.util.helper"
+
+    def test_thread_entries_and_reachability(self, graph):
+        # asyncio.to_thread(helper) and Thread(target=self._run).
+        assert "pkg.util.helper" in graph.thread_entries
+        assert "pkg.app.Service._run" in graph.thread_entries
+        # leaf() is not an entry itself but is reachable from both.
+        assert "pkg.util.leaf" not in graph.thread_entries
+        assert "pkg.util.leaf" in graph.thread_reachable
+
+    def test_declared_locks(self, graph):
+        assert graph.module_locks["pkg.util"] == {"GUARD"}
+        assert graph.class_locks["pkg.app.Service"] == {"_lock"}
+
+
+# ----------------------------------------------------------------------
+# Whole-program pass 2: RL040-RL043 and RL022
+# ----------------------------------------------------------------------
+def wp(tmp_path: Path, source: str, code: str) -> list[str]:
+    """Whole-program lint of one snippet, selecting a single rule."""
+    return codes(lint_source(tmp_path, source, select=[code], whole_program=True))
+
+
+class TestRL040SharedStateWithoutLock:
+    BAD = (
+        "import threading\n"
+        "_LOCK = threading.Lock()\n"
+        "COUNTER = 0\n"
+        "CACHE = {}\n"
+        "def bump(key):\n"
+        "    global COUNTER\n"
+        "    COUNTER += 1\n"
+        "    CACHE[key] = COUNTER\n"
+        "threading.Thread(target=bump).start()\n"
+    )
+
+    def test_bad_unguarded_module_global(self, tmp_path):
+        assert wp(tmp_path, self.BAD, "RL040") == ["RL040", "RL040"]
+
+    def test_good_write_under_module_lock(self, tmp_path):
+        # The pool_session pattern: every write under `with _LOCK:`.
+        source = (
+            "import threading\n"
+            "_LOCK = threading.Lock()\n"
+            "ACTIVE = None\n"
+            "def set_active(value):\n"
+            "    global ACTIVE\n"
+            "    with _LOCK:\n"
+            "        ACTIVE = value\n"
+            "threading.Thread(target=set_active).start()\n"
+        )
+        assert wp(tmp_path, source, "RL040") == []
+
+    def test_good_module_without_declared_lock_is_silent(self, tmp_path):
+        # No declared lock means no contract to enforce: the rule
+        # requires positive evidence, so this stays a non-finding.
+        source = (
+            "import threading\n"
+            "COUNTER = 0\n"
+            "def bump():\n"
+            "    global COUNTER\n"
+            "    COUNTER += 1\n"
+            "threading.Thread(target=bump).start()\n"
+        )
+        assert wp(tmp_path, source, "RL040") == []
+
+    def test_good_unreachable_function_is_silent(self, tmp_path):
+        # Same write, but nothing dispatches it onto a thread.
+        source = (
+            "import threading\n"
+            "_LOCK = threading.Lock()\n"
+            "COUNTER = 0\n"
+            "def bump():\n"
+            "    global COUNTER\n"
+            "    COUNTER += 1\n"
+        )
+        assert wp(tmp_path, source, "RL040") == []
+
+    def test_bad_unguarded_self_attribute(self, tmp_path):
+        source = (
+            "import threading\n"
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.count = 0\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self.record).start()\n"
+            "    def record(self):\n"
+            "        self.count += 1\n"
+        )
+        assert wp(tmp_path, source, "RL040") == ["RL040"]
+
+    def test_good_self_attribute_under_class_lock(self, tmp_path):
+        # The AccessLog pattern: mutation guarded by `with self._lock:`.
+        source = (
+            "import threading\n"
+            "class Log:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.count = 0\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self.record).start()\n"
+            "    def record(self):\n"
+            "        with self._lock:\n"
+            "            self.count += 1\n"
+        )
+        assert wp(tmp_path, source, "RL040") == []
+
+
+class TestRL041BlockingInEventLoop:
+    def test_bad_direct_file_io(self, tmp_path):
+        source = (
+            "from pathlib import Path\n"
+            "async def handler(path: Path):\n"
+            "    return path.read_text()\n"
+        )
+        assert wp(tmp_path, source, "RL041") == ["RL041"]
+
+    def test_bad_time_sleep(self, tmp_path):
+        source = "import time\nasync def handler():\n    time.sleep(1)\n"
+        assert wp(tmp_path, source, "RL041") == ["RL041"]
+
+    def test_bad_transitively_blocking_helper(self, tmp_path):
+        source = (
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(0.5)\n"
+            "async def handler():\n"
+            "    backoff()\n"
+        )
+        assert wp(tmp_path, source, "RL041") == ["RL041"]
+
+    def test_good_to_thread_offload(self, tmp_path):
+        # The serve/service.py pattern: the reference passed to
+        # asyncio.to_thread never executes on the loop.
+        source = (
+            "import asyncio\n"
+            "from pathlib import Path\n"
+            "async def handler(path: Path):\n"
+            "    return await asyncio.to_thread(path.read_text)\n"
+        )
+        assert wp(tmp_path, source, "RL041") == []
+
+    def test_good_nonblocking_sync_helper(self, tmp_path):
+        source = (
+            "def shape(record):\n"
+            "    return {'n': record}\n"
+            "async def handler(record):\n"
+            "    return shape(record)\n"
+        )
+        assert wp(tmp_path, source, "RL041") == []
+
+    def test_good_sync_context_not_flagged(self, tmp_path):
+        source = (
+            "from pathlib import Path\n"
+            "def loader(path: Path):\n"
+            "    return path.read_text()\n"
+        )
+        assert wp(tmp_path, source, "RL041") == []
+
+
+class TestRL042BareAcquire:
+    def test_bad_bare_acquire(self, tmp_path):
+        source = (
+            "def hold(lock):\n"
+            "    lock.acquire()\n"
+            "    return 1\n"
+        )
+        assert wp(tmp_path, source, "RL042") == ["RL042"]
+
+    def test_good_acquire_then_try_finally(self, tmp_path):
+        source = (
+            "def hold(lock):\n"
+            "    lock.acquire()\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        )
+        assert wp(tmp_path, source, "RL042") == []
+
+    def test_good_acquire_inside_guarded_try(self, tmp_path):
+        source = (
+            "def hold(lock):\n"
+            "    try:\n"
+            "        lock.acquire()\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        )
+        assert wp(tmp_path, source, "RL042") == []
+
+    def test_bad_mismatched_release_receiver(self, tmp_path):
+        source = (
+            "def hold(a, b):\n"
+            "    a.acquire()\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        b.release()\n"
+        )
+        assert wp(tmp_path, source, "RL042") == ["RL042"]
+
+
+class TestRL043SpawnUnsafeCapture:
+    def test_bad_lock_field_on_dispatched_task(self, tmp_path):
+        source = (
+            "import threading\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Task:\n"
+            "    name: str\n"
+            "    lock: threading.Lock\n"
+            "def worker(task: Task):\n"
+            "    return task.name\n"
+            "def run(pool, tasks):\n"
+            "    return pool.map(worker, tasks)\n"
+        )
+        assert wp(tmp_path, source, "RL043") == ["RL043"]
+
+    def test_bad_optional_stream_field(self, tmp_path):
+        source = (
+            "import asyncio\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Task:\n"
+            "    writer: asyncio.StreamWriter | None\n"
+            "def worker(task: Task):\n"
+            "    return task\n"
+            "def run(pool, tasks):\n"
+            "    return pool.imap(worker, tasks)\n"
+        )
+        assert wp(tmp_path, source, "RL043") == ["RL043"]
+
+    def test_good_plain_data_task(self, tmp_path):
+        # The TraceShardTask pattern: strings, ints, tuples only.
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Task:\n"
+            "    seed: str\n"
+            "    shard: int\n"
+            "    devices: tuple\n"
+            "def worker(task: Task):\n"
+            "    return task.shard\n"
+            "def run(pool, tasks):\n"
+            "    return pool.map(worker, tasks)\n"
+        )
+        assert wp(tmp_path, source, "RL043") == []
+
+    def test_good_undispatched_dataclass_ignored(self, tmp_path):
+        # A Lock field is fine on a dataclass that never crosses the
+        # spawn boundary.
+        source = (
+            "import threading\n"
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class LocalState:\n"
+            "    lock: threading.Lock\n"
+        )
+        assert wp(tmp_path, source, "RL043") == []
+
+
+class TestRL022StreamSchemaContract:
+    def _project(
+        self,
+        tmp_path: Path,
+        consumer: str,
+        *,
+        validators: str | None = "def validate_trace_stream(path):\n    return []\n",
+    ) -> LintReport:
+        """A mini repo: registry + tools/validate_streams.py + consumer."""
+        telemetry = tmp_path / "src" / "repro" / "telemetry"
+        telemetry.mkdir(parents=True)
+        (telemetry / "schemas.py").write_text(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class StreamSchema:\n"
+            "    name: str\n"
+            "    version: int\n"
+            "    validator: str | None = None\n"
+            "REGISTRY = (\n"
+            "    StreamSchema(name='trace-stream', version=1,\n"
+            "                 validator='validate_trace_stream'),\n"
+            ")\n"
+        )
+        tools = tmp_path / "tools"
+        tools.mkdir()
+        if validators is not None:
+            (tools / "validate_streams.py").write_text(validators)
+        consumer_path = tmp_path / "src" / "repro" / "consumer.py"
+        consumer_path.write_text(consumer)
+        return run_lint(
+            [tmp_path / "src", tools],
+            root=tmp_path,
+            select=["RL022"],
+            whole_program=True,
+        )
+
+    def test_bad_hardcoded_registered_id(self, tmp_path):
+        report = self._project(tmp_path, "SCHEMA = 'iotls-trace-stream/1'\n")
+        assert codes(report) == ["RL022"]
+        assert "hard-coded" in report.violations[0].message
+
+    def test_bad_unregistered_id(self, tmp_path):
+        report = self._project(tmp_path, "SCHEMA = 'iotls-mystery/9'\n")
+        assert codes(report) == ["RL022"]
+        assert "not a registered" in report.violations[0].message
+
+    def test_bad_missing_validator(self, tmp_path):
+        report = self._project(
+            tmp_path,
+            "X = 1\n",
+            validators="def validate_something_else(path):\n    return []\n",
+        )
+        assert codes(report) == ["RL022"]
+        assert "validate_trace_stream" in report.violations[0].message
+
+    def test_good_docstring_mention_is_exempt(self, tmp_path):
+        consumer = '"""Writes iotls-trace-stream/1 bodies."""\nX = 1\n'
+        assert codes(self._project(tmp_path, consumer)) == []
+
+    def test_good_imported_constant(self, tmp_path):
+        consumer = (
+            "from repro.telemetry.schemas import REGISTRY\n"
+            "SCHEMA = REGISTRY[0]\n"
+        )
+        assert codes(self._project(tmp_path, consumer)) == []

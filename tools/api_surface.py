@@ -23,6 +23,12 @@ import json
 import sys
 from pathlib import Path
 
+try:
+    from repro.telemetry.schemas import API_SURFACE_SCHEMA
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.telemetry.schemas import API_SURFACE_SCHEMA
+
 BASELINE = Path(__file__).resolve().parent / "api_surface.json"
 
 #: Packages whose ``__all__`` constitutes the public surface.
@@ -69,7 +75,7 @@ def _signature(obj) -> list[dict[str, str]] | None:
 
 
 def build_surface() -> dict:
-    surface: dict = {"schema": "iotls-api-surface/1", "modules": {}, "signatures": {}}
+    surface: dict = {"schema": API_SURFACE_SCHEMA, "modules": {}, "signatures": {}}
     for module_name in MODULES:
         module = importlib.import_module(module_name)
         surface["modules"][module_name] = sorted(module.__all__)

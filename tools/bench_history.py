@@ -33,6 +33,12 @@ import sys
 from pathlib import Path
 from typing import Any
 
+try:
+    from repro.telemetry.schemas import LEDGER_SCHEMA
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.telemetry.schemas import LEDGER_SCHEMA
+
 __all__ = ["HISTORY_FILENAME", "append_history", "git_rev", "load_history", "main"]
 
 HISTORY_FILENAME = "BENCH_history.jsonl"
@@ -121,7 +127,7 @@ def main() -> int:
     parser.add_argument(
         "--migrate",
         action="store_true",
-        help="rewrite pre-ledger rows into iotls-run-ledger/1 schema "
+        help=f"rewrite pre-ledger rows into {LEDGER_SCHEMA} schema "
         "(tagging fingerprint-less rows legacy: true)",
     )
     parser.add_argument(

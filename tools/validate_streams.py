@@ -1,24 +1,32 @@
 """Validate the repo's machine-readable stream/report contracts.
 
-One validator per published schema, with auto-detection by content:
+The schema catalog lives in :mod:`repro.telemetry.schemas` -- the
+central registry every producer imports its ``iotls-*/N`` identifier
+from.  This tool holds the *validators*: each registry entry that
+declares a ``validator`` names a function here, and the ``VALIDATORS``
+dispatch table below is built from the registry, so a schema cannot be
+published without its contract check (reprolint rule RL022 enforces the
+same pairing statically).
 
-* ``iotls-health-stream/1`` -- a ``--heartbeat-out`` run-health JSONL
-  stream: header first, strictly seq-monotonic heartbeats, exactly one
+Validated contracts (``--schema`` accepts any of them; the default is
+auto-detection from the file's first parseable record):
+
+* ``health-stream`` -- a ``--heartbeat-out`` run-health JSONL stream:
+  header first, strictly seq-monotonic heartbeats, exactly one
   trailing summary,
-* ``iotls-run-ledger/1`` -- a run-ledger JSONL store: every line a
+* ``run-ledger`` -- a run-ledger JSONL store: every line a
   self-contained entry with schema tag, known kind/status, and the
-  per-kind required fields (run entries carry command/params/config
-  digest; bench entries carry benchmark + numeric seconds; error
-  entries carry a typed error),
-* ``iotls-bench-trend/1`` -- a trend-report JSON document (as written
-  by ``iotls runs trend --json`` / ``iotls bench-report``),
-* ``iotls-trace-stream/1`` -- a streamed trace artifact (``iotls trace
-  --stream-out`` or an ``iotls serve`` trace body): schema header
-  first, one record/revocation-event object per line, exactly one
-  trailing summary whose counts match the lines,
-* ``iotls-serve-access/1`` -- the fleet service's access log: header
-  first, strictly seq-monotonic events, at most one trailing summary
-  (absent while the server is still running).
+  per-kind required fields,
+* ``bench-trend`` -- a trend-report JSON document (``iotls runs trend
+  --json`` / ``iotls bench-report``),
+* ``trace-stream`` -- a streamed trace artifact: schema header first,
+  one record/revocation-event object per line, exactly one trailing
+  summary whose counts match the lines,
+* ``serve-access`` -- the fleet service's access log: header first,
+  strictly seq-monotonic events, at most one trailing summary,
+* ``slo`` -- the declarative SLO policy file (tools/slo.json),
+* ``serve-status`` -- a ``GET /status`` snapshot document,
+* ``resources`` -- a ResourceSampler run summary.
 
 CI runs this over artifacts its smoke steps produce so the contracts
 external consumers depend on are pinned, not aspirational.
@@ -38,11 +46,21 @@ import sys
 from pathlib import Path
 from typing import Any
 
-HEALTH_SCHEMA = "iotls-health-stream/1"
-LEDGER_SCHEMA = "iotls-run-ledger/1"
-TREND_SCHEMA = "iotls-bench-trend/1"
-TRACE_SCHEMA = "iotls-trace-stream/1"
-ACCESS_SCHEMA = "iotls-serve-access/1"
+try:
+    from repro.telemetry.schemas import all_schemas
+except ImportError:  # running from a checkout without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.telemetry.schemas import all_schemas
+
+_IDS = {schema.name: schema.id for schema in all_schemas()}
+HEALTH_SCHEMA = _IDS["health-stream"]
+LEDGER_SCHEMA = _IDS["run-ledger"]
+TREND_SCHEMA = _IDS["bench-trend"]
+TRACE_SCHEMA = _IDS["trace-stream"]
+ACCESS_SCHEMA = _IDS["serve-access"]
+SLO_SCHEMA = _IDS["slo"]
+STATUS_SCHEMA = _IDS["serve-status"]
+RESOURCES_SCHEMA = _IDS["resources"]
 
 HEARTBEAT_REQUIRED = ("seq", "label", "done", "elapsed_seconds", "rate", "ewma_rate")
 SUMMARY_REQUIRED = ("label", "done", "seconds", "rate", "heartbeats")
@@ -329,13 +347,115 @@ def validate_access_log(path: Path) -> list[str]:
     return errors
 
 
-VALIDATORS = {
-    HEALTH_SCHEMA: validate_health_stream,
-    LEDGER_SCHEMA: validate_run_ledger,
-    TREND_SCHEMA: validate_bench_trend,
-    TRACE_SCHEMA: validate_trace_stream,
-    ACCESS_SCHEMA: validate_access_log,
-}
+SLO_OPS = ("<=", "<", ">=", ">")
+SLO_LEVELS = ("blocking", "advisory")
+
+
+def _load_document(path: Path) -> tuple[dict[str, Any] | None, list[str]]:
+    """Parse one JSON document, returning (document, errors)."""
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return None, [f"cannot parse {path}: {exc}"]
+    if not isinstance(document, dict):
+        return None, ["document is not an object"]
+    return document, []
+
+
+def validate_slo_policy(path: Path) -> list[str]:
+    """Contract violations in an SLO policy document (empty = valid)."""
+    document, errors = _load_document(path)
+    if document is None:
+        return errors
+    if document.get("schema") != SLO_SCHEMA:
+        errors.append(f"schema {document.get('schema')!r}, expected {SLO_SCHEMA!r}")
+    slos = document.get("slos")
+    if not isinstance(slos, list) or not slos:
+        return errors + ["'slos' must be a non-empty list"]
+    for index, slo in enumerate(slos):
+        if not isinstance(slo, dict):
+            errors.append(f"slos[{index}]: not an object")
+            continue
+        for key in ("name", "benchmark", "metric", "op", "threshold"):
+            if key not in slo:
+                errors.append(f"slos[{index}]: missing {key!r}")
+        if "op" in slo and slo["op"] not in SLO_OPS:
+            errors.append(f"slos[{index}]: op {slo['op']!r} not one of {SLO_OPS}")
+        if "threshold" in slo and not isinstance(slo["threshold"], (int, float)):
+            errors.append(f"slos[{index}]: threshold must be numeric")
+        level = slo.get("level", "blocking")
+        if level not in SLO_LEVELS:
+            errors.append(f"slos[{index}]: level {level!r} not one of {SLO_LEVELS}")
+    return errors
+
+
+def validate_serve_status(path: Path) -> list[str]:
+    """Contract violations in a GET /status snapshot (empty = valid)."""
+    document, errors = _load_document(path)
+    if document is None:
+        return errors
+    if document.get("schema") != STATUS_SCHEMA:
+        errors.append(f"schema {document.get('schema')!r}, expected {STATUS_SCHEMA!r}")
+    queue = document.get("queue")
+    if not isinstance(queue, dict):
+        errors.append("'queue' must be an object")
+    else:
+        for key in ("depth", "capacity", "executors", "inflight"):
+            if not isinstance(queue.get(key), int):
+                errors.append(f"queue.{key} must be an integer")
+    cache = document.get("cache")
+    if not isinstance(cache, dict):
+        errors.append("'cache' must be an object")
+    else:
+        for key in ("hits", "misses", "coalesced"):
+            if not isinstance(cache.get(key), int):
+                errors.append(f"cache.{key} must be an integer")
+    if not isinstance(document.get("resident"), dict):
+        errors.append("'resident' must be an object")
+    if not isinstance(document.get("access"), dict):
+        errors.append("'access' must be an object")
+    return errors
+
+
+def validate_resource_summary(path: Path) -> list[str]:
+    """Contract violations in a ResourceSampler summary (empty = valid)."""
+    document, errors = _load_document(path)
+    if document is None:
+        return errors
+    if document.get("schema") != RESOURCES_SCHEMA:
+        errors.append(
+            f"schema {document.get('schema')!r}, expected {RESOURCES_SCHEMA!r}"
+        )
+    samples = document.get("samples")
+    if not isinstance(samples, int):
+        errors.append("'samples' must be an integer")
+    elif samples > 0:
+        for key in ("seconds", "peak_rss_kib", "peak_traced_bytes"):
+            if not isinstance(document.get(key), (int, float)):
+                errors.append(f"{key!r} must be numeric when samples > 0")
+        stages = document.get("stages")
+        if stages is not None and not isinstance(stages, dict):
+            errors.append("'stages' must be an object when present")
+    return errors
+
+
+def _build_validators() -> dict[str, Any]:
+    """Dispatch table, driven by the registry so the pairing can't drift."""
+    table: dict[str, Any] = {}
+    for schema in all_schemas():
+        if schema.validator is None:
+            continue
+        function = globals().get(schema.validator)
+        if function is None:
+            raise RuntimeError(
+                f"registry declares validator {schema.validator!r} for "
+                f"{schema.id} but tools/validate_streams.py does not define it"
+            )
+        table[schema.id] = function
+    return table
+
+
+VALIDATORS = _build_validators()
 
 
 def detect_schema(path: Path) -> str | None:
